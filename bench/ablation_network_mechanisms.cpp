@@ -1,0 +1,129 @@
+// Ablation: which modeled mechanism produces which observed effect?
+//
+// DESIGN.md calls out four behavioural ingredients of the TCP/GigE model:
+//   (1) per-packet host/interrupt costs,
+//   (2) flow-control jitter from 4 processors on,
+//   (3) the half-duplex penalty on bidirectional exchanges,
+//   (4) the SMP interrupt-routing collapse on dual-CPU nodes.
+// This bench disables them one at a time on the reference case and shows
+// how the paper's signature effects react — evidence that each figure
+// feature is driven by the intended mechanism, not an accident of
+// calibration.
+//
+// It also reproduces the §4.1 textual claim that Fast Ethernet behaves
+// almost like Gigabit Ethernet for this workload.
+#include "figure_common.hpp"
+
+#include "perf/report.hpp"
+#include "sim/engine.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+namespace {
+
+struct Outcome {
+  double classic_s = 0.0;
+  double pme_s = 0.0;
+  double spread = 0.0;  // comm-speed (max-min)/avg
+  double total() const { return classic_s + pme_s; }
+};
+
+Outcome run_with(const net::NetworkParams& params, int nprocs,
+                 int cpus_per_node = 1) {
+  net::ClusterConfig config;
+  config.nranks = nprocs;
+  config.cpus_per_node = cpus_per_node;
+  net::ClusterNetwork network(config, params);
+  std::vector<perf::RankRecorder> recorders(
+      static_cast<std::size_t>(nprocs));
+  sim::Engine engine(nprocs);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, network,
+                   recorders[static_cast<std::size_t>(ctx.rank())]);
+    middleware::MpiMiddleware mw(comm);
+    charmm::CharmmConfig charmm_config;
+    charmm::run_charmm_rank(bench::prepared_system(), charmm_config, mw);
+  });
+  const perf::RunBreakdown b = perf::aggregate(recorders, cpus_per_node);
+  Outcome out;
+  out.classic_s = b.classic_wall.total();
+  out.pme_s = b.pme_wall.total();
+  out.spread = (b.comm_speed.max_mb_per_s - b.comm_speed.min_mb_per_s) /
+               std::max(b.comm_speed.avg_mb_per_s, 1e-9);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "network-model mechanisms vs the paper's effects "
+                      "(reference platform unless noted)");
+
+  const net::NetworkParams base = net::params_for(net::Network::kTcpGigE);
+
+  Table table({"variant", "procs", "classic (s)", "pme (s)", "total (s)",
+               "speed spread"});
+  auto add = [&](const char* name, const net::NetworkParams& params, int p,
+                 int cpus) {
+    const Outcome o = run_with(params, p, cpus);
+    table.add_row({name, std::to_string(p), Table::num(o.classic_s, 2),
+                   Table::num(o.pme_s, 2), Table::num(o.total(), 2),
+                   Table::pct(o.spread)});
+  };
+
+  add("full model", base, 8, 1);
+
+  net::NetworkParams no_packets = base;
+  no_packets.packet_cost_send = 0.0;
+  no_packets.packet_cost_recv = 0.0;
+  add("- per-packet costs", no_packets, 8, 1);
+
+  net::NetworkParams no_jitter = base;
+  no_jitter.jitter_prob_per_rank = 0.0;
+  add("- flow-control jitter", no_jitter, 8, 1);
+
+  net::NetworkParams no_duplex = base;
+  no_duplex.duplex_exchange_factor = 1.0;
+  add("- half-duplex penalty", no_duplex, 8, 1);
+
+  net::NetworkParams rndv = base;
+  rndv.rendezvous_threshold = 64 * 1024;  // MPICH-style large-message mode
+  add("+ rendezvous >=64KB", rndv, 8, 1);
+
+  add("full model (dual)", base, 8, 2);
+  net::NetworkParams no_smp = base;
+  no_smp.smp_bandwidth_factor = 1.0;
+  no_smp.smp_host_penalty = 1.0;
+  no_smp.smp_compute_penalty = 1.0;
+  add("- SMP penalties (dual)", no_smp, 8, 2);
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The §4.1 Fast-Ethernet claim.
+  std::printf("Fast Ethernet vs Gigabit Ethernet (the §4.1 observation):\n");
+  Table fe({"network", "procs", "total (s)"});
+  for (int p : {2, 4, 8}) {
+    const Outcome ge = run_with(base, p, 1);
+    const Outcome fa =
+        run_with(net::params_for(net::Network::kTcpFastEthernet), p, 1);
+    fe.add_row({"TCP/IP on GigE", std::to_string(p),
+                Table::num(ge.total(), 2)});
+    fe.add_row({"TCP/IP on FastE", std::to_string(p),
+                Table::num(fa.total(), 2)});
+  }
+  std::printf("%s\n", fe.to_string().c_str());
+  std::printf("reading the ablation:\n");
+  std::printf("  - removing jitter restores stable (low-spread) transfers;\n");
+  std::printf("  - removing the duplex penalty mostly rescues PME (its\n");
+  std::printf("    transposes are bidirectional exchanges);\n");
+  std::printf("  - removing the SMP penalties makes dual nodes behave like\n");
+  std::printf("    uni nodes, erasing the Figure 9a pathology;\n");
+  std::printf("  - Fast Ethernet tracks GigE closely: the protocol path,\n");
+  std::printf("    not the wire, limits this workload (§4.1);\n");
+  std::printf("  - rendezvous for large messages couples senders to the\n");
+  std::printf("    receivers' progress, adding wait time on top of eager\n");
+  std::printf("    transfers.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The paper's §5 conclusion, quantified: "The amount of parallelism in
+// CHARMM should suffice to run efficient parallel calculations on clusters
+// with up to the 32 to 64 processors ... For more advanced calculations
+// using the particle mesh Ewald method, good scalability is limited to
+// parallel calculations spanning a reasonable fraction (e.g. a quarter) of
+// such a cluster. For more parallelism, a low overhead, high speed
+// interconnect like e.g. Myrinet must be included."
+//
+// This bench sweeps processor counts on a good software stack (SCore) and
+// on Myrinet, separately for the classic calculation (PME off) and the
+// PME-enabled calculation, and reports the largest processor count that
+// still achieves 50% parallel efficiency.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+namespace {
+
+struct Sweep {
+  const char* label;
+  net::Network network;
+  bool use_pme;
+};
+
+double total_at(const Sweep& sweep, int p) {
+  core::ExperimentSpec spec;
+  spec.platform.network = sweep.network;
+  spec.nprocs = p;
+  spec.charmm.use_pme = sweep.use_pme;
+  return core::run_experiment(bench::prepared_system(), spec)
+      .total_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Conclusion (§5)",
+                      "scalability limits of the classic and PME "
+                      "calculations (50% efficiency threshold)");
+
+  const Sweep sweeps[] = {
+      {"classic only, TCP/IP", net::Network::kTcpGigE, false},
+      {"with PME, TCP/IP", net::Network::kTcpGigE, true},
+      {"classic only, SCore", net::Network::kScoreGigE, false},
+      {"with PME, SCore", net::Network::kScoreGigE, true},
+      {"classic only, Myrinet", net::Network::kMyrinetGM, false},
+      {"with PME, Myrinet", net::Network::kMyrinetGM, true},
+  };
+  const int counts[] = {1, 2, 4, 8, 16, 32};
+
+  Table table({"configuration", "procs", "total (s)", "speedup",
+               "efficiency"});
+  std::map<std::string, int> limit;  // last p with efficiency >= 50%
+  for (const Sweep& sweep : sweeps) {
+    double seq = 0.0;
+    for (int p : counts) {
+      const double total = total_at(sweep, p);
+      if (p == 1) seq = total;
+      const double eff = seq / total / p;
+      if (eff >= 0.5) limit[sweep.label] = p;
+      table.add_row({sweep.label, std::to_string(p), Table::num(total, 2),
+                     Table::num(seq / total, 2), Table::pct(eff)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("largest processor count with >=50%% efficiency:\n");
+  for (const auto& [label, p] : limit) {
+    std::printf("  %-24s : %d procs\n", label.c_str(), p);
+  }
+  std::printf(
+      "\npaper checks (§5):\n"
+      "  - on the commodity TCP/Ethernet stack, PME hits its efficiency\n"
+      "    limit at a fraction of the classic calculation's limit\n"
+      "    (classic %d vs PME %d procs here; the paper: 'a quarter of\n"
+      "    such a cluster');\n"
+      "  - 'for more parallelism, a low overhead, high speed interconnect\n"
+      "    like e.g. Myrinet must be included': the PME limit rises from\n"
+      "    %d (TCP) to %d (Myrinet) processors;\n"
+      "  - the paper's 32-64-processor headroom assumes problems that grow\n"
+      "    with the cluster — strong-scaling this fixed 3552-atom system\n"
+      "    leaves only ~110 atoms per rank at 32 procs; see\n"
+      "    bench/extension_problem_size for the size dimension.\n",
+      limit["classic only, TCP/IP"], limit["with PME, TCP/IP"],
+      limit["with PME, TCP/IP"], limit["with PME, Myrinet"]);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension study: how the scalability picture changes with problem size.
+//
+// The paper's conclusion predicts "good scalability for larger problems
+// and larger clusters" once the communication software is right (§5).
+// This bench sweeps the molecular system size (water boxes from ~1.3k to
+// ~10k atoms, PME grids scaled with the box) on the reference TCP stack
+// and on SCore, and reports the parallel efficiency at 8 processors —
+// showing the computation-to-communication ratio swinging back in favour
+// of parallelism as N grows.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+namespace {
+
+struct SizeCase {
+  int waters_per_side;
+  std::size_t grid;  // cubic PME grid dimension
+};
+
+double total_at(const sysbuild::BuiltSystem& sys, const SizeCase& size,
+                net::Network network, int p) {
+  core::ExperimentSpec spec;
+  spec.platform.network = network;
+  spec.nprocs = p;
+  spec.charmm.nsteps = 5;
+  spec.charmm.pme = pme::PmeParams{size.grid, size.grid, size.grid, 4, 0.4};
+  spec.charmm.cutoff = 9.0;
+  spec.charmm.switch_on = 7.5;
+  return core::run_experiment(sys, spec).total_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension",
+                      "parallel efficiency vs problem size (5 MD steps, "
+                      "water boxes, PME grid scaled with the box)");
+
+  const SizeCase sizes[] = {{8, 24}, {10, 32}, {13, 40}, {15, 48}};
+
+  Table table({"atoms", "box (A)", "network", "total @1 (s)", "total @8 (s)",
+               "efficiency @8"});
+  for (const SizeCase& size : sizes) {
+    const sysbuild::BuiltSystem sys =
+        sysbuild::build_water_box(size.waters_per_side);
+    for (net::Network network :
+         {net::Network::kTcpGigE, net::Network::kScoreGigE}) {
+      const double seq = total_at(sys, size, network, 1);
+      const double par = total_at(sys, size, network, 8);
+      table.add_row({std::to_string(sys.topo.natoms()),
+                     Table::num(sys.box.lx(), 1), net::to_string(network),
+                     Table::num(seq, 2), Table::num(par, 2),
+                     Table::pct(seq / par / 8.0)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "As N grows, per-step computation rises ~linearly while the force\n"
+      "reduction grows with N and the transposes with the grid — on a good\n"
+      "stack (SCore) efficiency climbs with problem size, as the paper's\n"
+      "conclusion predicts; on TCP/IP the overheads still dominate.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 3: wall clock time of the total energy calculation for the
+// reference case (MPI middleware, TCP/IP on Gigabit Ethernet,
+// uni-processor nodes), split into the classic and the PME energy
+// calculation, for 1, 2, 4 and 8 processors.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header(
+      "Figure 3",
+      "execution time of the total energy calculation, reference case "
+      "(TCP/IP on Ethernet, MPI middleware, uni-processor nodes)");
+
+  Table table({"procs", "classic (s)", "pme (s)", "total (s)", "pme share"});
+  for (int p : core::paper_processor_counts()) {
+    const auto& r = bench::run_cached(core::reference_platform(), p);
+    table.add_row({std::to_string(p), Table::num(r.classic_seconds(), 2),
+                   Table::num(r.pme_seconds(), 2),
+                   Table::num(r.total_seconds(), 2),
+                   Table::pct(r.pme_seconds() / r.total_seconds())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto& p1 = bench::run_cached(core::reference_platform(), 1);
+  const auto& p2 = bench::run_cached(core::reference_platform(), 2);
+  std::printf("paper checks:\n");
+  std::printf("  sequential PME slightly less than half of total : %s "
+              "(%.0f%%)\n",
+              p1.pme_seconds() / p1.total_seconds() < 0.5 ? "yes" : "NO",
+              100.0 * p1.pme_seconds() / p1.total_seconds());
+  std::printf("  PME at 2 procs larger than at 1 proc            : %s "
+              "(%.2f s vs %.2f s)\n",
+              p2.pme_seconds() > p1.pme_seconds() ? "yes" : "NO",
+              p2.pme_seconds(), p1.pme_seconds());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 4: percentage of computation, communication and synchronization
+// in the classic energy calculation (a) and in the PME energy calculation
+// (b), for the reference case.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header(
+      "Figure 4",
+      "percent computation / communication / synchronization, reference "
+      "case");
+
+  Table table({"procs", "classic comp/comm/sync", "pme comp/comm/sync"});
+  for (int p : core::paper_processor_counts()) {
+    const auto& r = bench::run_cached(core::reference_platform(), p);
+    table.add_row({std::to_string(p),
+                   bench::fmt_breakdown_pct(r.breakdown.classic_wall),
+                   bench::fmt_breakdown_pct(r.breakdown.pme_wall)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto& p2 = bench::run_cached(core::reference_platform(), 2);
+  const auto& p8 = bench::run_cached(core::reference_platform(), 8);
+  std::printf("paper checks:\n");
+  std::printf("  classic overhead <10%% at 2 procs : %s (%.1f%%)\n",
+              p2.breakdown.classic_wall.overhead_fraction() < 0.10 ? "yes"
+                                                                   : "NO",
+              100 * p2.breakdown.classic_wall.overhead_fraction());
+  std::printf("  classic overhead >60%% at 8 procs : %s (%.1f%%)\n",
+              p8.breakdown.classic_wall.overhead_fraction() > 0.60 ? "yes"
+                                                                   : "NO",
+              100 * p8.breakdown.classic_wall.overhead_fraction());
+  std::printf("  pme overhead >50%% at 2 procs     : %s (%.1f%%)\n",
+              p2.breakdown.pme_wall.overhead_fraction() > 0.50 ? "yes" : "NO",
+              100 * p2.breakdown.pme_wall.overhead_fraction());
+  std::printf("  pme overhead >75%% at 8 procs     : %s (%.1f%%)\n",
+              p8.breakdown.pme_wall.overhead_fraction() > 0.75 ? "yes" : "NO",
+              100 * p8.breakdown.pme_wall.overhead_fraction());
+  return 0;
+}

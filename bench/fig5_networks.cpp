@@ -1,0 +1,45 @@
+// Figure 5: wall clock time of the total energy calculation for the three
+// networks (TCP/IP on Gigabit Ethernet, SCore on Gigabit Ethernet,
+// Myrinet), MPI middleware, uni-processor nodes.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header("Figure 5",
+                      "execution time of the total energy calculation for "
+                      "different networks (MPI middleware, uni-processor)");
+
+  Table table({"network", "procs", "classic (s)", "pme (s)", "total (s)",
+               "speedup"});
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    const double seq =
+        bench::run_cached(platform, 1).total_seconds();
+    for (int p : core::paper_processor_counts()) {
+      const auto& r = bench::run_cached(platform, p);
+      table.add_row({net::to_string(network), std::to_string(p),
+                     Table::num(r.classic_seconds(), 2),
+                     Table::num(r.pme_seconds(), 2),
+                     Table::num(r.total_seconds(), 2),
+                     Table::num(seq / r.total_seconds(), 2)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper checks:\n");
+  core::Platform tcp, score, myri;
+  score.network = net::Network::kScoreGigE;
+  myri.network = net::Network::kMyrinetGM;
+  const double t8 = bench::run_cached(tcp, 8).total_seconds();
+  const double s8 = bench::run_cached(score, 8).total_seconds();
+  const double m8 = bench::run_cached(myri, 8).total_seconds();
+  std::printf("  better scalability for low-latency networks : %s "
+              "(TCP %.2f > SCore %.2f > Myrinet %.2f at 8 procs)\n",
+              (t8 > s8 && s8 > m8) ? "yes" : "NO", t8, s8, m8);
+  return 0;
+}

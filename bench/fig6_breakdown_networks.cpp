@@ -1,0 +1,53 @@
+// Figure 6: percentage of computation, communication and synchronization
+// in the classic (a) and PME (b) energy calculations, for TCP/IP on
+// Gigabit Ethernet, SCore on Gigabit Ethernet and Myrinet.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header("Figure 6",
+                      "percent computation / communication / "
+                      "synchronization per network (MPI, uni-processor)");
+
+  Table table({"network", "procs", "classic comp/comm/sync",
+               "pme comp/comm/sync"});
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : core::paper_processor_counts()) {
+      const auto& r = bench::run_cached(platform, p);
+      table.add_row({net::to_string(network), std::to_string(p),
+                     bench::fmt_breakdown_pct(r.breakdown.classic_wall),
+                     bench::fmt_breakdown_pct(r.breakdown.pme_wall)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper checks:\n");
+  core::Platform tcp, score, myri;
+  score.network = net::Network::kScoreGigE;
+  myri.network = net::Network::kMyrinetGM;
+  const auto& rt = bench::run_cached(tcp, 8);
+  const auto& rs = bench::run_cached(score, 8);
+  const auto& rm = bench::run_cached(myri, 8);
+  const double tcp_comm = rt.breakdown.total_wall().comm;
+  const double score_comm = rs.breakdown.total_wall().comm;
+  const double myri_comm = rm.breakdown.total_wall().comm;
+  std::printf("  communication carries the difference : %s "
+              "(comm at 8p: TCP %.2fs, SCore %.2fs, Myrinet %.2fs)\n",
+              (tcp_comm > score_comm && score_comm > myri_comm) ? "yes"
+                                                                : "NO",
+              tcp_comm, score_comm, myri_comm);
+  std::printf("  synchronization stays within limits  : %s "
+              "(sync at 8p: TCP %.2fs, SCore %.2fs, Myrinet %.2fs)\n",
+              rt.breakdown.total_wall().sync < 0.3 * rt.total_seconds()
+                  ? "yes"
+                  : "NO",
+              rt.breakdown.total_wall().sync, rs.breakdown.total_wall().sync,
+              rm.breakdown.total_wall().sync);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: average and variability (min/max) of the per-node
+// communication speed in MByte/s for CHARMM on MPI middleware and
+// uni-processor nodes, for the three networks and 2, 4, 8 processors.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header("Figure 7",
+                      "average and variability of the communication speed "
+                      "per node (MPI middleware, uni-processor)");
+
+  Table table({"network", "procs", "avg (MB/s)", "min (MB/s)", "max (MB/s)",
+               "spread"});
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : {2, 4, 8}) {
+      const auto& cs = bench::run_cached(platform, p).breakdown.comm_speed;
+      table.add_row(
+          {net::to_string(network), std::to_string(p),
+           Table::num(cs.avg_mb_per_s, 1), Table::num(cs.min_mb_per_s, 1),
+           Table::num(cs.max_mb_per_s, 1),
+           Table::pct((cs.max_mb_per_s - cs.min_mb_per_s) /
+                      std::max(cs.avg_mb_per_s, 1e-9))});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper checks:\n");
+  core::Platform tcp;
+  auto spread = [&](int p) {
+    const auto& cs = bench::run_cached(tcp, p).breakdown.comm_speed;
+    return (cs.max_mb_per_s - cs.min_mb_per_s) /
+           std::max(cs.avg_mb_per_s, 1e-9);
+  };
+  std::printf("  low TCP communication rate            : %s (avg %.1f MB/s "
+              "at 8 procs)\n",
+              bench::run_cached(tcp, 8).breakdown.comm_speed.avg_mb_per_s <
+                      20.0
+                  ? "yes"
+                  : "NO",
+              bench::run_cached(tcp, 8).breakdown.comm_speed.avg_mb_per_s);
+  std::printf("  TCP variability starts at 4 procs     : %s "
+              "(spread %.0f%% -> %.0f%% -> %.0f%%)\n",
+              (spread(2) < 0.15 && spread(4) > spread(2)) ? "yes" : "NO",
+              100 * spread(2), 100 * spread(4), 100 * spread(8));
+  core::Platform score;
+  score.network = net::Network::kScoreGigE;
+  const auto& scs = bench::run_cached(score, 8).breakdown.comm_speed;
+  std::printf("  SCore stable and faster on same wire  : %s "
+              "(avg %.1f MB/s, spread %.0f%%)\n",
+              scs.avg_mb_per_s >
+                      bench::run_cached(tcp, 8).breakdown.comm_speed
+                          .avg_mb_per_s
+                  ? "yes"
+                  : "NO",
+              scs.avg_mb_per_s,
+              100 * (scs.max_mb_per_s - scs.min_mb_per_s) /
+                  scs.avg_mb_per_s);
+  return 0;
+}

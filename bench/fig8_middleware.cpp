@@ -1,0 +1,54 @@
+// Figure 8: wall clock time (a) and total-energy-calculation breakdown (b)
+// for the MPI and CMPI middlewares on TCP/IP over Gigabit Ethernet with
+// uni-processor nodes.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header("Figure 8",
+                      "execution time and breakdown for different "
+                      "middlewares (TCP/IP on Ethernet, uni-processor)");
+
+  Table table({"middleware", "procs", "classic (s)", "pme (s)", "total (s)",
+               "total comp/comm/sync"});
+  for (middleware::Kind kind :
+       {middleware::Kind::kMpi, middleware::Kind::kCmpi}) {
+    core::Platform platform;
+    platform.middleware = kind;
+    for (int p : core::paper_processor_counts()) {
+      const auto& r = bench::run_cached(platform, p);
+      table.add_row({middleware::to_string(kind), std::to_string(p),
+                     Table::num(r.classic_seconds(), 2),
+                     Table::num(r.pme_seconds(), 2),
+                     Table::num(r.total_seconds(), 2),
+                     bench::fmt_breakdown_pct(r.breakdown.total_wall())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper checks:\n");
+  core::Platform cmpi;
+  cmpi.middleware = middleware::Kind::kCmpi;
+  const auto& c4 = bench::run_cached(cmpi, 4);
+  const auto& c8 = bench::run_cached(cmpi, 8);
+  std::printf("  CMPI times increase from 4 to 8 procs      : %s "
+              "(classic %.2f -> %.2f s, pme %.2f -> %.2f s)\n",
+              (c8.classic_seconds() > c4.classic_seconds() &&
+               c8.pme_seconds() > c4.pme_seconds() * 0.95)
+                  ? "yes"
+                  : "NO",
+              c4.classic_seconds(), c8.classic_seconds(), c4.pme_seconds(),
+              c8.pme_seconds());
+  const auto& m8 = bench::run_cached(core::reference_platform(), 8);
+  std::printf("  slowdown driven by synchronization ops     : %s "
+              "(sync at 8p: CMPI %.2f s vs MPI %.2f s)\n",
+              c8.breakdown.total_wall().sync >
+                      4.0 * m8.breakdown.total_wall().sync
+                  ? "yes"
+                  : "NO",
+              c8.breakdown.total_wall().sync,
+              m8.breakdown.total_wall().sync);
+  return 0;
+}

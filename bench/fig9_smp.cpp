@@ -1,0 +1,57 @@
+// Figure 9: wall clock time of the classic and PME energy calculations on
+// uni-processor vs dual-processor clusters, with TCP/IP on Gigabit
+// Ethernet (a) and Myrinet (b).
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  bench::print_header("Figure 9",
+                      "uni-processor vs dual-processor nodes on TCP/IP (a) "
+                      "and Myrinet (b), MPI middleware");
+
+  Table table({"network", "cpus/node", "procs", "classic (s)", "pme (s)",
+               "total (s)"});
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kMyrinetGM}) {
+    for (int cpus : {1, 2}) {
+      core::Platform platform;
+      platform.network = network;
+      platform.cpus_per_node = cpus;
+      for (int p : core::paper_processor_counts()) {
+        const auto& r = bench::run_cached(platform, p);
+        table.add_row({net::to_string(network),
+                       cpus == 1 ? "uni" : "dual", std::to_string(p),
+                       Table::num(r.classic_seconds(), 2),
+                       Table::num(r.pme_seconds(), 2),
+                       Table::num(r.total_seconds(), 2)});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper checks:\n");
+  core::Platform tcp_dual;
+  tcp_dual.cpus_per_node = 2;
+  const auto& d2 = bench::run_cached(tcp_dual, 2);
+  const auto& d4 = bench::run_cached(tcp_dual, 4);
+  const auto& d8 = bench::run_cached(tcp_dual, 8);
+  std::printf("  dual-processor TCP: time increases with node count : %s "
+              "(%.2f -> %.2f -> %.2f s)\n",
+              (d4.total_seconds() > d2.total_seconds() &&
+               d8.total_seconds() > d4.total_seconds())
+                  ? "yes"
+                  : "NO",
+              d2.total_seconds(), d4.total_seconds(), d8.total_seconds());
+  core::Platform myri_uni, myri_dual;
+  myri_uni.network = net::Network::kMyrinetGM;
+  myri_dual.network = net::Network::kMyrinetGM;
+  myri_dual.cpus_per_node = 2;
+  const double mu = bench::run_cached(myri_uni, 8).total_seconds();
+  const double md = bench::run_cached(myri_dual, 8).total_seconds();
+  std::printf("  Myrinet unaffected by dual-processor nodes         : %s "
+              "(8p: uni %.2f s, dual %.2f s)\n",
+              std::abs(md - mu) / mu < 0.15 ? "yes" : "NO", mu, md);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared scaffolding for the figure-regeneration binaries.
+//
+// Every bench binary prepares the paper's molecular system (built
+// synthetically, then relaxed), sweeps the relevant factor, and prints the
+// same rows/series the corresponding figure plots. Absolute values are
+// simulator output (calibrated to the paper's scale); EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "charmm/simulation.hpp"
+#include "core/experiment.hpp"
+#include "sysbuild/builder.hpp"
+#include "util/table.hpp"
+
+namespace repro::bench {
+
+inline const sysbuild::BuiltSystem& prepared_system() {
+  static const sysbuild::BuiltSystem sys = [] {
+    std::fprintf(stderr,
+                 "[bench] building + relaxing the 3552-atom system...\n");
+    sysbuild::BuiltSystem s = sysbuild::build_myoglobin_like();
+    charmm::relax_system(s, 100);
+    return s;
+  }();
+  return sys;
+}
+
+inline const core::ExperimentResult& run_cached(const core::Platform& p,
+                                                int nprocs) {
+  using Key = std::tuple<net::Network, middleware::Kind, int, int>;
+  static std::map<Key, core::ExperimentResult> cache;
+  const Key key{p.network, p.middleware, p.cpus_per_node, nprocs};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::ExperimentSpec spec;
+    spec.platform = p;
+    spec.nprocs = nprocs;
+    it = cache.emplace(key, core::run_experiment(prepared_system(), spec))
+             .first;
+  }
+  return it->second;
+}
+
+inline void print_header(const std::string& figure,
+                         const std::string& caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("(10 MD steps of the 3552-atom myoglobin-like system, PME grid"
+              " 80x36x48)\n");
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt_breakdown_pct(const perf::Breakdown& b) {
+  char buf[128];
+  const double t = b.total() > 0 ? b.total() : 1.0;
+  std::snprintf(buf, sizeof(buf), "%5.1f%% / %5.1f%% / %5.1f%%",
+                100.0 * b.comp / t, 100.0 * b.comm / t, 100.0 * b.sync / t);
+  return buf;
+}
+
+}  // namespace repro::bench

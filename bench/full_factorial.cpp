@@ -1,0 +1,20 @@
+// The paper's full factorial design (§3.1): every cell of
+// network x middleware x CPUs-per-node at 2, 4 and 8 processors, plus the
+// quantified factor main effects. The paper gathered this data but
+// published only the fractional slice around the focal point; this binary
+// produces the complete table.
+#include "figure_common.hpp"
+
+#include "core/factorial.hpp"
+
+using namespace repro;
+
+int main() {
+  bench::print_header("Full factorial (§3.1)",
+                      "all 12 platform cells x processor counts, with "
+                      "factor main effects");
+  const auto cells =
+      core::run_full_factorial(bench::prepared_system(), {2, 4, 8});
+  std::printf("%s\n", core::factorial_report(cells).c_str());
+  return 0;
+}

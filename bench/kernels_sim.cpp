@@ -1,0 +1,82 @@
+// Microbenchmarks for the discrete-event cluster simulator itself: how
+// fast the simulation machinery processes messages and collectives
+// (real time, not virtual time; regression guards, not a paper figure).
+#include <benchmark/benchmark.h>
+
+#include "middleware/middleware.hpp"
+#include "mpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_EnginePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    net::ClusterConfig config;
+    config.nranks = 2;
+    net::ClusterNetwork cluster(config);
+    std::vector<perf::RankRecorder> recs(2);
+    sim::Engine engine(2);
+    engine.run([&](sim::RankCtx& ctx) {
+      mpi::Comm comm(ctx, cluster,
+                     recs[static_cast<std::size_t>(ctx.rank())]);
+      double token = 1.0;
+      for (int i = 0; i < 100; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, &token, sizeof(token));
+          comm.recv(1, 2, &token, sizeof(token));
+        } else {
+          comm.recv(0, 1, &token, sizeof(token));
+          comm.send(0, 2, &token, sizeof(token));
+        }
+      }
+    });
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_EnginePingPong)->Unit(benchmark::kMillisecond);
+
+void BM_Allreduce16Ranks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    net::ClusterConfig config;
+    config.nranks = 16;
+    net::ClusterNetwork cluster(config);
+    std::vector<perf::RankRecorder> recs(16);
+    sim::Engine engine(16);
+    engine.run([&](sim::RankCtx& ctx) {
+      mpi::Comm comm(ctx, cluster,
+                     recs[static_cast<std::size_t>(ctx.rank())]);
+      std::vector<double> data(n, 1.0);
+      comm.allreduce_sum(data.data(), data.size());
+      benchmark::DoNotOptimize(data[0]);
+    });
+  }
+}
+BENCHMARK(BM_Allreduce16Ranks)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CmpiNeighborSync8Ranks(benchmark::State& state) {
+  for (auto _ : state) {
+    net::ClusterConfig config;
+    config.nranks = 8;
+    net::ClusterNetwork cluster(config);
+    std::vector<perf::RankRecorder> recs(8);
+    sim::Engine engine(8);
+    engine.run([&](sim::RankCtx& ctx) {
+      mpi::Comm comm(ctx, cluster,
+                     recs[static_cast<std::size_t>(ctx.rank())]);
+      middleware::CmpiMiddleware mw(comm);
+      for (int i = 0; i < 10; ++i) mw.synchronize();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_CmpiNeighborSync8Ranks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// Command-line front end for the library — the shape of tool a cluster
+// operator would actually run:
+//
+//   charmm_cluster_cli build-system [--seed N] [--out sys.rsys] [--pdb x.pdb]
+//   charmm_cluster_cli run [--system sys.rsys] [--procs P] [--network N]
+//                          [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]
+//                          [--timeline]
+//   charmm_cluster_cli predict --procs P [--network N]
+//   charmm_cluster_cli sweep [--network N] [--middleware M] [--cpus C]
+//
+// `run` and `sweep` build+relax the paper's system when --system is not
+// given. `predict` uses the closed-form LogGP model (no simulation).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "charmm/simulation.hpp"
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "sysbuild/builder.hpp"
+#include "sysbuild/io.hpp"
+#include "util/table.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    std::string value = "true";
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+net::Network parse_network(const std::string& name) {
+  if (name == "score") return net::Network::kScoreGigE;
+  if (name == "myrinet") return net::Network::kMyrinetGM;
+  if (name == "faste") return net::Network::kTcpFastEthernet;
+  return net::Network::kTcpGigE;
+}
+
+sysbuild::BuiltSystem obtain_system(const Args& args) {
+  if (args.has("system")) {
+    std::printf("loading %s...\n", args.get("system", "").c_str());
+    return sysbuild::load_system(args.get("system", ""));
+  }
+  std::printf("building + relaxing the paper's 3552-atom system...\n");
+  sysbuild::BuiltSystem sys = sysbuild::build_myoglobin_like(
+      static_cast<std::uint64_t>(args.get_int("seed", 2002)));
+  charmm::relax_system(sys, args.get_int("relax", 80));
+  return sys;
+}
+
+void print_result(const core::ExperimentResult& r,
+                  const core::ExperimentSpec& spec) {
+  std::printf("\n%s, %d processes, %d steps\n",
+              spec.platform.to_string().c_str(), spec.nprocs,
+              spec.charmm.nsteps);
+  auto line = [](const char* name, const perf::Breakdown& b) {
+    std::printf("  %-10s %7.3f s   comp %5.1f%%  comm %5.1f%%  sync %5.1f%%\n",
+                name, b.total(), 100 * b.comp / std::max(b.total(), 1e-12),
+                100 * b.comm / std::max(b.total(), 1e-12),
+                100 * b.sync / std::max(b.total(), 1e-12));
+  };
+  line("classic", r.breakdown.classic_wall);
+  line("pme", r.breakdown.pme_wall);
+  line("total", r.breakdown.total_wall());
+  if (r.breakdown.comm_speed.samples > 0) {
+    std::printf("  comm speed %.1f MB/s per node [%.1f .. %.1f]\n",
+                r.breakdown.comm_speed.avg_mb_per_s,
+                r.breakdown.comm_speed.min_mb_per_s,
+                r.breakdown.comm_speed.max_mb_per_s);
+  }
+  std::printf("  potential energy %.2f kcal/mol\n", r.energy.potential());
+}
+
+int cmd_build_system(const Args& args) {
+  sysbuild::BuiltSystem sys = sysbuild::build_myoglobin_like(
+      static_cast<std::uint64_t>(args.get_int("seed", 2002)));
+  if (args.get_int("relax", 80) > 0) {
+    const md::MinimizeResult res =
+        charmm::relax_system(sys, args.get_int("relax", 80));
+    std::printf("relaxed: E %.1f -> %.1f kcal/mol\n", res.initial_energy,
+                res.final_energy);
+  }
+  const std::string out = args.get("out", "myoglobin_like.rsys");
+  sysbuild::save_system(out, sys);
+  std::printf("wrote %s (%d atoms)\n", out.c_str(), sys.topo.natoms());
+  if (args.has("pdb")) {
+    sysbuild::save_pdb(args.get("pdb", ""), sys);
+    std::printf("wrote %s\n", args.get("pdb", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const sysbuild::BuiltSystem sys = obtain_system(args);
+  core::ExperimentSpec spec;
+  spec.platform.network = parse_network(args.get("network", "tcp"));
+  spec.platform.middleware = args.get("middleware", "mpi") == "cmpi"
+                                 ? middleware::Kind::kCmpi
+                                 : middleware::Kind::kMpi;
+  spec.platform.cpus_per_node = args.get_int("cpus", 1);
+  spec.nprocs = args.get_int("procs", 8);
+  spec.charmm.nsteps = args.get_int("steps", 10);
+  spec.charmm.use_pme = args.get("pme", "on") != "off";
+  spec.record_timelines = args.has("timeline");
+  const core::ExperimentResult r = core::run_experiment(sys, spec);
+  print_result(r, spec);
+  if (spec.record_timelines) {
+    std::printf("\n%s", perf::render_timelines(r.timelines).c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const net::NetworkParams params =
+      net::params_for(parse_network(args.get("network", "tcp")));
+  const int procs = args.get_int("procs", 8);
+  const core::OverheadPrediction pred = core::predict_step_overheads(
+      params, procs, sysbuild::kTotalAtoms, pme::PmeParams{80, 36, 48});
+  std::printf("analytic prediction for %s, %d processes (per MD step):\n",
+              params.name.c_str(), procs);
+  std::printf("  classic communication : %8.2f ms\n",
+              pred.classic_comm_per_step * 1e3);
+  std::printf("  pme communication     : %8.2f ms\n",
+              pred.pme_comm_per_step * 1e3);
+  std::printf("  synchronization       : %8.2f ms\n",
+              pred.sync_per_step * 1e3);
+  std::printf("  total overhead        : %8.2f ms\n",
+              pred.total_per_step() * 1e3);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const sysbuild::BuiltSystem sys = obtain_system(args);
+  core::ExperimentSpec spec;
+  spec.platform.network = parse_network(args.get("network", "tcp"));
+  spec.platform.middleware = args.get("middleware", "mpi") == "cmpi"
+                                 ? middleware::Kind::kCmpi
+                                 : middleware::Kind::kMpi;
+  spec.platform.cpus_per_node = args.get_int("cpus", 1);
+  util::Table table({"procs", "classic (s)", "pme (s)", "total (s)",
+                     "speedup"});
+  double seq = 0.0;
+  for (int p : {1, 2, 4, 8, 16}) {
+    spec.nprocs = p;
+    const core::ExperimentResult r = core::run_experiment(sys, spec);
+    if (p == 1) seq = r.total_seconds();
+    table.add_row({std::to_string(p),
+                   util::Table::num(r.classic_seconds(), 2),
+                   util::Table::num(r.pme_seconds(), 2),
+                   util::Table::num(r.total_seconds(), 2),
+                   util::Table::num(seq / r.total_seconds(), 2)});
+  }
+  std::printf("\n%s on %s:\n%s", spec.platform.to_string().c_str(),
+              "the paper's workload", table.to_string().c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: charmm_cluster_cli <command> [options]\n"
+      "commands:\n"
+      "  build-system  [--seed N] [--relax STEPS] [--out F.rsys] [--pdb F]\n"
+      "  run           [--system F.rsys] [--procs P] [--network "
+      "tcp|score|myrinet|faste]\n"
+      "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
+      "                [--pme on|off] [--timeline]\n"
+      "  predict       [--procs P] [--network ...]   (closed-form model)\n"
+      "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
+      " [--cpus C]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "build-system") return cmd_build_system(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  usage();
+  return args.command.empty() ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Cluster scaling: how fast does one CHARMM-style energy calculation get
+// as processors are added, on the three cluster interconnects of the
+// paper? This drives the full simulated-cluster pipeline through the
+// public experiment API and answers the paper's title question.
+#include <cstdio>
+
+#include "charmm/simulation.hpp"
+#include "core/experiment.hpp"
+#include "sysbuild/builder.hpp"
+#include "util/table.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+int main() {
+  std::printf("preparing the 3552-atom myoglobin-like system...\n");
+  sysbuild::BuiltSystem sys = sysbuild::build_myoglobin_like();
+  charmm::relax_system(sys, 60);
+
+  Table table({"network", "procs", "total (s)", "speedup", "efficiency"});
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    double seq = 0.0;
+    for (int p : {1, 2, 4, 8, 16}) {
+      core::ExperimentSpec spec;
+      spec.platform.network = network;
+      spec.nprocs = p;
+      const core::ExperimentResult r = core::run_experiment(sys, spec);
+      if (p == 1) seq = r.total_seconds();
+      table.add_row({net::to_string(network), std::to_string(p),
+                     Table::num(r.total_seconds(), 2),
+                     Table::num(seq / r.total_seconds(), 2),
+                     Table::pct(seq / r.total_seconds() / p)});
+    }
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "Is there any easy parallelism in CHARMM? On commodity TCP/Ethernet\n"
+      "clusters, not much — the classic calculation tolerates a handful of\n"
+      "processors, PME suffers immediately. Better communication *software*\n"
+      "(SCore) or a system-area network (Myrinet) recovers the scalability.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The CHARMM-style parallel MD energy calculation (the workload of the
+// paper), assembled per Figure 2:
+//
+//   classic routine : bonded + short-range non-bonded computation (atom
+//                     decomposition), ending in the all-to-all *collective*
+//                     force/energy reduction;
+//   PME routine     : slab charge spreading, forward 3-D FFT (all-to-all
+//                     *personalized* transpose), reciprocal convolution,
+//                     backward FFT (second transpose), force interpolation.
+//
+// Replicated data: every rank holds all positions, computes a shard of the
+// interactions, and integrates all atoms after the force reduction — the
+// classic CHARMM parallelization this class of clusters ran.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "charmm/cost_model.hpp"
+#include "md/energy.hpp"
+#include "md/nonbonded.hpp"
+#include "middleware/middleware.hpp"
+#include "pme/pme.hpp"
+#include "sysbuild/builder.hpp"
+
+namespace repro::charmm {
+
+struct CharmmConfig {
+  bool use_pme = true;
+  int nsteps = 10;          // the paper's reduced-step measurement runs
+  double dt_ps = 0.0005;
+  double temperature_k = 300.0;
+  double cutoff = 10.0;     // Å, both vdW and real-space electrostatics
+  double switch_on = 8.0;
+  double skin = 2.0;
+  int list_rebuild_interval = 5;  // CHARMM INBFRQ-style fixed interval
+  pme::PmeParams pme{80, 36, 48, 4, 0.34};
+  std::uint64_t seed = 2002;
+  CostModel cost = CostModel::pentium3_1ghz();
+
+  // CHARMM synchronizes before its global operations ("coherency
+  // maintenance"). Turning this off lets skew flow into the data
+  // operations instead — the decoupling question of the paper's §2.3
+  // (their reference [21]); see bench/extension_decoupling.
+  bool coherency_barriers = true;
+};
+
+struct RankRunResult {
+  md::EnergyTerms last_energy;   // after the global sum: total system terms
+  double position_checksum = 0.0;  // sum of coordinates, cross-rank check
+  std::size_t pairs_in_list = 0;
+};
+
+// Runs the energy-calculation workload on one simulated rank. `sys` is the
+// shared, read-only system; the middleware carries all communication. The
+// recorder (inside comm) must be fresh.
+RankRunResult run_charmm_rank(const sysbuild::BuiltSystem& sys,
+                              const CharmmConfig& config,
+                              middleware::Middleware& mw);
+
+}  // namespace repro::charmm

@@ -1,0 +1,18 @@
+#include "charmm/cost_model.hpp"
+
+namespace repro::charmm {
+
+CostModel CostModel::pentium3_1ghz() {
+  CostModel m;
+  // ~85 flops per pair (distance, erfc/shift, LJ, force update) at
+  // ~120 Mflop/s sustained, ~0.7 us/pair.
+  m.seconds_per_pair = 0.60e-6;
+  // Angles/dihedrals average ~60 flops plus trigonometry.
+  m.seconds_per_bonded_term = 0.8e-6;
+  m.seconds_per_flop = 8.3e-9;  // ~120 Mflop/s
+  m.seconds_per_list_pair = 0.12e-6;
+  m.seconds_per_integration_atom = 0.25e-6;
+  return m;
+}
+
+}  // namespace repro::charmm

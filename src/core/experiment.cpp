@@ -1,0 +1,79 @@
+#include "core/experiment.hpp"
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace repro::core {
+
+std::string Platform::to_string() const {
+  return net::to_string(network) + std::string(" / ") +
+         middleware::to_string(middleware) + " / " +
+         (cpus_per_node == 1 ? "uni" : "dual") + "-processor";
+}
+
+Platform reference_platform() { return Platform{}; }
+
+std::vector<Platform> full_factorial() {
+  std::vector<Platform> cells;
+  for (auto network : {net::Network::kTcpGigE, net::Network::kScoreGigE,
+                       net::Network::kMyrinetGM}) {
+    for (auto mw : {middleware::Kind::kMpi, middleware::Kind::kCmpi}) {
+      for (int cpus : {1, 2}) {
+        cells.push_back(Platform{network, mw, cpus});
+      }
+    }
+  }
+  return cells;
+}
+
+ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
+                                const ExperimentSpec& spec) {
+  REPRO_REQUIRE(spec.nprocs >= 1, "experiment needs at least one process");
+
+  net::ClusterConfig cluster_config;
+  cluster_config.nranks = spec.nprocs;
+  cluster_config.cpus_per_node = spec.platform.cpus_per_node;
+  cluster_config.network = spec.platform.network;
+  cluster_config.seed = spec.seed;
+  net::ClusterNetwork network(cluster_config);
+
+  std::vector<perf::RankRecorder> recorders(
+      static_cast<std::size_t>(spec.nprocs));
+  std::vector<charmm::RankRunResult> rank_results(
+      static_cast<std::size_t>(spec.nprocs));
+  std::vector<perf::Timeline> timelines;
+  if (spec.record_timelines) {
+    timelines.resize(static_cast<std::size_t>(spec.nprocs));
+    for (int r = 0; r < spec.nprocs; ++r) {
+      recorders[static_cast<std::size_t>(r)].attach_timeline(
+          &timelines[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  sim::Engine engine(spec.nprocs);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, network,
+                   recorders[static_cast<std::size_t>(ctx.rank())]);
+    auto mw = middleware::make_middleware(spec.platform.middleware, comm);
+    rank_results[static_cast<std::size_t>(ctx.rank())] =
+        charmm::run_charmm_rank(sys, spec.charmm, *mw);
+  });
+
+  ExperimentResult result;
+  result.breakdown =
+      perf::aggregate(recorders, spec.platform.cpus_per_node);
+  result.timelines = std::move(timelines);
+  result.energy = rank_results.front().last_energy;
+  result.position_checksum = rank_results.front().position_checksum;
+  result.pairs_in_list = rank_results.front().pairs_in_list;
+  result.engine_events = engine.events_processed();
+
+  // Replication invariant: every rank must end with identical state.
+  for (const auto& rr : rank_results) {
+    REPRO_REQUIRE(rr.position_checksum == result.position_checksum,
+                  "replicated trajectories diverged across ranks");
+  }
+  return result;
+}
+
+}  // namespace repro::core

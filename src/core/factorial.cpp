@@ -1,0 +1,108 @@
+#include "core/factorial.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace repro::core {
+
+std::vector<FactorialCell> run_full_factorial(
+    const sysbuild::BuiltSystem& sys, const std::vector<int>& nprocs_list,
+    const charmm::CharmmConfig& config) {
+  std::vector<FactorialCell> cells;
+  for (const Platform& platform : full_factorial()) {
+    for (int p : nprocs_list) {
+      ExperimentSpec spec;
+      spec.platform = platform;
+      spec.nprocs = p;
+      spec.charmm = config;
+      cells.push_back(FactorialCell{platform, p, run_experiment(sys, spec)});
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+// Mean total over cells matching a predicate.
+template <typename Pred>
+double mean_total(const std::vector<FactorialCell>& cells, int nprocs,
+                  Pred pred) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& cell : cells) {
+    if (cell.nprocs != nprocs || !pred(cell.platform)) continue;
+    sum += cell.result.total_seconds();
+    ++n;
+  }
+  REPRO_REQUIRE(n > 0, "factor effect: no cells match");
+  return sum / n;
+}
+
+}  // namespace
+
+FactorEffects factor_effects(const std::vector<FactorialCell>& cells,
+                             int nprocs) {
+  FactorEffects fx;
+  fx.nprocs = nprocs;
+  const double tcp = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.network == net::Network::kTcpGigE;
+  });
+  const double score = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.network == net::Network::kScoreGigE;
+  });
+  const double myrinet = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.network == net::Network::kMyrinetGM;
+  });
+  const double mpi = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.middleware == middleware::Kind::kMpi;
+  });
+  const double cmpi = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.middleware == middleware::Kind::kCmpi;
+  });
+  const double uni = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.cpus_per_node == 1;
+  });
+  const double dual = mean_total(cells, nprocs, [](const Platform& p) {
+    return p.cpus_per_node == 2;
+  });
+  fx.network_score_vs_tcp = tcp / score;
+  fx.network_myrinet_vs_tcp = tcp / myrinet;
+  fx.middleware_cmpi_vs_mpi = cmpi / mpi;
+  fx.dual_vs_uni = dual / uni;
+  return fx;
+}
+
+std::string factorial_report(const std::vector<FactorialCell>& cells) {
+  util::Table table({"network", "middleware", "cpus", "procs", "classic (s)",
+                     "pme (s)", "total (s)"});
+  for (const auto& cell : cells) {
+    table.add_row({net::to_string(cell.platform.network),
+                   middleware::to_string(cell.platform.middleware),
+                   cell.platform.cpus_per_node == 1 ? "uni" : "dual",
+                   std::to_string(cell.nprocs),
+                   util::Table::num(cell.result.classic_seconds(), 2),
+                   util::Table::num(cell.result.pme_seconds(), 2),
+                   util::Table::num(cell.result.total_seconds(), 2)});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+
+  std::set<int> procs;
+  for (const auto& cell : cells) procs.insert(cell.nprocs);
+  os << "\nfactor main effects (mean-total ratios):\n";
+  for (int p : procs) {
+    if (p == 1) continue;  // all factors coincide sequentially
+    const FactorEffects fx = factor_effects(cells, p);
+    os << "  p=" << p << ": SCore vs TCP " << util::Table::num(fx.network_score_vs_tcp, 2)
+       << "x, Myrinet vs TCP " << util::Table::num(fx.network_myrinet_vs_tcp, 2)
+       << "x, CMPI vs MPI " << util::Table::num(fx.middleware_cmpi_vs_mpi, 2)
+       << "x slower, dual vs uni " << util::Table::num(fx.dual_vs_uni, 2)
+       << "x slower\n";
+  }
+  return os.str();
+}
+
+}  // namespace repro::core

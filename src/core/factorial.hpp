@@ -1,0 +1,46 @@
+// The paper's full factorial design (§3.1): all 12 combinations of
+// network x middleware x CPUs-per-node, each swept over processor counts.
+// "Although we gathered all data of a full factorial design ... we limit
+// the discussion of our result to a fractional factorial design" — this
+// module gathers the full design and derives the factor main effects, the
+// quantification step of the paper's methodology ("determine the factors
+// that have a significant effect on the response variables and quantify
+// their effect", after Jain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace repro::core {
+
+struct FactorialCell {
+  Platform platform;
+  int nprocs = 1;
+  ExperimentResult result;
+};
+
+// Runs every cell of the full factorial design for each processor count.
+std::vector<FactorialCell> run_full_factorial(
+    const sysbuild::BuiltSystem& sys, const std::vector<int>& nprocs_list,
+    const charmm::CharmmConfig& config = {});
+
+// Main effect of each factor on the total energy-calculation time at a
+// given processor count: the mean total over the cells at the "better"
+// level divided into the mean at the reference level.
+struct FactorEffects {
+  int nprocs = 0;
+  double network_score_vs_tcp = 0.0;    // mean total TCP / mean total SCore
+  double network_myrinet_vs_tcp = 0.0;  // mean total TCP / mean total Myrinet
+  double middleware_cmpi_vs_mpi = 0.0;  // mean total CMPI / mean total MPI
+  double dual_vs_uni = 0.0;             // mean total dual / mean total uni
+};
+
+FactorEffects factor_effects(const std::vector<FactorialCell>& cells,
+                             int nprocs);
+
+// Human-readable table of all cells plus the factor effects.
+std::string factorial_report(const std::vector<FactorialCell>& cells);
+
+}  // namespace repro::core

@@ -1,0 +1,61 @@
+#include "core/model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace repro::core {
+
+double predict_message_seconds(const net::NetworkParams& params,
+                               std::size_t bytes, bool exchange) {
+  const double packets = bytes == 0
+                             ? 1.0
+                             : std::ceil(static_cast<double>(bytes) /
+                                         static_cast<double>(params.mtu));
+  double wire = static_cast<double>(bytes) / params.bandwidth;
+  if (exchange) wire *= params.duplex_exchange_factor;
+  return params.send_overhead + packets * params.packet_cost_send + wire +
+         params.latency + params.recv_overhead +
+         packets * params.packet_cost_recv +
+         static_cast<double>(bytes) / params.copy_bandwidth;
+}
+
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs, int natoms,
+                                          const pme::PmeParams& grid) {
+  REPRO_REQUIRE(nprocs >= 1, "prediction needs at least one processor");
+  OverheadPrediction out;
+  if (nprocs == 1) return out;
+
+  const auto log2p = static_cast<double>(
+      static_cast<int>(std::ceil(std::log2(nprocs))));
+
+  // Classic: the force reduction (3N doubles) as MPICH-1 reduce+bcast —
+  // 2 log2(p) sequential full-vector hops on the critical path — plus the
+  // small energy reduction.
+  const std::size_t force_bytes = static_cast<std::size_t>(natoms) * 3 * 8;
+  out.classic_comm_per_step =
+      2.0 * log2p * predict_message_seconds(params, force_bytes) +
+      2.0 * log2p * predict_message_seconds(params, 9 * 8);
+
+  // PME: two all-to-all personalized transposes. Pairwise exchange runs
+  // p-1 sequential rounds per transpose; each round moves one block of
+  // roughly (nx/p) * ny * (nz/p) complex values in each direction
+  // concurrently (exchange traffic).
+  const double block_elems =
+      (static_cast<double>(grid.nx) / nprocs) *
+      static_cast<double>(grid.ny) *
+      (static_cast<double>(grid.nz) / nprocs);
+  const auto block_bytes =
+      static_cast<std::size_t>(block_elems * 16.0);  // complex<double>
+  out.pme_comm_per_step =
+      2.0 * (nprocs - 1) *
+      predict_message_seconds(params, block_bytes, /*exchange=*/true);
+
+  // Three dissemination barriers per step, log2(p) zero-byte rounds each.
+  out.sync_per_step =
+      3.0 * log2p * predict_message_seconds(params, 0);
+  return out;
+}
+
+}  // namespace repro::core

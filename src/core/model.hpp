@@ -1,0 +1,41 @@
+// Analytic (LogGP-style) overhead prediction.
+//
+// The paper's closing claim is that its detailed timings "allow to derive
+// good estimates about the benefits of moving applications to novel
+// computing platforms". This module is that estimator in closed form: from
+// a network parameter set and the workload's communication schedule (the
+// message counts/volumes implied by the replicated-data decomposition and
+// the slab FFT), it predicts the per-step communication time of the
+// classic and PME components — no simulation run required. Tests check the
+// prediction against the simulator on the contention-free stacks.
+#pragma once
+
+#include <cstddef>
+
+#include "net/params.hpp"
+#include "pme/pme.hpp"
+
+namespace repro::core {
+
+struct OverheadPrediction {
+  double classic_comm_per_step = 0.0;  // seconds
+  double pme_comm_per_step = 0.0;      // seconds
+  double sync_per_step = 0.0;          // barrier cost (latency-bound)
+
+  double total_per_step() const {
+    return classic_comm_per_step + pme_comm_per_step + sync_per_step;
+  }
+};
+
+// End-to-end time of one point-to-point message of `bytes` under `params`
+// (uncontended), including both hosts' costs and the receiver copy.
+double predict_message_seconds(const net::NetworkParams& params,
+                               std::size_t bytes, bool exchange = false);
+
+// Predicts the per-step communication overheads of the CHARMM energy
+// calculation on `nprocs` processors with the MPI middleware.
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs, int natoms,
+                                          const pme::PmeParams& grid);
+
+}  // namespace repro::core

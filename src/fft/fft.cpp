@@ -1,0 +1,233 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace repro::fft {
+
+namespace {
+
+// Factor n into small radixes (largest useful radix first keeps recursion
+// shallow). Returns empty when a prime factor > 31 remains, signalling the
+// Bluestein path.
+std::vector<std::size_t> factorize(std::size_t n) {
+  std::vector<std::size_t> factors;
+  for (std::size_t radix : {8, 4, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}) {
+    while (n % radix == 0) {
+      factors.push_back(radix);
+      n /= radix;
+    }
+    if (n == 1) break;
+  }
+  if (n != 1) return {};
+  return factors;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct Fft1D::BluesteinPlan {
+  explicit BluesteinPlan(std::size_t n)
+      : m(next_pow2(2 * n - 1)), fft_m(m), chirp(n), b_fwd(m), b_inv(m) {
+    // chirp[k] = exp(-i pi k^2 / n); the quadratic phase of the chirp-z
+    // identity jk = (j^2 + k^2 - (k-j)^2) / 2.
+    for (std::size_t k = 0; k < n; ++k) {
+      // k^2 mod 2n keeps the angle argument small for large n.
+      const auto k2 = static_cast<double>((k * k) % (2 * n));
+      const double angle = std::numbers::pi * k2 / static_cast<double>(n);
+      chirp[k] = Complex(std::cos(angle), -std::sin(angle));
+    }
+    // b[j] = conj(chirp[|j|]) zero-padded and wrapped, pre-transformed.
+    std::vector<Complex> b(m, Complex(0, 0));
+    for (std::size_t k = 0; k < n; ++k) {
+      b[k] = std::conj(chirp[k]);
+      if (k > 0) b[m - k] = std::conj(chirp[k]);
+    }
+    b_fwd = b;
+    fft_m.forward(b_fwd.data());
+    // For the inverse transform the chirp conjugates; precompute that too.
+    std::vector<Complex> bi(m, Complex(0, 0));
+    for (std::size_t k = 0; k < n; ++k) {
+      bi[k] = chirp[k];
+      if (k > 0) bi[m - k] = chirp[k];
+    }
+    b_inv = bi;
+    fft_m.forward(b_inv.data());
+  }
+
+  std::size_t m;
+  Fft1D fft_m;  // power-of-two helper plan (never recurses into Bluestein)
+  std::vector<Complex> chirp;
+  std::vector<Complex> b_fwd;
+  std::vector<Complex> b_inv;
+};
+
+Fft1D::Fft1D(std::size_t n) : n_(n) {
+  REPRO_REQUIRE(n >= 1, "FFT size must be positive");
+  factors_ = factorize(n);
+  twiddle_.resize(n);
+  if (n == 1) return;  // identity transform; no radixes or Bluestein needed
+  for (std::size_t k = 0; k < n; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n);
+    twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  if (factors_.empty()) {
+    // Large prime factor: Bluestein's chirp-z (the helper plan is a power
+    // of two, so this never recurses more than one level).
+    blue_ = std::make_shared<BluesteinPlan>(n);
+  }
+}
+
+double Fft1D::flops() const {
+  if (n_ <= 1) return 0.0;
+  const double n = static_cast<double>(n_);
+  double work = 5.0 * n * std::log2(n);
+  if (blue_) work *= 4.0;  // three pow-2 transforms of ~2n plus chirps
+  return work;
+}
+
+void Fft1D::forward(Complex* data) const { transform(data, +1); }
+
+void Fft1D::inverse(Complex* data) const {
+  transform(data, -1);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+}
+
+void Fft1D::transform(Complex* data, int sign) const {
+  if (n_ == 1) return;
+  if (blue_) {
+    bluestein(data, sign);
+    return;
+  }
+  std::vector<Complex> out(n_);
+  std::vector<Complex> scratch(n_);
+  rec(n_, 1, data, out.data(), scratch.data(), sign);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = out[i];
+}
+
+void Fft1D::rec(std::size_t n, std::size_t stride, const Complex* in,
+                Complex* out, Complex* scratch, int sign) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Pick the radix for this level: factors_ is a flat list, so recompute
+  // the first factor of this n (all n values on the path divide n_, so a
+  // factor always exists among the plan's radixes).
+  std::size_t r = 0;
+  for (std::size_t f : factors_) {
+    if (n % f == 0) {
+      r = f;
+      break;
+    }
+  }
+  REPRO_REQUIRE(r != 0, "internal: lost radix during FFT recursion");
+  const std::size_t m = n / r;
+
+  // Sub-transform j handles inputs j, j+r, j+2r, ... (decimation in time).
+  for (std::size_t j = 0; j < r; ++j) {
+    rec(m, stride * r, in + j * stride, scratch + j * m, out + j * m, sign);
+  }
+  // Combine: X[k2 + m*k1] = sum_j W_n^{j*(k2 + m*k1)} * Y_j[k2].
+  // Twiddles come from the root table: W_n^t == twiddle_[t * (n_/n) % n_].
+  const std::size_t tw_step = n_ / n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = k % m;
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < r; ++j) {
+      const std::size_t t = (j * k) % n;
+      Complex w = twiddle_[t * tw_step];
+      if (sign < 0) w = std::conj(w);
+      acc += w * scratch[j * m + k2];
+    }
+    out[k] = acc;
+  }
+}
+
+void Fft1D::bluestein(Complex* data, int sign) const {
+  const BluesteinPlan& bp = *blue_;
+  const std::size_t m = bp.m;
+  std::vector<Complex> a(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n_; ++k) {
+    const Complex c = sign > 0 ? bp.chirp[k] : std::conj(bp.chirp[k]);
+    a[k] = data[k] * c;
+  }
+  bp.fft_m.forward(a.data());
+  const auto& b = sign > 0 ? bp.b_fwd : bp.b_inv;
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  bp.fft_m.inverse(a.data());
+  for (std::size_t k = 0; k < n_; ++k) {
+    const Complex c = sign > 0 ? bp.chirp[k] : std::conj(bp.chirp[k]);
+    data[k] = a[k] * c;
+  }
+}
+
+// --- 3-D -------------------------------------------------------------------
+
+Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), fx_(nx), fy_(ny), fz_(nz) {}
+
+double Fft3D::flops() const {
+  const auto dx = static_cast<double>(nx_);
+  const auto dy = static_cast<double>(ny_);
+  const auto dz = static_cast<double>(nz_);
+  return dy * dz * fx_.flops() + dx * dz * fy_.flops() + dx * dy * fz_.flops();
+}
+
+void Fft3D::axis_z(Complex* grid, bool fwd) const {
+  for (std::size_t x = 0; x < nx_; ++x) {
+    for (std::size_t y = 0; y < ny_; ++y) {
+      Complex* row = grid + (x * ny_ + y) * nz_;
+      fwd ? fz_.forward(row) : fz_.inverse(row);
+    }
+  }
+}
+
+void Fft3D::axis_y(Complex* grid, bool fwd) const {
+  std::vector<Complex> pencil(ny_);
+  for (std::size_t x = 0; x < nx_; ++x) {
+    for (std::size_t z = 0; z < nz_; ++z) {
+      Complex* base = grid + x * ny_ * nz_ + z;
+      for (std::size_t y = 0; y < ny_; ++y) pencil[y] = base[y * nz_];
+      fwd ? fy_.forward(pencil.data()) : fy_.inverse(pencil.data());
+      for (std::size_t y = 0; y < ny_; ++y) base[y * nz_] = pencil[y];
+    }
+  }
+}
+
+void Fft3D::axis_x(Complex* grid, bool fwd) const {
+  std::vector<Complex> pencil(nx_);
+  const std::size_t stride = ny_ * nz_;
+  for (std::size_t y = 0; y < ny_; ++y) {
+    for (std::size_t z = 0; z < nz_; ++z) {
+      Complex* base = grid + y * nz_ + z;
+      for (std::size_t x = 0; x < nx_; ++x) pencil[x] = base[x * stride];
+      fwd ? fx_.forward(pencil.data()) : fx_.inverse(pencil.data());
+      for (std::size_t x = 0; x < nx_; ++x) base[x * stride] = pencil[x];
+    }
+  }
+}
+
+void Fft3D::forward(Complex* grid) const {
+  axis_z(grid, true);
+  axis_y(grid, true);
+  axis_x(grid, true);
+}
+
+void Fft3D::inverse(Complex* grid) const {
+  axis_x(grid, false);
+  axis_y(grid, false);
+  axis_z(grid, false);
+}
+
+}  // namespace repro::fft

@@ -1,0 +1,73 @@
+// Complex-to-complex FFTs (from scratch; no external FFT dependency).
+//
+// Fft1D is a reusable plan for a fixed size n. Any n is supported: mixed
+// radix for smooth sizes (the PME grid 80 x 36 x 48 factors into 2/3/5),
+// Bluestein's chirp-z algorithm for sizes with large prime factors.
+// Fft3D applies 1-D plans along the three axes of a row-major
+// [nx][ny][nz] grid.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace repro::fft {
+
+using Complex = std::complex<double>;
+
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // In-place transforms. inverse() includes the 1/n scaling, so
+  // inverse(forward(x)) == x.
+  void forward(Complex* data) const;
+  void inverse(Complex* data) const;
+
+  // Nominal floating-point work of one transform (the classic 5 n log2 n),
+  // used by the simulator's compute-cost model.
+  double flops() const;
+
+ private:
+  void transform(Complex* data, int sign) const;
+  // Recursive Cooley-Tukey into `out`, using `scratch` for sub-results.
+  void rec(std::size_t n, std::size_t stride, const Complex* in, Complex* out,
+           Complex* scratch, int sign) const;
+  void bluestein(Complex* data, int sign) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> factors_;   // radix sequence (empty => Bluestein)
+  std::vector<Complex> twiddle_;       // exp(-2 pi i k / n), k in [0, n)
+  // Bluestein machinery (only allocated when needed).
+  struct BluesteinPlan;
+  std::shared_ptr<BluesteinPlan> blue_;
+};
+
+class Fft3D {
+ public:
+  Fft3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t volume() const { return nx_ * ny_ * nz_; }
+
+  // In-place transform of a row-major [nx][ny][nz] grid.
+  void forward(Complex* grid) const;
+  void inverse(Complex* grid) const;
+
+  double flops() const;  // one full 3-D transform
+
+ private:
+  void axis_z(Complex* grid, bool fwd) const;
+  void axis_y(Complex* grid, bool fwd) const;
+  void axis_x(Complex* grid, bool fwd) const;
+
+  std::size_t nx_, ny_, nz_;
+  Fft1D fx_, fy_, fz_;
+};
+
+}  // namespace repro::fft

@@ -1,0 +1,209 @@
+#include "fft/parallel_fft.hpp"
+
+#include "util/error.hpp"
+
+namespace repro::fft {
+
+SlabPartition::SlabPartition(std::size_t n, int p) {
+  REPRO_REQUIRE(p >= 1, "partition needs at least one rank");
+  begins_.resize(static_cast<std::size_t>(p) + 1);
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t rem = n % static_cast<std::size_t>(p);
+  std::size_t at = 0;
+  for (int r = 0; r < p; ++r) {
+    begins_[static_cast<std::size_t>(r)] = at;
+    at += base + (static_cast<std::size_t>(r) < rem ? 1 : 0);
+  }
+  begins_[static_cast<std::size_t>(p)] = at;
+}
+
+int SlabPartition::owner(std::size_t plane) const {
+  for (std::size_t r = 0; r + 1 < begins_.size(); ++r) {
+    if (plane >= begins_[r] && plane < begins_[r + 1]) {
+      return static_cast<int>(r);
+    }
+  }
+  REPRO_UNREACHABLE("plane outside partition");
+}
+
+ParallelFft3D::ParallelFft3D(std::size_t nx, std::size_t ny, std::size_t nz,
+                             middleware::Middleware& mw,
+                             std::function<void(double)> charge)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      mw_(mw),
+      charge_(std::move(charge)),
+      xpart_(nx, mw.size()),
+      zpart_(nz, mw.size()),
+      fx_(nx),
+      fy_(ny),
+      fz_(nz) {
+  const std::size_t cap = std::max(x_slab_size(), z_slab_size());
+  sendbuf_.resize(cap);
+  recvbuf_.resize(cap);
+}
+
+void ParallelFft3D::transpose_xz(const Complex* xslab, Complex* zslab) {
+  const int p = mw_.size();
+  const int me = mw_.rank();
+  const std::size_t lx = xpart_.count(me);
+
+  // Pack per-destination blocks, ordered (z, y, x) with x innermost over my
+  // x-range, so the receiver can place runs contiguously in [lz][ny][nx].
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> send_displs(static_cast<std::size_t>(p));
+  std::vector<std::size_t> recv_counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> recv_displs(static_cast<std::size_t>(p));
+  std::size_t at = 0;
+  for (int d = 0; d < p; ++d) {
+    send_displs[static_cast<std::size_t>(d)] = at * sizeof(Complex);
+    const std::size_t lz = zpart_.count(d);
+    send_counts[static_cast<std::size_t>(d)] =
+        lx * ny_ * lz * sizeof(Complex);
+    for (std::size_t z = zpart_.begin(d); z < zpart_.end(d); ++z) {
+      for (std::size_t y = 0; y < ny_; ++y) {
+        for (std::size_t x = 0; x < lx; ++x) {
+          sendbuf_[at++] = xslab[(x * ny_ + y) * nz_ + z];
+        }
+      }
+    }
+  }
+  std::size_t rat = 0;
+  for (int s = 0; s < p; ++s) {
+    recv_displs[static_cast<std::size_t>(s)] = rat * sizeof(Complex);
+    const std::size_t c = xpart_.count(s) * ny_ * zpart_.count(me);
+    recv_counts[static_cast<std::size_t>(s)] = c * sizeof(Complex);
+    rat += c;
+  }
+  charge(static_cast<double>(at + rat));  // ~1 flop per packed element
+  mw_.transpose(sendbuf_.data(), send_counts, send_displs, recvbuf_.data(),
+                recv_counts, recv_displs);
+
+  // Unpack: block from src s covers x in [s.x0, s.x1), all y, z in my
+  // z-range, ordered (z, y, x).
+  for (int s = 0; s < p; ++s) {
+    const Complex* in =
+        recvbuf_.data() + recv_displs[static_cast<std::size_t>(s)] /
+                              sizeof(Complex);
+    const std::size_t sx0 = xpart_.begin(s);
+    const std::size_t slx = xpart_.count(s);
+    std::size_t i = 0;
+    for (std::size_t zl = 0; zl < zpart_.count(me); ++zl) {
+      for (std::size_t y = 0; y < ny_; ++y) {
+        Complex* out = zslab + (zl * ny_ + y) * nx_ + sx0;
+        for (std::size_t x = 0; x < slx; ++x) out[x] = in[i++];
+      }
+    }
+  }
+}
+
+void ParallelFft3D::transpose_zx(const Complex* zslab, Complex* xslab) {
+  const int p = mw_.size();
+  const int me = mw_.rank();
+  const std::size_t lz = zpart_.count(me);
+
+  std::vector<std::size_t> send_counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> send_displs(static_cast<std::size_t>(p));
+  std::vector<std::size_t> recv_counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> recv_displs(static_cast<std::size_t>(p));
+  // Pack for dst d: x in d's range, all y, z in my range; ordered
+  // (x, y, z) with z innermost so the receiver writes contiguous z-runs.
+  std::size_t at = 0;
+  for (int d = 0; d < p; ++d) {
+    send_displs[static_cast<std::size_t>(d)] = at * sizeof(Complex);
+    send_counts[static_cast<std::size_t>(d)] =
+        xpart_.count(d) * ny_ * lz * sizeof(Complex);
+    for (std::size_t x = xpart_.begin(d); x < xpart_.end(d); ++x) {
+      for (std::size_t y = 0; y < ny_; ++y) {
+        for (std::size_t zl = 0; zl < lz; ++zl) {
+          sendbuf_[at++] = zslab[(zl * ny_ + y) * nx_ + x];
+        }
+      }
+    }
+  }
+  std::size_t rat = 0;
+  for (int s = 0; s < p; ++s) {
+    recv_displs[static_cast<std::size_t>(s)] = rat * sizeof(Complex);
+    const std::size_t c = xpart_.count(me) * ny_ * zpart_.count(s);
+    recv_counts[static_cast<std::size_t>(s)] = c * sizeof(Complex);
+    rat += c;
+  }
+  charge(static_cast<double>(at + rat));
+  mw_.transpose(sendbuf_.data(), send_counts, send_displs, recvbuf_.data(),
+                recv_counts, recv_displs);
+
+  for (int s = 0; s < p; ++s) {
+    const Complex* in =
+        recvbuf_.data() + recv_displs[static_cast<std::size_t>(s)] /
+                              sizeof(Complex);
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < xpart_.count(me); ++x) {
+      for (std::size_t y = 0; y < ny_; ++y) {
+        Complex* out = xslab + (x * ny_ + y) * nz_ + zpart_.begin(s);
+        for (std::size_t z = 0; z < zpart_.count(s); ++z) out[z] = in[i++];
+      }
+    }
+  }
+}
+
+void ParallelFft3D::forward(const Complex* xslab, Complex* zslab) {
+  const std::size_t lx = local_x_count();
+  // Local 2-D transforms over (y, z) for each owned x-plane; work on a copy
+  // so the caller's real-space slab stays intact.
+  std::vector<Complex> work(xslab, xslab + x_slab_size());
+  std::vector<Complex> pencil(ny_);
+  for (std::size_t x = 0; x < lx; ++x) {
+    Complex* plane = work.data() + x * ny_ * nz_;
+    for (std::size_t y = 0; y < ny_; ++y) fz_.forward(plane + y * nz_);
+    for (std::size_t z = 0; z < nz_; ++z) {
+      for (std::size_t y = 0; y < ny_; ++y) pencil[y] = plane[y * nz_ + z];
+      fy_.forward(pencil.data());
+      for (std::size_t y = 0; y < ny_; ++y) plane[y * nz_ + z] = pencil[y];
+    }
+  }
+  charge(static_cast<double>(lx) *
+         (static_cast<double>(ny_) * fz_.flops() +
+          static_cast<double>(nz_) * fy_.flops()));
+
+  transpose_xz(work.data(), zslab);
+
+  // Finish with x-direction transforms (x is contiguous in the z-slab).
+  const std::size_t lz = local_z_count();
+  for (std::size_t zl = 0; zl < lz; ++zl) {
+    for (std::size_t y = 0; y < ny_; ++y) {
+      fx_.forward(zslab + (zl * ny_ + y) * nx_);
+    }
+  }
+  charge(static_cast<double>(lz * ny_) * fx_.flops());
+}
+
+void ParallelFft3D::backward(const Complex* zslab, Complex* xslab) {
+  const std::size_t lz = local_z_count();
+  std::vector<Complex> work(zslab, zslab + z_slab_size());
+  for (std::size_t zl = 0; zl < lz; ++zl) {
+    for (std::size_t y = 0; y < ny_; ++y) {
+      fx_.inverse(work.data() + (zl * ny_ + y) * nx_);
+    }
+  }
+  charge(static_cast<double>(lz * ny_) * fx_.flops());
+
+  transpose_zx(work.data(), xslab);
+
+  const std::size_t lx = local_x_count();
+  std::vector<Complex> pencil(ny_);
+  for (std::size_t x = 0; x < lx; ++x) {
+    Complex* plane = xslab + x * ny_ * nz_;
+    for (std::size_t z = 0; z < nz_; ++z) {
+      for (std::size_t y = 0; y < ny_; ++y) pencil[y] = plane[y * nz_ + z];
+      fy_.inverse(pencil.data());
+      for (std::size_t y = 0; y < ny_; ++y) plane[y * nz_ + z] = pencil[y];
+    }
+    for (std::size_t y = 0; y < ny_; ++y) fz_.inverse(plane + y * nz_);
+  }
+  charge(static_cast<double>(lx) *
+         (static_cast<double>(ny_) * fz_.flops() +
+          static_cast<double>(nz_) * fy_.flops()));
+}
+
+}  // namespace repro::fft

@@ -1,0 +1,148 @@
+#include "md/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace repro::md {
+
+RdfResult radial_distribution(const Box& box,
+                              const std::vector<util::Vec3>& pos,
+                              const std::vector<int>& selection_a,
+                              const std::vector<int>& selection_b,
+                              double r_max, int bins) {
+  REPRO_REQUIRE(r_max > 0.0 && bins > 0, "bad RDF binning");
+  REPRO_REQUIRE(2.0 * r_max <= box.min_length() * 1.5,
+                "RDF range too large for the box (minimum image)");
+  const bool self = &selection_a == &selection_b ||
+                    selection_a == selection_b;
+  RdfResult out;
+  out.r.resize(static_cast<std::size_t>(bins));
+  out.g.assign(static_cast<std::size_t>(bins), 0.0);
+  const double dr = r_max / bins;
+  for (int b = 0; b < bins; ++b) {
+    out.r[static_cast<std::size_t>(b)] = (b + 0.5) * dr;
+  }
+
+  std::vector<double> counts(static_cast<std::size_t>(bins), 0.0);
+  for (std::size_t ia = 0; ia < selection_a.size(); ++ia) {
+    const std::size_t jb0 = self ? ia + 1 : 0;
+    for (std::size_t jb = jb0; jb < selection_b.size(); ++jb) {
+      const int i = selection_a[ia];
+      const int j = selection_b[jb];
+      if (i == j) continue;
+      const double r = util::norm(box.min_image(
+          pos[static_cast<std::size_t>(i)] -
+          pos[static_cast<std::size_t>(j)]));
+      if (r >= r_max) continue;
+      const int bin = std::min(static_cast<int>(r / dr), bins - 1);
+      counts[static_cast<std::size_t>(bin)] += self ? 2.0 : 1.0;
+      ++out.pairs;
+    }
+  }
+
+  // Normalize by the ideal-gas expectation.
+  const double na = static_cast<double>(selection_a.size());
+  const double nb = static_cast<double>(selection_b.size());
+  const double pair_density =
+      (self ? na * (na - 1.0) : na * nb) / box.volume();
+  for (int b = 0; b < bins; ++b) {
+    const double r_lo = b * dr;
+    const double r_hi = (b + 1) * dr;
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = pair_density * shell;
+    // Self-RDF counts each unordered pair twice, matching the ordered
+    // na*(na-1) normalization.
+    out.g[static_cast<std::size_t>(b)] =
+        expected > 0.0 ? counts[static_cast<std::size_t>(b)] / expected
+                       : 0.0;
+  }
+  return out;
+}
+
+double mean_squared_displacement(const std::vector<util::Vec3>& frame0,
+                                 const std::vector<util::Vec3>& frame1,
+                                 const std::vector<int>& selection) {
+  REPRO_REQUIRE(frame0.size() == frame1.size(),
+                "MSD frames differ in size");
+  REPRO_REQUIRE(!selection.empty(), "MSD needs a non-empty selection");
+  double acc = 0.0;
+  for (int i : selection) {
+    acc += util::norm2(frame1[static_cast<std::size_t>(i)] -
+                       frame0[static_cast<std::size_t>(i)]);
+  }
+  return acc / static_cast<double>(selection.size());
+}
+
+util::Vec3 center_of_mass(const Topology& topo,
+                          const std::vector<util::Vec3>& pos,
+                          const std::vector<int>& selection) {
+  REPRO_REQUIRE(!selection.empty(), "COM needs a non-empty selection");
+  util::Vec3 com;
+  double mass = 0.0;
+  for (int i : selection) {
+    com += pos[static_cast<std::size_t>(i)] * topo.atom(i).mass;
+    mass += topo.atom(i).mass;
+  }
+  return com / mass;
+}
+
+double radius_of_gyration(const Topology& topo,
+                          const std::vector<util::Vec3>& pos,
+                          const std::vector<int>& selection) {
+  const util::Vec3 com = center_of_mass(topo, pos, selection);
+  double acc = 0.0;
+  double mass = 0.0;
+  for (int i : selection) {
+    acc += topo.atom(i).mass *
+           util::norm2(pos[static_cast<std::size_t>(i)] - com);
+    mass += topo.atom(i).mass;
+  }
+  return std::sqrt(acc / mass);
+}
+
+std::vector<int> select_all(const Topology& topo) {
+  std::vector<int> out(static_cast<std::size_t>(topo.natoms()));
+  for (int i = 0; i < topo.natoms(); ++i) {
+    out[static_cast<std::size_t>(i)] = i;
+  }
+  return out;
+}
+
+std::vector<int> select_heavy_atoms(const Topology& topo) {
+  std::vector<int> out;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    if (topo.atom(i).mass >= 2.0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> select_water_oxygens(const Topology& topo) {
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  std::vector<int> hydrogens(n, 0);
+  std::vector<int> degree(n, 0);
+  for (const Bond& b : topo.bonds()) {
+    ++degree[static_cast<std::size_t>(b.i)];
+    ++degree[static_cast<std::size_t>(b.j)];
+    if (topo.atom(b.j).mass < 2.0) {
+      ++hydrogens[static_cast<std::size_t>(b.i)];
+    }
+    if (topo.atom(b.i).mass < 2.0) {
+      ++hydrogens[static_cast<std::size_t>(b.j)];
+    }
+  }
+  std::vector<int> out;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (topo.atom(i).mass > 10.0 && topo.atom(i).mass < 20.0 &&
+        degree[s] == 2 && hydrogens[s] == 2) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::md

@@ -1,0 +1,51 @@
+// Trajectory/structure analysis: the standard observables a user computes
+// from MD output (radial distribution function, mean-squared displacement,
+// radius of gyration, end-to-end vectors).
+#pragma once
+
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+// Radial distribution function g(r) between two atom selections (pass the
+// same selection twice for a self-RDF). Distances use minimum image; bins
+// span (0, r_max].
+struct RdfResult {
+  std::vector<double> r;    // bin centers (Å)
+  std::vector<double> g;    // g(r)
+  std::size_t pairs = 0;    // pairs counted
+};
+
+RdfResult radial_distribution(const Box& box,
+                              const std::vector<util::Vec3>& pos,
+                              const std::vector<int>& selection_a,
+                              const std::vector<int>& selection_b,
+                              double r_max, int bins);
+
+// Mean-squared displacement between two frames for the selected atoms
+// (positions must be unwrapped or displacements small vs the box).
+double mean_squared_displacement(const std::vector<util::Vec3>& frame0,
+                                 const std::vector<util::Vec3>& frame1,
+                                 const std::vector<int>& selection);
+
+// Mass-weighted radius of gyration of a selection.
+double radius_of_gyration(const Topology& topo,
+                          const std::vector<util::Vec3>& pos,
+                          const std::vector<int>& selection);
+
+// Mass-weighted centroid of a selection.
+util::Vec3 center_of_mass(const Topology& topo,
+                          const std::vector<util::Vec3>& pos,
+                          const std::vector<int>& selection);
+
+// Convenience selections.
+std::vector<int> select_all(const Topology& topo);
+std::vector<int> select_heavy_atoms(const Topology& topo);  // mass >= 2
+// Water oxygens: mass ~16 with exactly two bonded hydrogens.
+std::vector<int> select_water_oxygens(const Topology& topo);
+
+}  // namespace repro::md

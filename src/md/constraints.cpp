@@ -1,0 +1,152 @@
+#include "md/constraints.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace repro::md {
+
+Shake::Shake(std::vector<Constraint> constraints, const ShakeOptions& opts)
+    : constraints_(std::move(constraints)), opts_(opts) {
+  for (const Constraint& c : constraints_) {
+    REPRO_REQUIRE(c.i != c.j, "constraint connects an atom to itself");
+    REPRO_REQUIRE(c.length > 0.0, "constraint length must be positive");
+  }
+}
+
+Shake Shake::hydrogen_bonds(const Topology& topo, const ShakeOptions& opts) {
+  std::vector<Constraint> constraints;
+  for (const Bond& b : topo.bonds()) {
+    const bool has_h =
+        topo.atom(b.i).mass < 2.0 || topo.atom(b.j).mass < 2.0;
+    if (has_h) {
+      constraints.push_back(Constraint{b.i, b.j, b.b0});
+    }
+  }
+  return Shake(std::move(constraints), opts);
+}
+
+Shake Shake::rigid_waters(const Topology& topo, const ShakeOptions& opts) {
+  Shake shake = hydrogen_bonds(topo, opts);
+  // Adjacency restricted to what is needed to recognize waters.
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  std::vector<std::vector<int>> adj(n);
+  for (const Bond& b : topo.bonds()) {
+    adj[static_cast<std::size_t>(b.i)].push_back(b.j);
+    adj[static_cast<std::size_t>(b.j)].push_back(b.i);
+  }
+  auto bond_length = [&](int i, int j) -> double {
+    for (const Bond& b : topo.bonds()) {
+      if ((b.i == i && b.j == j) || (b.i == j && b.j == i)) return b.b0;
+    }
+    REPRO_UNREACHABLE("water O-H bond not found");
+  };
+  for (int o = 0; o < topo.natoms(); ++o) {
+    const auto& nb = adj[static_cast<std::size_t>(o)];
+    if (topo.atom(o).mass < 10.0 || nb.size() != 2) continue;
+    const int h1 = nb[0];
+    const int h2 = nb[1];
+    if (topo.atom(h1).mass >= 2.0 || topo.atom(h2).mass >= 2.0) continue;
+    if (adj[static_cast<std::size_t>(h1)].size() != 1 ||
+        adj[static_cast<std::size_t>(h2)].size() != 1) {
+      continue;
+    }
+    // H-H distance from the angle term via the law of cosines.
+    double theta0 = -1.0;
+    for (const Angle& a : topo.angles()) {
+      if (a.j == o && ((a.i == h1 && a.k == h2) ||
+                       (a.i == h2 && a.k == h1))) {
+        theta0 = a.theta0;
+        break;
+      }
+    }
+    if (theta0 < 0.0) continue;  // no angle term: leave flexible
+    const double b1 = bond_length(o, h1);
+    const double b2 = bond_length(o, h2);
+    const double hh = std::sqrt(b1 * b1 + b2 * b2 -
+                                2.0 * b1 * b2 * std::cos(theta0));
+    shake.constraints_.push_back(Constraint{h1, h2, hh});
+  }
+  return shake;
+}
+
+int Shake::apply_positions(const Topology& topo, const Box& box,
+                           const std::vector<util::Vec3>& ref,
+                           std::vector<util::Vec3>& pos,
+                           std::vector<util::Vec3>* vel, double dt) const {
+  if (constraints_.empty()) return 0;
+  const double inv_dt = dt > 0.0 ? 1.0 / dt : 0.0;
+  for (int iter = 1; iter <= opts_.max_iterations; ++iter) {
+    bool converged = true;
+    for (const Constraint& c : constraints_) {
+      const auto i = static_cast<std::size_t>(c.i);
+      const auto j = static_cast<std::size_t>(c.j);
+      const util::Vec3 r = box.min_image(pos[i] - pos[j]);
+      const double d2 = c.length * c.length;
+      const double diff = util::norm2(r) - d2;
+      if (std::abs(diff) <= opts_.tolerance * d2) continue;
+      converged = false;
+      // Standard SHAKE update: correct along the *reference* bond vector,
+      // with mass weighting so momentum is conserved.
+      const util::Vec3 s = box.min_image(ref[i] - ref[j]);
+      const double inv_mi = 1.0 / topo.atom(c.i).mass;
+      const double inv_mj = 1.0 / topo.atom(c.j).mass;
+      const double denom = 2.0 * (inv_mi + inv_mj) * util::dot(s, r);
+      // Degenerate geometry (bond rotated ~90 degrees in one step) cannot
+      // be corrected along s; fall back to the current direction.
+      const util::Vec3 dir = std::abs(denom) > 1e-12 * d2 ? s : r;
+      const double g =
+          diff / (2.0 * (inv_mi + inv_mj) * util::dot(dir, r));
+      const util::Vec3 correction = dir * g;
+      pos[i] -= correction * inv_mi;
+      pos[j] += correction * inv_mj;
+      if (vel != nullptr) {
+        (*vel)[i] -= correction * (inv_mi * inv_dt);
+        (*vel)[j] += correction * (inv_mj * inv_dt);
+      }
+    }
+    if (converged) return iter;
+  }
+  throw util::Error("SHAKE failed to converge within max_iterations");
+}
+
+int Shake::apply_velocities(const Topology& topo, const Box& box,
+                            const std::vector<util::Vec3>& pos,
+                            std::vector<util::Vec3>& vel) const {
+  if (constraints_.empty()) return 0;
+  for (int iter = 1; iter <= opts_.max_iterations; ++iter) {
+    bool converged = true;
+    for (const Constraint& c : constraints_) {
+      const auto i = static_cast<std::size_t>(c.i);
+      const auto j = static_cast<std::size_t>(c.j);
+      const util::Vec3 r = box.min_image(pos[i] - pos[j]);
+      const util::Vec3 v = vel[i] - vel[j];
+      const double rv = util::dot(r, v);
+      const double d2 = util::norm2(r);
+      if (std::abs(rv) <= opts_.tolerance * d2 * 10.0) continue;
+      converged = false;
+      const double inv_mi = 1.0 / topo.atom(c.i).mass;
+      const double inv_mj = 1.0 / topo.atom(c.j).mass;
+      const double k = rv / (d2 * (inv_mi + inv_mj));
+      vel[i] -= r * (k * inv_mi);
+      vel[j] += r * (k * inv_mj);
+    }
+    if (converged) return iter;
+  }
+  throw util::Error("RATTLE velocity stage failed to converge");
+}
+
+double Shake::max_violation(const Box& box,
+                            const std::vector<util::Vec3>& pos) const {
+  double worst = 0.0;
+  for (const Constraint& c : constraints_) {
+    const util::Vec3 r =
+        box.min_image(pos[static_cast<std::size_t>(c.i)] -
+                      pos[static_cast<std::size_t>(c.j)]);
+    const double d2 = c.length * c.length;
+    worst = std::max(worst, std::abs(util::norm2(r) - d2) / d2);
+  }
+  return worst;
+}
+
+}  // namespace repro::md

@@ -1,0 +1,75 @@
+// SHAKE/RATTLE holonomic bond constraints.
+//
+// CHARMM dynamics conventionally constrains bonds involving hydrogens
+// (SHAKE), removing the fastest oscillations and allowing ~2 fs steps.
+// This module implements the iterative SHAKE position correction and the
+// RATTLE velocity projection for pairwise distance constraints.
+#pragma once
+
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+struct Constraint {
+  int i = 0;
+  int j = 0;
+  double length = 1.0;  // Å
+};
+
+struct ShakeOptions {
+  double tolerance = 1e-8;  // relative deviation |r^2 - d^2| / d^2
+  int max_iterations = 200;
+};
+
+class Shake {
+ public:
+  Shake(std::vector<Constraint> constraints, const ShakeOptions& opts = {});
+
+  // Convenience: constrain every bond that involves a hydrogen (mass < 2),
+  // at the bond's equilibrium length — CHARMM's "SHAKE BONH".
+  static Shake hydrogen_bonds(const Topology& topo,
+                              const ShakeOptions& opts = {});
+
+  // Like hydrogen_bonds, but water molecules (an O bonded to exactly two
+  // hydrogens and nothing else) additionally get an H-H constraint derived
+  // from their angle term — fully rigid TIP3P-style water, the CHARMM
+  // convention for solvent.
+  static Shake rigid_waters(const Topology& topo,
+                            const ShakeOptions& opts = {});
+
+  std::size_t size() const { return constraints_.size(); }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  // SHAKE: iteratively corrects `pos` so every constraint holds, given the
+  // pre-step reference positions `ref` (whose constraint vectors define
+  // the correction directions). If `vel` is non-null the corresponding
+  // velocity adjustment (delta_pos / dt) is applied. Returns the number of
+  // iterations used; throws util::Error if it fails to converge.
+  int apply_positions(const Topology& topo, const Box& box,
+                      const std::vector<util::Vec3>& ref,
+                      std::vector<util::Vec3>& pos,
+                      std::vector<util::Vec3>* vel, double dt) const;
+
+  // RATTLE second stage: removes velocity components along the constraint
+  // directions so d/dt |r_ij|^2 = 0. Returns the iterations used.
+  int apply_velocities(const Topology& topo, const Box& box,
+                       const std::vector<util::Vec3>& pos,
+                       std::vector<util::Vec3>& vel) const;
+
+  // Largest relative constraint violation in `pos` (diagnostics/tests).
+  double max_violation(const Box& box,
+                       const std::vector<util::Vec3>& pos) const;
+
+  // Number of degrees of freedom removed (for temperature computation).
+  int removed_dof() const { return static_cast<int>(constraints_.size()); }
+
+ private:
+  std::vector<Constraint> constraints_;
+  ShakeOptions opts_;
+};
+
+}  // namespace repro::md

@@ -1,0 +1,59 @@
+// Energy bookkeeping for one force/energy evaluation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace repro::md {
+
+struct EnergyTerms {
+  double bond = 0.0;
+  double angle = 0.0;       // includes Urey-Bradley
+  double dihedral = 0.0;
+  double improper = 0.0;
+  double lj = 0.0;
+  double elec = 0.0;        // real-space electrostatics (shifted or erfc)
+  double ewald_recip = 0.0;
+  double ewald_self = 0.0;
+  double ewald_excl = 0.0;  // correction for excluded pairs
+
+  double bonded() const { return bond + angle + dihedral + improper; }
+  double electrostatic() const {
+    return elec + ewald_recip + ewald_self + ewald_excl;
+  }
+  double potential() const { return bonded() + lj + electrostatic(); }
+
+  // Flat view for global reductions. Order must match from_array().
+  static constexpr std::size_t kCount = 9;
+  std::array<double, kCount> to_array() const {
+    return {bond,        angle,      dihedral,   improper,  lj,
+            elec,        ewald_recip, ewald_self, ewald_excl};
+  }
+  static EnergyTerms from_array(const std::array<double, kCount>& a) {
+    EnergyTerms e;
+    e.bond = a[0];
+    e.angle = a[1];
+    e.dihedral = a[2];
+    e.improper = a[3];
+    e.lj = a[4];
+    e.elec = a[5];
+    e.ewald_recip = a[6];
+    e.ewald_self = a[7];
+    e.ewald_excl = a[8];
+    return e;
+  }
+  EnergyTerms& operator+=(const EnergyTerms& o) {
+    bond += o.bond;
+    angle += o.angle;
+    dihedral += o.dihedral;
+    improper += o.improper;
+    lj += o.lj;
+    elec += o.elec;
+    ewald_recip += o.ewald_recip;
+    ewald_self += o.ewald_self;
+    ewald_excl += o.ewald_excl;
+    return *this;
+  }
+};
+
+}  // namespace repro::md

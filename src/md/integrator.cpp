@@ -1,0 +1,69 @@
+#include "md/integrator.hpp"
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace repro::md {
+
+void VelocityVerlet::begin_step(const Topology& topo,
+                                const std::vector<util::Vec3>& forces,
+                                std::vector<util::Vec3>& pos,
+                                std::vector<util::Vec3>& vel) const {
+  const double half = 0.5 * dt_ * units::kForceToAccel;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    vel[s] += forces[s] * (half / topo.atom(i).mass);
+    pos[s] += vel[s] * dt_;
+  }
+}
+
+void VelocityVerlet::end_step(const Topology& topo,
+                              const std::vector<util::Vec3>& forces,
+                              std::vector<util::Vec3>& vel) const {
+  const double half = 0.5 * dt_ * units::kForceToAccel;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    vel[s] += forces[s] * (half / topo.atom(i).mass);
+  }
+}
+
+double kinetic_energy(const Topology& topo,
+                      const std::vector<util::Vec3>& vel) {
+  double e = 0.0;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    e += topo.atom(i).mass * util::norm2(vel[static_cast<std::size_t>(i)]);
+  }
+  return 0.5 * e / units::kForceToAccel;
+}
+
+double temperature(const Topology& topo, const std::vector<util::Vec3>& vel) {
+  const double dof = 3.0 * topo.natoms();
+  return 2.0 * kinetic_energy(topo, vel) / (dof * units::kBoltzmann);
+}
+
+void assign_velocities(const Topology& topo, double temperature_k,
+                       std::uint64_t seed, std::vector<util::Vec3>& vel) {
+  util::Rng rng(util::mix_seed(seed, 0x76656c73));
+  vel.assign(static_cast<std::size_t>(topo.natoms()), {});
+  for (int i = 0; i < topo.natoms(); ++i) {
+    // sigma^2 = kB T / m in kcal/mol units, converted to (Å/ps)^2.
+    const double sigma =
+        std::sqrt(units::kBoltzmann * temperature_k * units::kForceToAccel /
+                  topo.atom(i).mass);
+    auto& v = vel[static_cast<std::size_t>(i)];
+    v.x = sigma * rng.normal();
+    v.y = sigma * rng.normal();
+    v.z = sigma * rng.normal();
+  }
+  // Remove centre-of-mass momentum.
+  util::Vec3 pmom;
+  double mtot = 0.0;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    pmom += vel[static_cast<std::size_t>(i)] * topo.atom(i).mass;
+    mtot += topo.atom(i).mass;
+  }
+  const util::Vec3 vcom = pmom / mtot;
+  for (auto& v : vel) v -= vcom;
+}
+
+}  // namespace repro::md

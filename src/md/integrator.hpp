@@ -1,0 +1,43 @@
+// Velocity-Verlet integrator (the discretized Newton equations the paper's
+// MD steps solve) and kinetic-energy/temperature helpers.
+#pragma once
+
+#include <vector>
+
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+class VelocityVerlet {
+ public:
+  explicit VelocityVerlet(double dt_ps) : dt_(dt_ps) {
+    REPRO_REQUIRE(dt_ps > 0.0, "time step must be positive");
+  }
+
+  double dt() const { return dt_; }
+
+  // First half-kick + drift: v += a dt/2; x += v dt.
+  void begin_step(const Topology& topo, const std::vector<util::Vec3>& forces,
+                  std::vector<util::Vec3>& pos,
+                  std::vector<util::Vec3>& vel) const;
+  // Second half-kick with the forces at the new positions.
+  void end_step(const Topology& topo, const std::vector<util::Vec3>& forces,
+                std::vector<util::Vec3>& vel) const;
+
+ private:
+  double dt_;
+};
+
+double kinetic_energy(const Topology& topo,
+                      const std::vector<util::Vec3>& vel);
+
+// Instantaneous temperature in K (3N degrees of freedom, no constraints).
+double temperature(const Topology& topo, const std::vector<util::Vec3>& vel);
+
+// Draws Maxwell-Boltzmann velocities at temperature T (deterministic seed)
+// and removes the centre-of-mass drift.
+void assign_velocities(const Topology& topo, double temperature_k,
+                       std::uint64_t seed, std::vector<util::Vec3>& vel);
+
+}  // namespace repro::md

@@ -1,0 +1,133 @@
+#include "md/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::md {
+
+namespace {
+
+struct CellGrid {
+  int ncx, ncy, ncz;
+  double lx, ly, lz;
+
+  int cell_of(const util::Vec3& r) const {
+    auto idx = [](double coord, double len, int n) {
+      int c = static_cast<int>(std::floor(coord / len *
+                                          static_cast<double>(n)));
+      c %= n;
+      if (c < 0) c += n;
+      return c;
+    };
+    const int cx = idx(r.x, lx, ncx);
+    const int cy = idx(r.y, ly, ncy);
+    const int cz = idx(r.z, lz, ncz);
+    return (cx * ncy + cy) * ncz + cz;
+  }
+};
+
+}  // namespace
+
+void NeighborList::build(const Topology& topo, const Box& box,
+                         const std::vector<util::Vec3>& pos) {
+  const int n = topo.natoms();
+  REPRO_REQUIRE(static_cast<int>(pos.size()) == n,
+                "position array size mismatch");
+  const double range = cutoff_ + skin_;
+  REPRO_REQUIRE(2.0 * range <= box.min_length() * 1.5,
+                "cutoff too large for the box (minimum image unsafe)");
+  const double range2 = range * range;
+
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+
+  const int ncx = std::max(1, static_cast<int>(box.lx() / range));
+  const int ncy = std::max(1, static_cast<int>(box.ly() / range));
+  const int ncz = std::max(1, static_cast<int>(box.lz() / range));
+
+  auto consider = [&](int i, int j) {
+    if (j <= i) std::swap(i, j);
+    if (i == j) return;
+    const util::Vec3 d = box.min_image(pos[static_cast<std::size_t>(i)] -
+                                       pos[static_cast<std::size_t>(j)]);
+    if (util::norm2(d) >= range2) return;
+    if (topo.excluded(i, j)) return;
+    lists[static_cast<std::size_t>(i)].push_back(j);
+  };
+
+  if (ncx < 3 || ncy < 3 || ncz < 3) {
+    // Too few cells for a half-stencil sweep; quadratic fallback (used by
+    // small test systems only).
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) consider(i, j);
+    }
+  } else {
+    CellGrid grid{ncx, ncy, ncz, box.lx(), box.ly(), box.lz()};
+    const int ncells = ncx * ncy * ncz;
+    std::vector<std::vector<int>> cells(static_cast<std::size_t>(ncells));
+    for (int i = 0; i < n; ++i) {
+      cells[static_cast<std::size_t>(grid.cell_of(
+                pos[static_cast<std::size_t>(i)]))]
+          .push_back(i);
+    }
+    // Half stencil: self cell plus 13 forward neighbor cells.
+    static constexpr int kStencil[14][3] = {
+        {0, 0, 0},  {1, 0, 0},   {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
+        {1, 0, 1},  {0, 1, 1},   {1, 1, 1},  {1, -1, 0}, {1, 0, -1},
+        {0, 1, -1}, {1, -1, -1}, {1, -1, 1}, {1, 1, -1}};
+    for (int cx = 0; cx < ncx; ++cx) {
+      for (int cy = 0; cy < ncy; ++cy) {
+        for (int cz = 0; cz < ncz; ++cz) {
+          const auto& home = cells[static_cast<std::size_t>(
+              (cx * ncy + cy) * ncz + cz)];
+          for (const auto& offs : kStencil) {
+            const int ox = (cx + offs[0] + ncx) % ncx;
+            const int oy = (cy + offs[1] + ncy) % ncy;
+            const int oz = (cz + offs[2] + ncz) % ncz;
+            const auto& other = cells[static_cast<std::size_t>(
+                (ox * ncy + oy) * ncz + oz)];
+            const bool self = offs[0] == 0 && offs[1] == 0 && offs[2] == 0;
+            for (std::size_t a = 0; a < home.size(); ++a) {
+              const std::size_t b0 = self ? a + 1 : 0;
+              for (std::size_t b = b0; b < other.size(); ++b) {
+                consider(home[a], other[b]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    std::sort(lists[static_cast<std::size_t>(i)].begin(),
+              lists[static_cast<std::size_t>(i)].end());
+    offsets_[static_cast<std::size_t>(i)] = total;
+    total += lists[static_cast<std::size_t>(i)].size();
+  }
+  offsets_[static_cast<std::size_t>(n)] = total;
+  neighbors_.clear();
+  neighbors_.reserve(total);
+  for (int i = 0; i < n; ++i) {
+    neighbors_.insert(neighbors_.end(),
+                      lists[static_cast<std::size_t>(i)].begin(),
+                      lists[static_cast<std::size_t>(i)].end());
+  }
+  built_pos_ = pos;
+  built_box_ = box;
+}
+
+bool NeighborList::needs_rebuild(const Box& box,
+                                 const std::vector<util::Vec3>& pos) const {
+  if (built_pos_.size() != pos.size()) return true;
+  if (box.lengths() != built_box_.lengths()) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const util::Vec3 d = box.min_image(pos[i] - built_pos_[i]);
+    if (util::norm2(d) > limit2) return true;
+  }
+  return false;
+}
+
+}  // namespace repro::md

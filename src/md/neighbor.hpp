@@ -1,0 +1,47 @@
+// Verlet pair list built with a cell grid under periodic boundaries.
+//
+// Pairs (i < j) within cutoff + skin, with excluded pairs removed, stored
+// in CSR form. The list is valid until some atom moves more than skin/2
+// from its position at build time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+class NeighborList {
+ public:
+  NeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {
+    REPRO_REQUIRE(cutoff > 0.0 && skin >= 0.0, "bad neighbor-list radii");
+  }
+
+  void build(const Topology& topo, const Box& box,
+             const std::vector<util::Vec3>& pos);
+
+  bool needs_rebuild(const Box& box,
+                     const std::vector<util::Vec3>& pos) const;
+
+  // CSR access: neighbors of atom i are neighbors()[offsets()[i] ..
+  // offsets()[i+1]).
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+  const std::vector<int>& neighbors() const { return neighbors_; }
+  std::size_t npairs() const { return neighbors_.size(); }
+
+  double cutoff() const { return cutoff_; }
+  double skin() const { return skin_; }
+
+ private:
+  double cutoff_;
+  double skin_;
+  std::vector<std::size_t> offsets_;
+  std::vector<int> neighbors_;
+  std::vector<util::Vec3> built_pos_;
+  Box built_box_;
+};
+
+}  // namespace repro::md

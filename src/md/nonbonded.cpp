@@ -1,0 +1,136 @@
+#include "md/nonbonded.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace repro::md {
+
+namespace {
+
+using util::Vec3;
+
+// One pair interaction: returns (lj_energy, elec_energy) and the scalar
+// dE/dr so the caller can form the force. Split out so the listed and the
+// reference kernels share the physics exactly.
+struct PairResult {
+  double lj = 0.0;
+  double elec = 0.0;
+  double dEdr = 0.0;  // total
+};
+
+PairResult pair_interaction(const AtomParams& a, const AtomParams& b,
+                            double r, const NonbondedOptions& opts) {
+  PairResult out;
+  const double rc = opts.cutoff;
+  const double ron = opts.switch_on;
+
+  // Lennard-Jones (CHARMM combining rules) with energy switching.
+  const double eps = std::sqrt(a.eps * b.eps);
+  if (eps > 0.0) {
+    const double rmin = a.rmin_half + b.rmin_half;
+    const double q6 = std::pow(rmin / r, 6);
+    const double q12 = q6 * q6;
+    const double elj = eps * (q12 - 2.0 * q6);
+    const double dlj = -12.0 * eps * (q12 - q6) / r;
+    if (r <= ron) {
+      out.lj = elj;
+      out.dEdr = dlj;
+    } else {
+      const double A = rc * rc;
+      const double B = ron * ron;
+      const double D = (A - B) * (A - B) * (A - B);
+      const double u = r * r;
+      const double sw = (A - u) * (A - u) * (A + 2.0 * u - 3.0 * B) / D;
+      const double dsw = 12.0 * r * (A - u) * (B - u) / D;
+      out.lj = elj * sw;
+      out.dEdr = dlj * sw + elj * dsw;
+    }
+  }
+
+  // Electrostatics.
+  const double qq = units::kCoulomb * a.charge * b.charge;
+  if (qq != 0.0) {
+    if (opts.elec == NonbondedOptions::Elec::kShift) {
+      const double x = 1.0 - (r * r) / (rc * rc);
+      out.elec = qq / r * x * x;
+      out.dEdr += -qq / (r * r) * x * (1.0 + 3.0 * (r * r) / (rc * rc));
+    } else {
+      const double br = opts.beta * r;
+      const double erfc_br = std::erfc(br);
+      out.elec = qq * erfc_br / r;
+      out.dEdr += -qq * (erfc_br / (r * r) +
+                         2.0 * opts.beta / std::sqrt(std::numbers::pi) *
+                             std::exp(-br * br) / r);
+    }
+  }
+  return out;
+}
+
+void accumulate_pair(const Topology& topo, const Box& box,
+                     const std::vector<Vec3>& pos,
+                     const NonbondedOptions& opts, int i, int j,
+                     std::vector<Vec3>& forces, NonbondedWork& work) {
+  const Vec3 d = box.min_image(pos[static_cast<std::size_t>(i)] -
+                               pos[static_cast<std::size_t>(j)]);
+  const double r2 = util::norm2(d);
+  if (r2 >= opts.cutoff * opts.cutoff) return;
+  const double r = std::sqrt(r2);
+  const PairResult pr =
+      pair_interaction(topo.atom(i), topo.atom(j), r, opts);
+  work.lj += pr.lj;
+  work.elec += pr.elec;
+  ++work.pairs_in_cutoff;
+  const Vec3 f = d * (-pr.dEdr / r);
+  forces[static_cast<std::size_t>(i)] += f;
+  forces[static_cast<std::size_t>(j)] -= f;
+}
+
+}  // namespace
+
+NonbondedWork nonbonded_energy(const Topology& topo, const Box& box,
+                               const std::vector<Vec3>& pos,
+                               const NeighborList& nbl,
+                               const NonbondedOptions& opts,
+                               std::vector<Vec3>& forces,
+                               EnergyTerms& energy, int shard, int stride) {
+  REPRO_REQUIRE(stride >= 1 && shard >= 0 && shard < stride,
+                "bad shard/stride");
+  REPRO_REQUIRE(nbl.cutoff() >= opts.cutoff,
+                "neighbor list built with a smaller cutoff");
+  NonbondedWork work;
+  const auto& offsets = nbl.offsets();
+  const auto& neigh = nbl.neighbors();
+  for (int i = shard; i < topo.natoms(); i += stride) {
+    const std::size_t b = offsets[static_cast<std::size_t>(i)];
+    const std::size_t e = offsets[static_cast<std::size_t>(i) + 1];
+    for (std::size_t t = b; t < e; ++t) {
+      accumulate_pair(topo, box, pos, opts, i, neigh[t], forces, work);
+      ++work.pairs_listed;
+    }
+  }
+  energy.lj += work.lj;
+  energy.elec += work.elec;
+  return work;
+}
+
+NonbondedWork nonbonded_energy_reference(const Topology& topo, const Box& box,
+                                         const std::vector<Vec3>& pos,
+                                         const NonbondedOptions& opts,
+                                         std::vector<Vec3>& forces,
+                                         EnergyTerms& energy) {
+  NonbondedWork work;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    for (int j = i + 1; j < topo.natoms(); ++j) {
+      if (topo.excluded(i, j)) continue;
+      accumulate_pair(topo, box, pos, opts, i, j, forces, work);
+      ++work.pairs_listed;
+    }
+  }
+  energy.lj += work.lj;
+  energy.elec += work.elec;
+  return work;
+}
+
+}  // namespace repro::md

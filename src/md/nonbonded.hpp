@@ -1,0 +1,55 @@
+// Non-bonded energy/force kernels.
+//
+// Lennard-Jones uses CHARMM's Emin/Rmin form with an energy switching
+// function between switch_on and cutoff (VSWITCH). Electrostatics is one
+// of:
+//   kShift       — CHARMM SHIFT: qq/r (1 - r^2/rc^2)^2, the paper's
+//                  "electrostatic interactions shifted to zero at 10 Å"
+//                  (the classic, non-PME model), and
+//   kEwaldDirect — the real-space Ewald term qq erfc(beta r)/r used for the
+//                  direct sum when PME handles the long-range part.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/energy.hpp"
+#include "md/neighbor.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+struct NonbondedOptions {
+  double cutoff = 10.0;     // Å (ctofnb)
+  double switch_on = 8.0;   // Å (ctonnb, vdW switching)
+  enum class Elec { kShift, kEwaldDirect } elec = Elec::kShift;
+  double beta = 0.34;       // Ewald splitting parameter, 1/Å
+};
+
+struct NonbondedWork {
+  std::size_t pairs_listed = 0;   // pairs examined from the list
+  std::size_t pairs_in_cutoff = 0;
+  double lj = 0.0;
+  double elec = 0.0;
+};
+
+// Evaluates the shard's share of the pair list (i-atoms with
+// i % stride == shard), accumulating into forces/energy.
+NonbondedWork nonbonded_energy(const Topology& topo, const Box& box,
+                               const std::vector<util::Vec3>& pos,
+                               const NeighborList& nbl,
+                               const NonbondedOptions& opts,
+                               std::vector<util::Vec3>& forces,
+                               EnergyTerms& energy, int shard = 0,
+                               int stride = 1);
+
+// Reference O(N^2) evaluation (tests): identical physics without a list.
+NonbondedWork nonbonded_energy_reference(const Topology& topo, const Box& box,
+                                         const std::vector<util::Vec3>& pos,
+                                         const NonbondedOptions& opts,
+                                         std::vector<util::Vec3>& forces,
+                                         EnergyTerms& energy);
+
+}  // namespace repro::md

@@ -1,0 +1,41 @@
+#include "md/thermostat.hpp"
+
+#include <cmath>
+
+#include "md/integrator.hpp"
+#include "util/units.hpp"
+
+namespace repro::md {
+
+double BerendsenThermostat::apply(const Topology& topo, double dt_ps,
+                                  int dof,
+                                  std::vector<util::Vec3>& vel) const {
+  REPRO_REQUIRE(dof > 0, "thermostat needs positive degrees of freedom");
+  const double ke = kinetic_energy(topo, vel);
+  const double current =
+      2.0 * ke / (static_cast<double>(dof) * units::kBoltzmann);
+  if (current <= 0.0) return 1.0;
+  const double lambda2 =
+      1.0 + dt_ps / tau_ps_ * (target_k_ / current - 1.0);
+  const double lambda = std::sqrt(std::max(lambda2, 0.0));
+  for (auto& v : vel) v *= lambda;
+  return lambda;
+}
+
+void LangevinThermostat::apply(const Topology& topo, double dt_ps,
+                               std::vector<util::Vec3>& vel) {
+  // Ornstein-Uhlenbeck half-update: exact decay plus matched noise keeps
+  // the Maxwell-Boltzmann distribution stationary for any dt.
+  const double decay = std::exp(-gamma_ * dt_ps);
+  const double noise_factor = std::sqrt(1.0 - decay * decay);
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const double sigma = std::sqrt(units::kBoltzmann * target_k_ *
+                                   units::kForceToAccel /
+                                   topo.atom(i).mass);
+    auto& v = vel[static_cast<std::size_t>(i)];
+    v = v * decay + util::Vec3{rng_.normal(), rng_.normal(), rng_.normal()} *
+                        (sigma * noise_factor);
+  }
+}
+
+}  // namespace repro::md

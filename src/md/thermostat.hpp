@@ -1,0 +1,63 @@
+// Temperature control for equilibration runs.
+//
+// Two classic schemes:
+//  - Berendsen weak coupling: velocities rescaled toward the target each
+//    step with time constant tau (smooth, not canonical).
+//  - Langevin (BBK-style): friction + deterministic-seeded random kicks
+//    (canonical sampling; used by CHARMM's LANG dynamics).
+#pragma once
+
+#include <cstdint>
+
+#include "md/topology.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+class BerendsenThermostat {
+ public:
+  BerendsenThermostat(double target_k, double tau_ps)
+      : target_k_(target_k), tau_ps_(tau_ps) {
+    REPRO_REQUIRE(target_k > 0.0 && tau_ps > 0.0,
+                  "thermostat needs positive target and tau");
+  }
+
+  // Rescales velocities in place; `dof` is the number of kinetic degrees
+  // of freedom (3N minus constraints/COM removal). Returns the scaling
+  // factor applied.
+  double apply(const Topology& topo, double dt_ps, int dof,
+               std::vector<util::Vec3>& vel) const;
+
+  double target() const { return target_k_; }
+
+ private:
+  double target_k_;
+  double tau_ps_;
+};
+
+class LangevinThermostat {
+ public:
+  LangevinThermostat(double target_k, double friction_per_ps,
+                     std::uint64_t seed)
+      : target_k_(target_k),
+        gamma_(friction_per_ps),
+        rng_(util::mix_seed(seed, 0x6c616e67)) {
+    REPRO_REQUIRE(target_k > 0.0 && friction_per_ps > 0.0,
+                  "Langevin thermostat needs positive target and friction");
+  }
+
+  // One BBK-style half-kick: v <- v(1 - gamma dt/2) + random kick. Call
+  // once per step after the deterministic velocity update.
+  void apply(const Topology& topo, double dt_ps,
+             std::vector<util::Vec3>& vel);
+
+  double target() const { return target_k_; }
+
+ private:
+  double target_k_;
+  double gamma_;
+  util::Rng rng_;
+};
+
+}  // namespace repro::md

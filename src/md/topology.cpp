@@ -1,0 +1,66 @@
+#include "md/topology.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace repro::md {
+
+void Topology::build_exclusions(ExclusionPolicy policy) {
+  const auto n = static_cast<std::size_t>(natoms());
+  std::vector<std::vector<int>> adj(n);
+  for (const Bond& b : bonds_) {
+    REPRO_REQUIRE(b.i != b.j, "bond connects an atom to itself");
+    adj[static_cast<std::size_t>(b.i)].push_back(b.j);
+    adj[static_cast<std::size_t>(b.j)].push_back(b.i);
+  }
+
+  std::vector<std::set<int>> excl(n);
+  for (int i = 0; i < natoms(); ++i) {
+    // 1-2 neighbors.
+    for (int j : adj[static_cast<std::size_t>(i)]) {
+      if (j != i) excl[static_cast<std::size_t>(i)].insert(j);
+      if (policy == ExclusionPolicy::kBonds) continue;
+      // 1-3 neighbors.
+      for (int k : adj[static_cast<std::size_t>(j)]) {
+        if (k != i) excl[static_cast<std::size_t>(i)].insert(k);
+        if (policy != ExclusionPolicy::kBondsAnglesDihedrals) continue;
+        // 1-4 neighbors.
+        for (int l : adj[static_cast<std::size_t>(k)]) {
+          if (l != i && l != j) excl[static_cast<std::size_t>(i)].insert(l);
+        }
+      }
+    }
+  }
+
+  exclusions_.assign(n, {});
+  excluded_pairs_.clear();
+  for (int i = 0; i < natoms(); ++i) {
+    auto& list = exclusions_[static_cast<std::size_t>(i)];
+    list.assign(excl[static_cast<std::size_t>(i)].begin(),
+                excl[static_cast<std::size_t>(i)].end());
+    for (int j : list) {
+      if (j > i) excluded_pairs_.emplace_back(i, j);
+    }
+  }
+}
+
+bool Topology::excluded(int i, int j) const {
+  REPRO_REQUIRE(!exclusions_.empty(),
+                "call build_exclusions() before querying exclusions");
+  const auto& list = exclusions_[static_cast<std::size_t>(i)];
+  return std::binary_search(list.begin(), list.end(), j);
+}
+
+double Topology::total_charge() const {
+  double q = 0.0;
+  for (const auto& a : atoms_) q += a.charge;
+  return q;
+}
+
+double Topology::total_mass() const {
+  double m = 0.0;
+  for (const auto& a : atoms_) m += a.mass;
+  return m;
+}
+
+}  // namespace repro::md

@@ -1,0 +1,105 @@
+#include "md/trajectory.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace repro::md {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'P', 'T', 'R', 'J', '1', 0, 0};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+TrajectoryWriter::TrajectoryWriter(const std::string& path, int natoms,
+                                   const Box& box, double dt_ps)
+    : out_(path, std::ios::binary | std::ios::trunc), natoms_(natoms) {
+  REPRO_REQUIRE(out_.good(), "cannot open trajectory file for writing");
+  REPRO_REQUIRE(natoms > 0, "trajectory needs at least one atom");
+  out_.write(kMagic, sizeof(kMagic));
+  write_pod(out_, static_cast<std::uint64_t>(natoms));
+  write_pod(out_, dt_ps);
+  write_pod(out_, box.lx());
+  write_pod(out_, box.ly());
+  write_pod(out_, box.lz());
+}
+
+TrajectoryWriter::~TrajectoryWriter() = default;
+
+void TrajectoryWriter::write_frame(const std::vector<util::Vec3>& pos) {
+  REPRO_REQUIRE(static_cast<int>(pos.size()) == natoms_,
+                "frame size does not match the trajectory's atom count");
+  std::vector<float> buf;
+  buf.reserve(pos.size() * 3);
+  for (const auto& r : pos) {
+    buf.push_back(static_cast<float>(r.x));
+    buf.push_back(static_cast<float>(r.y));
+    buf.push_back(static_cast<float>(r.z));
+  }
+  out_.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  REPRO_REQUIRE(out_.good(), "trajectory write failed");
+  ++frames_;
+}
+
+void TrajectoryWriter::flush() { out_.flush(); }
+
+TrajectoryReader::TrajectoryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  REPRO_REQUIRE(in_.good(), "cannot open trajectory file for reading");
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  REPRO_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a repro trajectory file");
+  std::uint64_t natoms = 0;
+  read_pod(in_, natoms);
+  natoms_ = static_cast<int>(natoms);
+  read_pod(in_, dt_ps_);
+  double lx, ly, lz;
+  read_pod(in_, lx);
+  read_pod(in_, ly);
+  read_pod(in_, lz);
+  box_ = Box(lx, ly, lz);
+  frame0_ = in_.tellg();
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+  const std::streamoff frame_bytes =
+      static_cast<std::streamoff>(natoms_) * 3 *
+      static_cast<std::streamoff>(sizeof(float));
+  REPRO_REQUIRE(frame_bytes > 0, "corrupt trajectory header");
+  nframes_ = static_cast<int>((end - frame0_) / frame_bytes);
+}
+
+void TrajectoryReader::read_frame(int index, std::vector<util::Vec3>& pos) {
+  REPRO_REQUIRE(index >= 0 && index < nframes_,
+                "trajectory frame index out of range");
+  const std::streamoff frame_bytes =
+      static_cast<std::streamoff>(natoms_) * 3 *
+      static_cast<std::streamoff>(sizeof(float));
+  in_.clear();
+  in_.seekg(frame0_ + index * frame_bytes);
+  std::vector<float> buf(static_cast<std::size_t>(natoms_) * 3);
+  in_.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  REPRO_REQUIRE(in_.good(), "trajectory read failed");
+  pos.resize(static_cast<std::size_t>(natoms_));
+  for (int i = 0; i < natoms_; ++i) {
+    pos[static_cast<std::size_t>(i)] =
+        util::Vec3{buf[static_cast<std::size_t>(3 * i)],
+                   buf[static_cast<std::size_t>(3 * i + 1)],
+                   buf[static_cast<std::size_t>(3 * i + 2)]};
+  }
+}
+
+}  // namespace repro::md

@@ -1,0 +1,64 @@
+// Minimal binary trajectory format (DCD-inspired): a fixed header followed
+// by float32 coordinate frames. Enough for downstream analysis/visual
+// tooling and for checkpointing equilibrated structures.
+//
+// Layout (little-endian):
+//   magic  "RPTRJ1\0\0" (8 bytes)
+//   natoms          (u64)
+//   dt_ps           (f64)    time between stored frames
+//   box lx, ly, lz  (3x f64)
+//   frames: natoms * 3 * f32, x y z per atom
+// The frame count is implied by the file size (crash-safe appends).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "md/box.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::md {
+
+class TrajectoryWriter {
+ public:
+  TrajectoryWriter(const std::string& path, int natoms, const Box& box,
+                   double dt_ps);
+  ~TrajectoryWriter();
+
+  TrajectoryWriter(const TrajectoryWriter&) = delete;
+  TrajectoryWriter& operator=(const TrajectoryWriter&) = delete;
+
+  void write_frame(const std::vector<util::Vec3>& pos);
+  int frames_written() const { return frames_; }
+  void flush();
+
+ private:
+  std::ofstream out_;
+  int natoms_;
+  int frames_ = 0;
+};
+
+class TrajectoryReader {
+ public:
+  explicit TrajectoryReader(const std::string& path);
+
+  int natoms() const { return natoms_; }
+  double dt_ps() const { return dt_ps_; }
+  const Box& box() const { return box_; }
+  int nframes() const { return nframes_; }
+
+  // Reads frame `index` (0-based) into pos (resized as needed).
+  void read_frame(int index, std::vector<util::Vec3>& pos);
+
+ private:
+  std::ifstream in_;
+  int natoms_ = 0;
+  double dt_ps_ = 0.0;
+  Box box_;
+  int nframes_ = 0;
+  std::streamoff frame0_ = 0;
+};
+
+}  // namespace repro::md

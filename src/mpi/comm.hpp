@@ -1,0 +1,201 @@
+// SimMPI: an MPI-like message-passing layer running on the simulated
+// cluster.
+//
+// Point-to-point semantics follow MPI with eager (buffered) sends: send()
+// never waits for a matching receive, but pays host costs and NIC
+// back-pressure per the network model. Collectives are built from
+// point-to-point using the algorithms of MPICH-1-era implementations
+// (binomial trees, dissemination barrier, ring allgather, pairwise
+// all-to-all), so their cost structure emerges from the network model
+// rather than being modeled directly.
+//
+// Time accounting: data-transfer time is recorded as communication; waits
+// (blocked receives, back-pressure stalls) and everything inside barrier()
+// as synchronization — matching the paper's split of "general communication
+// overhead" into data transfer and control transfer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "perf/recorder.hpp"
+#include "perf/timeline.hpp"
+#include "sim/engine.hpp"
+
+namespace repro::mpi {
+
+inline constexpr int kAnySource = -1;
+
+// Collective algorithm selection. MPICH-1 (the era default) implemented
+// allreduce as reduce-to-root + broadcast; later libraries switched to
+// recursive doubling (latency-bound) or ring/Rabenseifner schemes
+// (bandwidth-bound). Exposed so the middleware/ablation layers can study
+// how much the algorithm (i.e. communication *software*) matters.
+enum class AllreduceAlgorithm {
+  kReduceBcast,        // MPICH-1 default: binomial reduce + binomial bcast
+  kRecursiveDoubling,  // log2(p) full-vector exchanges
+  kRing,               // reduce-scatter + allgather rings (bandwidth-optimal)
+};
+
+enum class BcastAlgorithm {
+  kBinomialTree,  // MPICH-1 default
+  kRingPipeline,  // pipelined around the ring
+};
+
+struct CollectiveConfig {
+  AllreduceAlgorithm allreduce = AllreduceAlgorithm::kReduceBcast;
+  BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree;
+};
+
+// Payload stored in the engine inbox.
+struct Packet {
+  int src = 0;
+  int tag = 0;
+  std::shared_ptr<std::vector<unsigned char>> data;
+  double recv_copy = 0.0;  // receiver CPU cost on consume
+  double sent_at = 0.0;    // sender virtual time at the send call
+};
+
+struct Request {
+  enum class Op { kSend, kRecv } op = Op::kSend;
+  bool done = false;
+  // receive parameters (kRecv only)
+  int src = kAnySource;
+  int tag = 0;
+  void* buf = nullptr;
+  std::size_t max_bytes = 0;
+  std::size_t received = 0;
+};
+
+class Comm {
+ public:
+  Comm(sim::RankCtx& ctx, net::ClusterNetwork& net, perf::RankRecorder& rec,
+       const CollectiveConfig& collectives = {})
+      : ctx_(ctx), net_(net), rec_(rec), collectives_(collectives) {}
+
+  const CollectiveConfig& collectives() const { return collectives_; }
+
+  int rank() const { return ctx_.rank(); }
+  int size() const { return ctx_.size(); }
+  double now() const { return ctx_.now(); }
+  perf::RankRecorder& recorder() { return rec_; }
+  sim::RankCtx& ctx() { return ctx_; }
+
+  // Charges modeled computation time to the active component (scaled by
+  // the node's SMP contention factor on dual-CPU nodes).
+  void compute(double seconds) {
+    const double t = seconds * net_.compute_factor(rank());
+    const double t0 = ctx_.now();
+    rec_.record(perf::Kind::kComp, t);
+    ctx_.advance(t);
+    if (rec_.timeline() != nullptr) {
+      rec_.timeline()->add(t0, ctx_.now(), rec_.component(),
+                           perf::Kind::kComp);
+    }
+  }
+
+  // --- point to point --------------------------------------------------
+  // `exchange` marks sends that are half of a bidirectional exchange (the
+  // network model may apply a duplex penalty; see NetworkParams).
+  void send(int dst, int tag, const void* data, std::size_t bytes,
+            bool exchange = false);
+  // Returns the number of bytes received (<= max_bytes).
+  std::size_t recv(int src, int tag, void* data, std::size_t max_bytes);
+
+  Request isend(int dst, int tag, const void* data, std::size_t bytes,
+                bool exchange = false);
+  Request irecv(int src, int tag, void* data, std::size_t max_bytes);
+  void wait(Request& req);
+  void wait_all(std::vector<Request>& reqs);
+
+  void sendrecv(int dst, int send_tag, const void* send_data,
+                std::size_t send_bytes, int src, int recv_tag,
+                void* recv_data, std::size_t recv_bytes);
+
+  // --- collectives (MPICH-1-era algorithms) ----------------------------
+  void barrier();  // dissemination; time counted as synchronization
+  void bcast(void* data, std::size_t bytes, int root);
+  void reduce_sum(double* data, std::size_t n, int root);
+  // Algorithm chosen by the CollectiveConfig (MPICH-1 reduce+bcast by
+  // default); all variants produce identical results on every rank.
+  void allreduce_sum(double* data, std::size_t n);
+  // Gathers variable-size byte blocks from all ranks into recv (ring
+  // algorithm). counts[r] is rank r's block size; displs[r] its offset.
+  void allgatherv(const void* send_buf, std::size_t send_bytes,
+                  void* recv_buf, const std::vector<std::size_t>& counts,
+                  const std::vector<std::size_t>& displs);
+  // Personalized all-to-all over byte blocks (pairwise exchange).
+  // send_counts/send_displs index into `send`; recv sides likewise.
+  void alltoallv(const void* send, const std::vector<std::size_t>& send_counts,
+                 const std::vector<std::size_t>& send_displs, void* recv_buf,
+                 const std::vector<std::size_t>& recv_counts,
+                 const std::vector<std::size_t>& recv_displs);
+
+  // While a SyncScope is active, all point-to-point time (and the bytes) of
+  // this rank is recorded as synchronization — used for barriers and for
+  // middleware-level synchronization traffic.
+  class SyncScope {
+   public:
+    explicit SyncScope(Comm& comm) : comm_(comm), saved_(comm.sync_mode_) {
+      comm_.sync_mode_ = true;
+    }
+    ~SyncScope() { comm_.sync_mode_ = saved_; }
+    SyncScope(const SyncScope&) = delete;
+    SyncScope& operator=(const SyncScope&) = delete;
+
+   private:
+    Comm& comm_;
+    bool saved_;
+  };
+
+ private:
+  friend class SyncScope;
+
+  perf::Kind transfer_kind() const {
+    return sync_mode_ ? perf::Kind::kSync : perf::Kind::kComm;
+  }
+  // Fresh tag for one collective operation; all ranks call collectives in
+  // the same order, so counters stay aligned.
+  int next_collective_tag() { return kCollectiveTagBase + (coll_seq_++ & 0xffff); }
+
+  bool matches(const Packet& p, int src, int tag) const {
+    return (src == kAnySource || p.src == src) && p.tag == tag;
+  }
+  // Removes and returns the earliest-arriving matching packet, if any.
+  bool try_match(int src, int tag, Packet& out, double& arrival);
+
+  void bcast_binomial(void* data, std::size_t bytes, int root, int tag);
+  void bcast_ring(void* data, std::size_t bytes, int root, int tag);
+  void allreduce_recursive_doubling(double* data, std::size_t n);
+  void allreduce_ring(double* data, std::size_t n);
+
+  static constexpr int kCollectiveTagBase = 1 << 20;
+  // Rendezvous control channel (never visible to user matching).
+  static constexpr int kRtsTag = 1 << 22;
+  static constexpr int kCtsTag = (1 << 22) + 1;
+
+  struct RendezvousToken {
+    int orig_tag = 0;
+    unsigned token = 0;
+  };
+
+  void send_control(int dst, int tag, const RendezvousToken& body);
+  // Replies CTS to every pending RTS in the inbox (progress while blocked
+  // inside a wait, mirroring MPI's inside-the-library progress rule).
+  void service_rendezvous_requests();
+  // Blocks until the CTS for `token` arrives from dst.
+  void await_clear_to_send(int dst, unsigned token);
+
+  sim::RankCtx& ctx_;
+  net::ClusterNetwork& net_;
+  perf::RankRecorder& rec_;
+  CollectiveConfig collectives_;
+  bool sync_mode_ = false;
+  unsigned coll_seq_ = 0;
+  unsigned rendezvous_seq_ = 0;
+};
+
+}  // namespace repro::mpi

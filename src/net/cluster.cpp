@@ -1,0 +1,148 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace repro::net {
+
+ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
+                               const NetworkParams& params)
+    : config_(config),
+      params_(params),
+      jitter_rng_(util::mix_seed(config.seed, 0x6e657477,
+                                 static_cast<std::uint64_t>(config.nranks))) {
+  REPRO_REQUIRE(config.nranks >= 1, "cluster needs at least one rank");
+  REPRO_REQUIRE(config.cpus_per_node >= 1 && config.cpus_per_node <= 2,
+                "CoPs nodes are uni- or dual-processor");
+  nnodes_ = (config.nranks + config.cpus_per_node - 1) / config.cpus_per_node;
+  nodes_.resize(static_cast<std::size_t>(nnodes_));
+  last_arrival_.assign(
+      static_cast<std::size_t>(config.nranks) *
+          static_cast<std::size_t>(config.nranks),
+      0.0);
+}
+
+double ClusterNetwork::host_packet_factor(int node) const {
+  // Two active ranks on the node contend for the kernel stack.
+  const int first_rank = node * config_.cpus_per_node;
+  const int ranks_on_node =
+      std::min(config_.cpus_per_node, config_.nranks - first_rank);
+  return ranks_on_node >= 2 ? params_.smp_host_penalty : 1.0;
+}
+
+MessageTiming ClusterNetwork::intra_node(int src, int dst, std::size_t bytes,
+                                         double t_send) {
+  MessageTiming t;
+  if (params_.loopback_through_stack) {
+    // TCP loopback: the kernel stack is exercised end-to-end, including
+    // per-packet costs and the interrupt CPU, just without the wire.
+    const double factor = host_packet_factor(node_of(src));
+    const auto packets = static_cast<double>(packets_for(bytes));
+    t.sender_busy = factor * (params_.send_overhead +
+                              packets * params_.packet_cost_send) +
+                    static_cast<double>(bytes) / params_.shm_bandwidth;
+    const double rx_cost =
+        factor *
+        (params_.recv_overhead + packets * params_.packet_cost_recv);
+    auto& irq = nodes_[static_cast<std::size_t>(node_of(dst))].irq_cpu;
+    const sim::Interval rx = irq.acquire(t_send + t.sender_busy, rx_cost);
+    t.arrival = rx.end;
+  } else {
+    // Shared-memory driver (SCore, GM): a handshake plus a memcpy.
+    t.sender_busy = params_.shm_overhead +
+                    static_cast<double>(bytes) / params_.shm_bandwidth;
+    t.arrival = t_send + t.sender_busy + params_.shm_overhead;
+  }
+  t.recv_copy = static_cast<double>(bytes) / params_.copy_bandwidth;
+  (void)src;
+  (void)dst;
+  return t;
+}
+
+MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
+                                         double t_send, bool exchange) {
+  MessageTiming t;
+  const int src_node = node_of(src);
+  const int dst_node = node_of(dst);
+  auto& sres = nodes_[static_cast<std::size_t>(src_node)];
+  auto& dres = nodes_[static_cast<std::size_t>(dst_node)];
+  const auto packets = static_cast<double>(packets_for(bytes));
+
+  // Sender host work (protocol stack / descriptor posting).
+  const double send_factor = host_packet_factor(src_node);
+  t.sender_busy =
+      send_factor *
+      (params_.send_overhead + packets * params_.packet_cost_send);
+
+  // Outbound link occupancy. Wire time may be inflated by a flow-control
+  // incident (TCP only) and by the SMP interrupt-routing bottleneck when
+  // either endpoint node runs two ranks.
+  double wire = static_cast<double>(bytes) / params_.bandwidth;
+  if (exchange) wire *= params_.duplex_exchange_factor;
+  if (params_.smp_bandwidth_factor < 1.0 &&
+      (host_packet_factor(src_node) > 1.0 ||
+       host_packet_factor(dst_node) > 1.0)) {
+    wire /= params_.smp_bandwidth_factor;
+  }
+  double extra_latency = 0.0;
+  if (params_.jitter_prob_per_rank > 0.0 &&
+      config_.nranks >= params_.jitter_min_ranks) {
+    const double prob = params_.jitter_prob_per_rank *
+                        (config_.nranks - params_.jitter_min_ranks + 1);
+    if (jitter_rng_.uniform() < std::min(prob, 0.9)) {
+      wire *= 1.0 + jitter_rng_.exponential(params_.jitter_slowdown_mean);
+      extra_latency = jitter_rng_.exponential(params_.jitter_latency_mean);
+    }
+  }
+
+  const double cpu_done = t_send + t.sender_busy;
+  const sim::Interval tx = sres.nic_tx.acquire(cpu_done, wire);
+  // Back-pressure: the sender's send() blocks until the NIC queue drains
+  // below the socket-buffer window.
+  t.sender_stall =
+      std::max(0.0, tx.begin - cpu_done - params_.send_buffer_time);
+
+  // Inbound link occupancy at the destination models incast contention:
+  // concurrent senders serialize on the receiver's link.
+  const double rx_wire_start = tx.end + params_.latency + extra_latency;
+  const sim::Interval rx_wire = dres.nic_rx.acquire(rx_wire_start - wire,
+                                                    wire);
+  // rx_wire.end >= tx.end + latency; equality when the inbound link is idle.
+
+  // Receiver-side protocol work. For TCP this serializes on the node's
+  // interrupt-handling CPU (only one CPU services NIC interrupts).
+  const double recv_factor = host_packet_factor(dst_node);
+  const double rx_cost =
+      recv_factor *
+      (params_.recv_overhead + packets * params_.packet_cost_recv);
+  if (params_.rx_uses_interrupt_cpu) {
+    const sim::Interval rx = dres.irq_cpu.acquire(rx_wire.end, rx_cost);
+    t.arrival = rx.end;
+  } else {
+    t.arrival = rx_wire.end + rx_cost;
+  }
+  t.recv_copy = static_cast<double>(bytes) / params_.copy_bandwidth;
+  return t;
+}
+
+MessageTiming ClusterNetwork::message(int src, int dst, std::size_t bytes,
+                                      double t_send, bool exchange) {
+  REPRO_REQUIRE(src >= 0 && src < config_.nranks, "message: bad src rank");
+  REPRO_REQUIRE(dst >= 0 && dst < config_.nranks, "message: bad dst rank");
+  REPRO_REQUIRE(src != dst, "message: src == dst (self-sends are local)");
+  ++messages_;
+  bytes_ += static_cast<double>(bytes);
+  MessageTiming t = same_node(src, dst)
+                        ? intra_node(src, dst, bytes, t_send)
+                        : cross_node(src, dst, bytes, t_send, exchange);
+  REPRO_REQUIRE(t.arrival >= t_send, "message arrival precedes send");
+  double& last = last_arrival_[static_cast<std::size_t>(src) *
+                                   static_cast<std::size_t>(config_.nranks) +
+                               static_cast<std::size_t>(dst)];
+  if (t.arrival <= last) t.arrival = last + 1e-12;
+  last = t.arrival;
+  return t;
+}
+
+}  // namespace repro::net

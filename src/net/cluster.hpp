@@ -1,0 +1,107 @@
+// Simulated cluster: node topology, per-node resources and message timing.
+//
+// ClusterNetwork turns a message description (src rank, dst rank, bytes,
+// send time) into a MessageTiming using the configured NetworkParams and
+// the shared per-node resources (NIC tx/rx link occupancy, the interrupt
+// CPU). It is shared by all simulated ranks; the discrete-event engine
+// serializes access and guarantees nondecreasing request times, so no
+// locking is needed and Resource's FIFO model is exact.
+#pragma once
+
+#include <cstddef>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/params.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+
+namespace repro::net {
+
+// Placement of ranks onto physical nodes. Ranks are placed in blocks:
+// node = rank / cpus_per_node, mirroring how mpirun filled the CoPs
+// cluster's process slots.
+struct ClusterConfig {
+  int nranks = 1;
+  int cpus_per_node = 1;
+  Network network = Network::kTcpGigE;
+  std::uint64_t seed = 0x5eed;
+};
+
+// How one message spends its time, as computed at send time.
+struct MessageTiming {
+  double sender_busy = 0.0;   // sender CPU time (communication)
+  double sender_stall = 0.0;  // back-pressure wait (synchronization)
+  double arrival = 0.0;       // when the message becomes matchable at dst
+  double recv_copy = 0.0;     // receiver CPU time on consume (communication)
+};
+
+class ClusterNetwork {
+ public:
+  ClusterNetwork(const ClusterConfig& config, const NetworkParams& params);
+  explicit ClusterNetwork(const ClusterConfig& config)
+      : ClusterNetwork(config, params_for(config.network)) {}
+
+  int nranks() const { return config_.nranks; }
+  int nnodes() const { return nnodes_; }
+  int node_of(int rank) const { return rank / config_.cpus_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  const NetworkParams& params() const { return params_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Computes the timing of one message sent at `t_send`. Mutates shared
+  // resource state (NIC occupancy, jitter RNG); call exactly once per
+  // message, in nondecreasing t_send order (the engine guarantees this
+  // when called right after RankCtx::checkpoint()).
+  // `exchange` marks messages belonging to a bidirectional exchange
+  // pattern (both directions concurrently active on the endpoints).
+  MessageTiming message(int src, int dst, std::size_t bytes, double t_send,
+                        bool exchange = false);
+
+  // Compute-time multiplier for a rank (memory-bus contention on dual-CPU
+  // nodes; 1.0 on uni-processor nodes).
+  double compute_factor(int rank) const {
+    const int node = node_of(rank);
+    const int first = node * config_.cpus_per_node;
+    const int on_node = std::min(config_.cpus_per_node,
+                                 config_.nranks - first);
+    return on_node >= 2 ? params_.smp_compute_penalty : 1.0;
+  }
+
+  // Diagnostics.
+  std::uint64_t messages_sent() const { return messages_; }
+  double bytes_sent() const { return bytes_; }
+
+ private:
+  std::size_t packets_for(std::size_t bytes) const {
+    return bytes == 0 ? 1 : (bytes + params_.mtu - 1) / params_.mtu;
+  }
+  double host_packet_factor(int node) const;
+
+  MessageTiming intra_node(int src, int dst, std::size_t bytes,
+                           double t_send);
+  MessageTiming cross_node(int src, int dst, std::size_t bytes,
+                           double t_send, bool exchange);
+
+  ClusterConfig config_;
+  NetworkParams params_;
+  int nnodes_ = 0;
+
+  struct NodeResources {
+    sim::Resource nic_tx;   // outbound link occupancy
+    sim::Resource nic_rx;   // inbound link occupancy (incast contention)
+    sim::Resource irq_cpu;  // interrupt-handling CPU (TCP only)
+  };
+  std::vector<NodeResources> nodes_;
+
+  util::Rng jitter_rng_;
+  std::uint64_t messages_ = 0;
+  double bytes_ = 0.0;
+  // Last arrival per (src,dst) channel: every real stack here (TCP, PM,
+  // GM) delivers in order per channel, and the ring/pairwise collective
+  // algorithms depend on that, so arrivals are clamped to be FIFO.
+  std::vector<double> last_arrival_;
+};
+
+}  // namespace repro::net

@@ -1,0 +1,99 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace repro::perf {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kClassic:
+      return "classic";
+    case Component::kPme:
+      return "pme";
+    case Component::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kComp:
+      return "comp";
+    case Kind::kComm:
+      return "comm";
+    case Kind::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+namespace {
+
+// "Wall" semantics: the component is as slow as its slowest rank; we report
+// that rank's own comp/comm/sync split so the parts always sum to the
+// total (taking per-kind maxima across ranks would double-count skew).
+void max_into(Breakdown& acc, const Breakdown& b) {
+  if (b.total() > acc.total()) acc = b;
+}
+
+}  // namespace
+
+RunBreakdown aggregate(const std::vector<RankRecorder>& recorders,
+                       int cpus_per_node) {
+  REPRO_REQUIRE(!recorders.empty(), "no recorders to aggregate");
+  REPRO_REQUIRE(cpus_per_node >= 1, "bad cpus_per_node");
+
+  RunBreakdown out;
+  out.nranks = static_cast<int>(recorders.size());
+
+  for (const auto& rec : recorders) {
+    const Breakdown c = rec.breakdown(Component::kClassic);
+    const Breakdown p = rec.breakdown(Component::kPme);
+    max_into(out.classic_wall, c);
+    max_into(out.pme_wall, p);
+    out.classic_mean += c;
+    out.pme_mean += p;
+    out.total_bytes += rec.total_bytes();
+  }
+  const double inv_n = 1.0 / static_cast<double>(recorders.size());
+  out.classic_mean.comp *= inv_n;
+  out.classic_mean.comm *= inv_n;
+  out.classic_mean.sync *= inv_n;
+  out.pme_mean.comp *= inv_n;
+  out.pme_mean.comm *= inv_n;
+  out.pme_mean.sync *= inv_n;
+
+  // Per-node per-step communication speed. A node's sample for a step sums
+  // the bytes and transfer times of all its ranks.
+  const int nranks = out.nranks;
+  const int nnodes = (nranks + cpus_per_node - 1) / cpus_per_node;
+  std::size_t nsteps = recorders.front().steps().size();
+  for (const auto& rec : recorders) {
+    nsteps = std::min(nsteps, rec.steps().size());
+  }
+  util::RunningStats stats;
+  for (std::size_t s = 0; s < nsteps; ++s) {
+    for (int node = 0; node < nnodes; ++node) {
+      StepComm agg;
+      for (int r = node * cpus_per_node;
+           r < std::min(nranks, (node + 1) * cpus_per_node); ++r) {
+        agg.bytes += recorders[static_cast<std::size_t>(r)].steps()[s].bytes;
+        agg.comm_time +=
+            recorders[static_cast<std::size_t>(r)].steps()[s].comm_time;
+      }
+      if (agg.bytes > 0.0 && agg.comm_time > 0.0) {
+        stats.add(agg.speed_mb_per_s());
+      }
+    }
+  }
+  out.comm_speed.samples = stats.count();
+  out.comm_speed.avg_mb_per_s = stats.mean();
+  out.comm_speed.min_mb_per_s = stats.min();
+  out.comm_speed.max_mb_per_s = stats.max();
+  return out;
+}
+
+}  // namespace repro::perf

@@ -1,0 +1,74 @@
+#include "perf/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace repro::perf {
+
+double Timeline::span_end() const {
+  double end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.end);
+  return end;
+}
+
+std::string render_timelines(const std::vector<Timeline>& timelines,
+                             const RenderOptions& options) {
+  REPRO_REQUIRE(options.columns > 0, "timeline needs at least one column");
+  double end = options.end;
+  if (end < 0.0) {
+    for (const auto& t : timelines) end = std::max(end, t.span_end());
+  }
+  const double begin = options.begin;
+  if (end <= begin) return "(empty timeline)\n";
+  const double dt = (end - begin) / options.columns;
+
+  auto severity = [](Kind k) {
+    switch (k) {
+      case Kind::kComp:
+        return 1;
+      case Kind::kComm:
+        return 2;
+      case Kind::kSync:
+        return 3;
+    }
+    return 0;
+  };
+  auto glyph = [](int sev) {
+    switch (sev) {
+      case 1:
+        return '#';
+      case 2:
+        return '=';
+      case 3:
+        return '~';
+      default:
+        return '.';
+    }
+  };
+
+  std::ostringstream os;
+  os << "time " << begin << " .. " << end << " s   ('#' comp, '=' comm, "
+     << "'~' sync, '.' idle)\n";
+  for (std::size_t r = 0; r < timelines.size(); ++r) {
+    std::vector<int> cells(static_cast<std::size_t>(options.columns), 0);
+    for (const auto& e : timelines[r].events()) {
+      if (e.end <= begin || e.begin >= end) continue;
+      const int c0 = std::clamp(
+          static_cast<int>((e.begin - begin) / dt), 0, options.columns - 1);
+      const int c1 = std::clamp(static_cast<int>((e.end - begin) / dt), c0,
+                                options.columns - 1);
+      for (int c = c0; c <= c1; ++c) {
+        cells[static_cast<std::size_t>(c)] =
+            std::max(cells[static_cast<std::size_t>(c)], severity(e.kind));
+      }
+    }
+    os << "rank " << r << (r < 10 ? "  |" : " |");
+    for (int cell : cells) os << glyph(cell);
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace repro::perf

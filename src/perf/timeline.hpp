@@ -1,0 +1,52 @@
+// Per-rank virtual-time timelines.
+//
+// When attached to a RankRecorder, every charged interval (computation,
+// data transfer, synchronization) is also stored as a timeline event with
+// its virtual start/end. The renderer turns the per-rank event streams
+// into an ASCII Gantt chart — the visual form of the paper's
+// computation / communication / synchronization decomposition, useful for
+// seeing *where* in the step the overheads sit (e.g. the two PME
+// transposes vs. the final force reduction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/recorder.hpp"
+
+namespace repro::perf {
+
+struct TimelineEvent {
+  double begin = 0.0;
+  double end = 0.0;
+  Component component = Component::kOther;
+  Kind kind = Kind::kComp;
+};
+
+class Timeline {
+ public:
+  void add(double begin, double end, Component c, Kind k) {
+    if (end > begin) events_.push_back(TimelineEvent{begin, end, c, k});
+  }
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  double span_end() const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+struct RenderOptions {
+  int columns = 100;          // characters across the time axis
+  double begin = 0.0;         // time window start
+  double end = -1.0;          // window end (<0: max over timelines)
+};
+
+// Renders one row per rank. Glyphs: '#' computation, '=' communication,
+// '~' synchronization, '.' idle/blocked outside recorded intervals. When
+// several kinds fall into one column, the most severe (sync > comm > comp)
+// wins, making overhead bands stand out.
+std::string render_timelines(const std::vector<Timeline>& timelines,
+                             const RenderOptions& options = {});
+
+}  // namespace repro::perf

@@ -1,0 +1,68 @@
+#include "pme/bspline.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace repro::pme {
+
+void bspline_weights(int order, double w, double* vals, double* derivs) {
+  REPRO_REQUIRE(order >= 2 && order <= kMaxOrder, "unsupported spline order");
+  REPRO_REQUIRE(w >= 0.0 && w < 1.0, "fractional offset outside [0,1)");
+  // Build up from M_2: M_2(w) = w, M_2(w+1) = 1 - w (support [0,2]).
+  vals[0] = w;
+  vals[1] = 1.0 - w;
+  for (int j = 2; j < order; ++j) vals[j] = 0.0;
+  // Raise the order: M_k(x) = [x M_{k-1}(x) + (k - x) M_{k-1}(x-1)]/(k-1).
+  for (int k = 3; k <= order; ++k) {
+    if (k == order && derivs != nullptr) {
+      // M_n'(x) = M_{n-1}(x) - M_{n-1}(x-1); vals currently hold M_{n-1}.
+      for (int j = order - 1; j >= 0; --j) {
+        derivs[j] = vals[j] - (j > 0 ? vals[j - 1] : 0.0);
+      }
+    }
+    const double div = 1.0 / static_cast<double>(k - 1);
+    for (int j = k - 1; j >= 0; --j) {
+      const double x = w + static_cast<double>(j);
+      const double prev = j > 0 ? vals[j - 1] : 0.0;
+      vals[j] = div * (x * vals[j] + (static_cast<double>(k) - x) * prev);
+    }
+  }
+  if (order == 2 && derivs != nullptr) {
+    derivs[0] = 1.0;
+    derivs[1] = -1.0;
+  }
+}
+
+std::vector<double> bspline_moduli(std::size_t n, int order) {
+  REPRO_REQUIRE(n >= static_cast<std::size_t>(order),
+                "grid dimension smaller than the spline order");
+  // Spline values at the integers: M_order(1..order-1).
+  double vals[kMaxOrder];
+  bspline_weights(order, 0.0, vals, nullptr);
+  // vals[j] = M_order(j); M_order(0) == 0.
+
+  std::vector<double> mod(n, 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    std::complex<double> d(0.0, 0.0);
+    for (int k = 1; k < order; ++k) {
+      const double angle = 2.0 * std::numbers::pi * static_cast<double>(m) *
+                           static_cast<double>(k) / static_cast<double>(n);
+      d += vals[k] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    const double den = std::norm(d);
+    mod[m] = den > 1e-10 ? 1.0 / den : 0.0;
+  }
+  // Even orders make |b|^2 blow up where the denominator vanishes; the
+  // conventional patch interpolates from the neighbors.
+  for (std::size_t m = 0; m < n; ++m) {
+    if (mod[m] == 0.0) {
+      const double left = mod[(m + n - 1) % n];
+      const double right = mod[(m + 1) % n];
+      mod[m] = 0.5 * (left + right);
+    }
+  }
+  return mod;
+}
+
+}  // namespace repro::pme

@@ -1,0 +1,34 @@
+// Brute-force Ewald summation — the slow, assumption-free reference used
+// to validate PME (energies and forces) on small systems.
+#pragma once
+
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::pme {
+
+struct EwaldRefOptions {
+  double beta = 0.5;  // splitting parameter (1/Å)
+  int kmax = 12;      // reciprocal images per dimension
+};
+
+struct EwaldRefResult {
+  double direct = 0.0;      // erfc sum over minimum-image pairs
+  double reciprocal = 0.0;  // structure-factor k-sum
+  double self = 0.0;
+  double total() const { return direct + reciprocal + self; }
+};
+
+// Full electrostatic Ewald energy of the point charges in `topo` (no
+// exclusions applied). Optionally accumulates the reciprocal+self forces
+// into recip_forces and the direct-space forces into direct_forces.
+EwaldRefResult ewald_reference(const md::Topology& topo, const md::Box& box,
+                               const std::vector<util::Vec3>& pos,
+                               const EwaldRefOptions& opts,
+                               std::vector<util::Vec3>* direct_forces = nullptr,
+                               std::vector<util::Vec3>* recip_forces = nullptr);
+
+}  // namespace repro::pme

@@ -1,0 +1,378 @@
+#include "pme/pme.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "pme/bspline.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace repro::pme {
+
+namespace {
+
+using md::Box;
+using md::Topology;
+using util::Vec3;
+
+// Per-atom spline data in the three dimensions.
+struct AtomSpline {
+  int k0[3];                      // floor of the fractional grid coordinate
+  double w[3][kMaxOrder];         // weights per dimension
+  double dw[3][kMaxOrder];        // derivatives per dimension
+};
+
+// Fractional grid coordinate in [0, n).
+double frac_coord(double x, double box_len, std::size_t n) {
+  double u = x / box_len * static_cast<double>(n);
+  u -= std::floor(u / static_cast<double>(n)) * static_cast<double>(n);
+  if (u >= static_cast<double>(n)) u -= static_cast<double>(n);
+  return u;
+}
+
+AtomSpline make_spline(const PmeParams& p, const Box& box, const Vec3& r) {
+  AtomSpline s;
+  const double lens[3] = {box.lx(), box.ly(), box.lz()};
+  const std::size_t dims[3] = {p.nx, p.ny, p.nz};
+  const double coords[3] = {r.x, r.y, r.z};
+  for (int d = 0; d < 3; ++d) {
+    const double u = frac_coord(coords[d], lens[d], dims[d]);
+    const double k0 = std::floor(u);
+    s.k0[d] = static_cast<int>(k0);
+    bspline_weights(p.order, u - k0, s.w[d], s.dw[d]);
+  }
+  return s;
+}
+
+// Grid line index of stencil point j in dimension d.
+inline std::size_t line(const AtomSpline& s, int d, int j, std::size_t n) {
+  int k = s.k0[d] - j;
+  if (k < 0) k += static_cast<int>(n);
+  return static_cast<std::size_t>(k);
+}
+
+// Influence factor for wavevector (mx, my, mz):
+//   kCoulomb/(pi V) * exp(-pi^2 mhat^2 / beta^2) / mhat^2 * B(m),
+// the multiplier applied to |Q^(m)|^2 / 2 for the energy (Essmann eq. 4.7).
+struct Influence {
+  Influence(const PmeParams& p, const Box& box, const std::vector<double>& bx,
+            const std::vector<double>& by, const std::vector<double>& bz)
+      : p_(p), box_(box), bx_(bx), by_(by), bz_(bz) {}
+
+  double operator()(std::size_t mx, std::size_t my, std::size_t mz) const {
+    if (mx == 0 && my == 0 && mz == 0) return 0.0;
+    auto wrap = [](std::size_t m, std::size_t n) {
+      const auto mi = static_cast<double>(m);
+      return m > n / 2 ? mi - static_cast<double>(n) : mi;
+    };
+    const double hx = wrap(mx, p_.nx) / box_.lx();
+    const double hy = wrap(my, p_.ny) / box_.ly();
+    const double hz = wrap(mz, p_.nz) / box_.lz();
+    const double m2 = hx * hx + hy * hy + hz * hz;
+    const double pi = std::numbers::pi;
+    const double expo = std::exp(-pi * pi * m2 / (p_.beta * p_.beta));
+    return units::kCoulomb / (pi * box_.volume()) * expo / m2 * bx_[mx] *
+           by_[my] * bz_[mz];
+  }
+
+ private:
+  const PmeParams& p_;
+  const Box& box_;
+  const std::vector<double>& bx_;
+  const std::vector<double>& by_;
+  const std::vector<double>& bz_;
+};
+
+}  // namespace
+
+double ewald_self_energy(const Topology& topo, double beta) {
+  double q2 = 0.0;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const double q = topo.atom(i).charge;
+    q2 += q * q;
+  }
+  return -units::kCoulomb * beta / std::sqrt(std::numbers::pi) * q2;
+}
+
+double ewald_exclusion_correction(const Topology& topo, const Box& box,
+                                  const std::vector<Vec3>& pos, double beta,
+                                  std::vector<Vec3>& forces, int shard,
+                                  int stride) {
+  REPRO_REQUIRE(stride >= 1 && shard >= 0 && shard < stride,
+                "bad shard/stride");
+  double energy = 0.0;
+  const auto& pairs = topo.excluded_pairs();
+  for (std::size_t t = static_cast<std::size_t>(shard); t < pairs.size();
+       t += static_cast<std::size_t>(stride)) {
+    const auto [i, j] = pairs[t];
+    const double qq =
+        units::kCoulomb * topo.atom(i).charge * topo.atom(j).charge;
+    if (qq == 0.0) continue;
+    const Vec3 d = box.min_image(pos[static_cast<std::size_t>(i)] -
+                                 pos[static_cast<std::size_t>(j)]);
+    const double r = util::norm(d);
+    const double br = beta * r;
+    const double erf_br = std::erf(br);
+    energy -= qq * erf_br / r;
+    // E = -qq erf(br)/r; dE/dr = -qq [2b/sqrt(pi) e^{-b^2r^2}/r - erf/r^2].
+    const double dEdr =
+        -qq * (2.0 * beta / std::sqrt(std::numbers::pi) *
+                   std::exp(-br * br) / r -
+               erf_br / (r * r));
+    const Vec3 f = d * (-dEdr / r);
+    forces[static_cast<std::size_t>(i)] += f;
+    forces[static_cast<std::size_t>(j)] -= f;
+  }
+  return energy;
+}
+
+// --- SerialPme --------------------------------------------------------------
+
+SerialPme::SerialPme(const PmeParams& params, const Box& box)
+    : params_(params),
+      box_(box),
+      fft_(params.nx, params.ny, params.nz),
+      modx_(bspline_moduli(params.nx, params.order)),
+      mody_(bspline_moduli(params.ny, params.order)),
+      modz_(bspline_moduli(params.nz, params.order)),
+      grid_(params.nx * params.ny * params.nz) {}
+
+double SerialPme::reciprocal(const Topology& topo,
+                             const std::vector<Vec3>& pos,
+                             std::vector<Vec3>& forces, PmeWork* work) {
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  REPRO_REQUIRE(pos.size() == n, "position array size mismatch");
+  const int order = params_.order;
+  const auto K = static_cast<double>(grid_.size());
+
+  std::vector<AtomSpline> splines(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    splines[i] = make_spline(params_, box_, pos[i]);
+  }
+
+  // Charge spreading.
+  std::fill(grid_.begin(), grid_.end(), fft::Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    const AtomSpline& s = splines[i];
+    for (int jx = 0; jx < order; ++jx) {
+      const std::size_t kx = line(s, 0, jx, params_.nx);
+      for (int jy = 0; jy < order; ++jy) {
+        const std::size_t ky = line(s, 1, jy, params_.ny);
+        const double wxy = q * s.w[0][jx] * s.w[1][jy];
+        for (int jz = 0; jz < order; ++jz) {
+          const std::size_t kz = line(s, 2, jz, params_.nz);
+          grid_[(kx * params_.ny + ky) * params_.nz + kz] +=
+              wxy * s.w[2][jz];
+        }
+      }
+    }
+  }
+
+  fft_.forward(grid_.data());
+
+  // Convolution + energy.
+  const Influence fac(params_, box_, modx_, mody_, modz_);
+  double energy = 0.0;
+  for (std::size_t mx = 0; mx < params_.nx; ++mx) {
+    for (std::size_t my = 0; my < params_.ny; ++my) {
+      for (std::size_t mz = 0; mz < params_.nz; ++mz) {
+        const std::size_t idx = (mx * params_.ny + my) * params_.nz + mz;
+        const double f = fac(mx, my, mz);
+        energy += 0.5 * f * std::norm(grid_[idx]);
+        // K compensates the normalized inverse so the real-space grid is
+        // the unnormalized convolution (the potential phi).
+        grid_[idx] *= f * K;
+      }
+    }
+  }
+
+  fft_.inverse(grid_.data());
+
+  // Force interpolation: F_i = -q_i sum_k (dQ/dr_i) phi(k).
+  const double sx = static_cast<double>(params_.nx) / box_.lx();
+  const double sy = static_cast<double>(params_.ny) / box_.ly();
+  const double sz = static_cast<double>(params_.nz) / box_.lz();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    const AtomSpline& s = splines[i];
+    Vec3 f{};
+    for (int jx = 0; jx < order; ++jx) {
+      const std::size_t kx = line(s, 0, jx, params_.nx);
+      for (int jy = 0; jy < order; ++jy) {
+        const std::size_t ky = line(s, 1, jy, params_.ny);
+        for (int jz = 0; jz < order; ++jz) {
+          const std::size_t kz = line(s, 2, jz, params_.nz);
+          const double phi =
+              grid_[(kx * params_.ny + ky) * params_.nz + kz].real();
+          f.x += s.dw[0][jx] * s.w[1][jy] * s.w[2][jz] * phi;
+          f.y += s.w[0][jx] * s.dw[1][jy] * s.w[2][jz] * phi;
+          f.z += s.w[0][jx] * s.w[1][jy] * s.dw[2][jz] * phi;
+        }
+      }
+    }
+    forces[i] -= Vec3{f.x * sx, f.y * sy, f.z * sz} * q;
+  }
+
+  if (work != nullptr) {
+    work->atoms_spread += n;
+    work->stencil_points +=
+        2 * n * static_cast<std::size_t>(order * order * order);
+    work->mesh_points += grid_.size();
+    work->fft_flops += 2.0 * fft_.flops();
+  }
+  return energy;
+}
+
+// --- ParallelPme -------------------------------------------------------------
+
+ParallelPme::ParallelPme(const PmeParams& params, const Box& box,
+                         middleware::Middleware& mw,
+                         std::function<void(double)> charge_compute)
+    : params_(params),
+      box_(box),
+      mw_(mw),
+      charge_(std::move(charge_compute)),
+      pfft_(params.nx, params.ny, params.nz, mw, charge_),
+      modx_(bspline_moduli(params.nx, params.order)),
+      mody_(bspline_moduli(params.ny, params.order)),
+      modz_(bspline_moduli(params.nz, params.order)),
+      xslab_(pfft_.x_slab_size()),
+      zslab_(pfft_.z_slab_size()) {}
+
+double ParallelPme::reciprocal(const Topology& topo,
+                               const std::vector<Vec3>& pos,
+                               std::vector<Vec3>& forces, PmeWork* work) {
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  REPRO_REQUIRE(pos.size() == n, "position array size mismatch");
+  const int order = params_.order;
+  const int me = mw_.rank();
+  const std::size_t xb = pfft_.x_slabs().begin(me);
+  const std::size_t xe = pfft_.x_slabs().end(me);
+  const auto K =
+      static_cast<double>(params_.nx * params_.ny * params_.nz);
+
+  // Spread the charges of every atom whose x-stencil intersects my slab,
+  // onto the owned x-planes only. Positions are replicated, so no
+  // communication is needed here; boundary atoms are handled by the slabs
+  // on both sides, each accumulating its own planes.
+  std::fill(xslab_.begin(), xslab_.end(), fft::Complex(0, 0));
+  std::size_t atoms_touched = 0;
+  std::size_t stencil = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    // Cheap rejection on the x-coordinate before computing full splines.
+    const double ux = frac_coord(pos[i].x, box_.lx(), params_.nx);
+    const int k0x = static_cast<int>(std::floor(ux));
+    bool touches = false;
+    for (int jx = 0; jx < order && !touches; ++jx) {
+      int kx = k0x - jx;
+      if (kx < 0) kx += static_cast<int>(params_.nx);
+      touches = static_cast<std::size_t>(kx) >= xb &&
+                static_cast<std::size_t>(kx) < xe;
+    }
+    if (!touches) continue;
+    ++atoms_touched;
+    const AtomSpline s = make_spline(params_, box_, pos[i]);
+    for (int jx = 0; jx < order; ++jx) {
+      const std::size_t kx = line(s, 0, jx, params_.nx);
+      if (kx < xb || kx >= xe) continue;
+      const std::size_t lx = kx - xb;
+      for (int jy = 0; jy < order; ++jy) {
+        const std::size_t ky = line(s, 1, jy, params_.ny);
+        const double wxy = q * s.w[0][jx] * s.w[1][jy];
+        for (int jz = 0; jz < order; ++jz) {
+          const std::size_t kz = line(s, 2, jz, params_.nz);
+          xslab_[(lx * params_.ny + ky) * params_.nz + kz] +=
+              wxy * s.w[2][jz];
+          ++stencil;
+        }
+      }
+    }
+  }
+  if (charge_) {
+    // ~6 flops per atom for the rejection test, ~20 per stencil update.
+    charge_(6.0 * static_cast<double>(n) + 20.0 * static_cast<double>(stencil));
+  }
+
+  pfft_.forward(xslab_.data(), zslab_.data());
+
+  // Convolution over my z-planes of k-space; z-slab layout is [lz][ny][nx].
+  const Influence fac(params_, box_, modx_, mody_, modz_);
+  const std::size_t zb = pfft_.z_slabs().begin(me);
+  const std::size_t lz = pfft_.local_z_count();
+  double energy = 0.0;
+  for (std::size_t zl = 0; zl < lz; ++zl) {
+    const std::size_t mz = zb + zl;
+    for (std::size_t my = 0; my < params_.ny; ++my) {
+      for (std::size_t mx = 0; mx < params_.nx; ++mx) {
+        const std::size_t idx = (zl * params_.ny + my) * params_.nx + mx;
+        const double f = fac(mx, my, mz);
+        energy += 0.5 * f * std::norm(zslab_[idx]);
+        zslab_[idx] *= f * K;
+      }
+    }
+  }
+  if (charge_) {
+    charge_(12.0 * static_cast<double>(lz * params_.ny * params_.nx));
+  }
+
+  pfft_.backward(zslab_.data(), xslab_.data());
+
+  // Force interpolation over owned x-planes; partial sums are completed by
+  // the global force reduction.
+  const double sx = static_cast<double>(params_.nx) / box_.lx();
+  const double sy = static_cast<double>(params_.ny) / box_.ly();
+  const double sz = static_cast<double>(params_.nz) / box_.lz();
+  std::size_t interp_stencil = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    const double ux = frac_coord(pos[i].x, box_.lx(), params_.nx);
+    const int k0x = static_cast<int>(std::floor(ux));
+    bool touches = false;
+    for (int jx = 0; jx < order && !touches; ++jx) {
+      int kx = k0x - jx;
+      if (kx < 0) kx += static_cast<int>(params_.nx);
+      touches = static_cast<std::size_t>(kx) >= xb &&
+                static_cast<std::size_t>(kx) < xe;
+    }
+    if (!touches) continue;
+    const AtomSpline s = make_spline(params_, box_, pos[i]);
+    Vec3 f{};
+    for (int jx = 0; jx < order; ++jx) {
+      const std::size_t kx = line(s, 0, jx, params_.nx);
+      if (kx < xb || kx >= xe) continue;
+      const std::size_t lx = kx - xb;
+      for (int jy = 0; jy < order; ++jy) {
+        const std::size_t ky = line(s, 1, jy, params_.ny);
+        for (int jz = 0; jz < order; ++jz) {
+          const std::size_t kz = line(s, 2, jz, params_.nz);
+          const double phi =
+              xslab_[(lx * params_.ny + ky) * params_.nz + kz].real();
+          f.x += s.dw[0][jx] * s.w[1][jy] * s.w[2][jz] * phi;
+          f.y += s.w[0][jx] * s.dw[1][jy] * s.w[2][jz] * phi;
+          f.z += s.w[0][jx] * s.w[1][jy] * s.dw[2][jz] * phi;
+          ++interp_stencil;
+        }
+      }
+    }
+    forces[i] -= Vec3{f.x * sx, f.y * sy, f.z * sz} * q;
+  }
+  if (charge_) {
+    charge_(6.0 * static_cast<double>(n) +
+            22.0 * static_cast<double>(interp_stencil));
+  }
+
+  if (work != nullptr) {
+    work->atoms_spread += atoms_touched;
+    work->stencil_points += stencil + interp_stencil;
+    work->mesh_points += lz * params_.ny * params_.nx;
+  }
+  return energy;
+}
+
+}  // namespace repro::pme

@@ -1,0 +1,104 @@
+// Smooth particle-mesh Ewald (Essmann et al., J. Chem. Phys. 103:8577).
+//
+// The total electrostatic energy under PME is
+//   E = E_direct (erfc, in the short-range non-bonded loop)
+//     + E_reciprocal (charge mesh + 3-D FFT convolution, here)
+//     + E_self + E_exclusion-correction (analytic, here).
+//
+// Two implementations share the spline/influence machinery:
+//  - SerialPme: full grid + sequential 3-D FFT (reference, examples).
+//  - ParallelPme: x-slab decomposition on top of ParallelFft3D; the only
+//    communication is the two all-to-all personalized transposes inside
+//    the forward/backward FFTs, matching the structure in the paper's
+//    Figure 2. Per-rank partial energies/forces are combined by the
+//    caller's global reduction (the classic part's collective).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "fft/parallel_fft.hpp"
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::pme {
+
+struct PmeParams {
+  std::size_t nx = 32, ny = 32, nz = 32;
+  int order = 4;       // B-spline interpolation order
+  double beta = 0.34;  // Ewald splitting parameter (1/Å)
+};
+
+// Work counters for the simulator's compute-cost model.
+struct PmeWork {
+  std::size_t atoms_spread = 0;       // atoms this rank spread/interpolated
+  std::size_t stencil_points = 0;     // grid points touched (spread+interp)
+  std::size_t mesh_points = 0;        // k-space points convolved
+  double fft_flops = 0.0;
+};
+
+// E_self = -kCoulomb * beta/sqrt(pi) * sum q_i^2.
+double ewald_self_energy(const md::Topology& topo, double beta);
+
+// Correction for excluded pairs (whose full interaction is contained in the
+// mesh term): subtracts kCoulomb q_i q_j erf(beta r)/r with forces. Shard
+// semantics as in the md kernels. Returns the energy contribution.
+double ewald_exclusion_correction(const md::Topology& topo,
+                                  const md::Box& box,
+                                  const std::vector<util::Vec3>& pos,
+                                  double beta,
+                                  std::vector<util::Vec3>& forces,
+                                  int shard = 0, int stride = 1);
+
+class SerialPme {
+ public:
+  SerialPme(const PmeParams& params, const md::Box& box);
+
+  // Computes the reciprocal-space energy and accumulates forces on all
+  // atoms. Positions may lie outside the box (wrapped internally).
+  double reciprocal(const md::Topology& topo,
+                    const std::vector<util::Vec3>& pos,
+                    std::vector<util::Vec3>& forces, PmeWork* work = nullptr);
+
+  const PmeParams& params() const { return params_; }
+
+ private:
+  PmeParams params_;
+  md::Box box_;
+  fft::Fft3D fft_;
+  std::vector<double> modx_, mody_, modz_;
+  std::vector<fft::Complex> grid_;
+};
+
+class ParallelPme {
+ public:
+  // `charge_compute` converts flops to simulated time (may be empty).
+  ParallelPme(const PmeParams& params, const md::Box& box,
+              middleware::Middleware& mw,
+              std::function<void(double flops)> charge_compute = {});
+
+  // Slab-parallel reciprocal sum. Returns this rank's *partial* energy;
+  // forces accumulated are partial too — both become total after the
+  // caller's global sum. Work counters let the caller charge spread/
+  // interpolation cost (FFT cost is charged internally via the hook).
+  double reciprocal(const md::Topology& topo,
+                    const std::vector<util::Vec3>& pos,
+                    std::vector<util::Vec3>& forces, PmeWork* work = nullptr);
+
+  const PmeParams& params() const { return params_; }
+
+ private:
+  PmeParams params_;
+  md::Box box_;
+  middleware::Middleware& mw_;
+  std::function<void(double)> charge_;
+  fft::ParallelFft3D pfft_;
+  std::vector<double> modx_, mody_, modz_;
+  std::vector<fft::Complex> xslab_;
+  std::vector<fft::Complex> zslab_;
+};
+
+}  // namespace repro::pme

@@ -1,0 +1,240 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace repro::sim {
+
+namespace {
+
+// One-slot handshake: the owner may run only while `turn` is set. Used for
+// both the scheduler and each rank thread; exactly one party holds its turn
+// at any time, which serializes the whole simulation deterministically.
+struct TurnSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool turn = false;
+
+  void wait_for_turn() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return turn; });
+    turn = false;
+  }
+  void give_turn() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      turn = true;
+    }
+    cv.notify_one();
+  }
+};
+
+}  // namespace
+
+// One simulated rank: its thread, clock, state, inbox, and handshake slot.
+struct Engine::Rank {
+  explicit Rank(int id_) : id(id_) {}
+
+  int id;
+  double clock = 0.0;
+  State state = State::Ready;
+  std::deque<Delivery> inbox;
+  std::thread thread;
+  TurnSlot slot;
+};
+
+Engine::Engine(int nranks) {
+  REPRO_REQUIRE(nranks >= 1, "engine needs at least one rank");
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_.push_back(std::make_unique<Rank>(r));
+  }
+}
+
+Engine::~Engine() = default;
+
+int RankCtx::size() const { return engine_->size(); }
+double RankCtx::now() const { return engine_->now(rank_); }
+void RankCtx::advance(double dt) { engine_->advance(rank_, dt); }
+void RankCtx::checkpoint() { engine_->checkpoint(rank_); }
+void RankCtx::block() { engine_->block(rank_); }
+void RankCtx::post(double time, int dst, std::any payload) {
+  engine_->post(time, dst, std::move(payload));
+}
+std::deque<Delivery>& RankCtx::inbox() { return engine_->inbox(rank_); }
+
+double Engine::now(int rank) const { return ranks_[rank]->clock; }
+
+void Engine::advance(int rank, double dt) {
+  REPRO_REQUIRE(dt >= 0.0, "cannot advance a clock backwards");
+  ranks_[rank]->clock += dt;
+}
+
+void Engine::yield_to_scheduler(int rank) {
+  Rank& r = *ranks_[rank];
+  ++context_switches_;
+  static_cast<TurnSlot*>(sched_slot_)->give_turn();
+  r.slot.wait_for_turn();
+  if (aborting_) throw AbortRun{};
+}
+
+void Engine::checkpoint(int rank) {
+  // State stays Ready; the scheduler resumes us once we are the
+  // minimum-clock runnable rank and all due events are delivered.
+  yield_to_scheduler(rank);
+}
+
+void Engine::block(int rank) {
+  ranks_[rank]->state = State::Blocked;
+  yield_to_scheduler(rank);
+}
+
+void Engine::post(double time, int dst, std::any payload) {
+  REPRO_REQUIRE(dst >= 0 && dst < size(), "post: bad destination rank");
+  event_heap_.push_back(Event{time, next_seq_++, dst, std::move(payload)});
+  std::push_heap(event_heap_.begin(), event_heap_.end(), std::greater<>{});
+}
+
+std::deque<Delivery>& Engine::inbox(int rank) { return ranks_[rank]->inbox; }
+
+void Engine::deliver_front_event() {
+  std::pop_heap(event_heap_.begin(), event_heap_.end(), std::greater<>{});
+  Event ev = std::move(event_heap_.back());
+  event_heap_.pop_back();
+  ++events_processed_;
+  Rank& dst = *ranks_[ev.dst];
+  dst.inbox.push_back(Delivery{ev.time, ev.seq, std::move(ev.payload)});
+  if (dst.state == State::Blocked) {
+    dst.state = State::Ready;
+    // A woken rank resumes no earlier than the arrival that woke it.
+    dst.clock = std::max(dst.clock, ev.time);
+  }
+}
+
+int Engine::pick_next_ready() const {
+  int best = -1;
+  for (const auto& r : ranks_) {
+    if (r->state != State::Ready) continue;
+    if (best < 0 || r->clock < ranks_[best]->clock) best = r->id;
+  }
+  return best;
+}
+
+void Engine::resume(int rank) {
+  ranks_[rank]->slot.give_turn();
+  static_cast<TurnSlot*>(sched_slot_)->wait_for_turn();
+}
+
+void Engine::deadlock(const std::string& where) const {
+  std::ostringstream os;
+  os << "simulation deadlock (" << where << "); rank states:";
+  for (const auto& r : ranks_) {
+    os << " [rank " << r->id << ": "
+       << (r->state == State::Ready
+               ? "ready"
+               : (r->state == State::Blocked ? "blocked" : "done"))
+       << " @t=" << r->clock << " inbox=" << r->inbox.size() << "]";
+  }
+  throw util::Error(os.str());
+}
+
+void Engine::scheduler_loop() {
+  for (;;) {
+    bool any_live = false;
+    for (const auto& r : ranks_) {
+      if (r->state != State::Done) any_live = true;
+    }
+    if (!any_live) return;
+    if (first_error_ && !aborting_) {
+      // Tear down remaining ranks: each resume throws AbortRun in the rank
+      // thread, unwinding it to completion.
+      aborting_ = true;
+    }
+    if (aborting_) {
+      for (auto& r : ranks_) {
+        if (r->state != State::Done) {
+          r->state = State::Ready;  // unblock so the abort can propagate
+          resume(r->id);
+        }
+      }
+      continue;
+    }
+
+    const int next = pick_next_ready();
+    if (next < 0) {
+      // Nobody is runnable: the next event (if any) must wake someone.
+      if (event_heap_.empty()) deadlock("no ready ranks, no pending events");
+      deliver_front_event();
+      continue;
+    }
+    // Deliver every event due at or before the chosen rank's clock so that
+    // its view of the world is complete when it runs. An event delivery can
+    // wake a rank with an even smaller clock, so re-pick afterwards.
+    if (!event_heap_.empty() &&
+        event_heap_.front().time <= ranks_[next]->clock) {
+      deliver_front_event();
+      continue;
+    }
+    resume(next);
+  }
+}
+
+void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
+  TurnSlot sched_slot;
+  sched_slot_ = &sched_slot;
+
+  for (auto& r : ranks_) {
+    r->state = State::Ready;
+    r->clock = 0.0;
+    r->inbox.clear();
+    Rank* rp = r.get();
+    r->thread = std::thread([this, rp, &rank_main] {
+      rp->slot.wait_for_turn();
+      try {
+        if (!aborting_) {
+          RankCtx ctx(this, rp->id);
+          rank_main(ctx);
+        }
+      } catch (const AbortRun&) {
+        // torn down after another rank failed
+      } catch (...) {
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      rp->state = State::Done;
+      static_cast<TurnSlot*>(sched_slot_)->give_turn();
+    });
+  }
+
+  std::exception_ptr scheduler_error;
+  try {
+    scheduler_loop();
+  } catch (...) {
+    // Deadlock: abort remaining ranks, then rethrow below.
+    scheduler_error = std::current_exception();
+    aborting_ = true;
+    for (auto& r : ranks_) {
+      if (r->state != State::Done && r->thread.joinable()) {
+        resume(r->id);
+      }
+    }
+  }
+
+  for (auto& r : ranks_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  sched_slot_ = nullptr;
+
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  if (scheduler_error) std::rethrow_exception(scheduler_error);
+}
+
+}  // namespace repro::sim

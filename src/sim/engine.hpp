@@ -1,0 +1,147 @@
+// Conservative discrete-event engine for simulating a cluster of ranks.
+//
+// Each simulated rank runs as a real OS thread executing arbitrary C++ code
+// (the actual MD computation), but *time* is virtual: every rank owns a
+// virtual clock that is advanced explicitly (compute costs, communication
+// costs). The engine serializes execution — exactly one rank thread (or the
+// scheduler) runs at any instant — and always resumes the runnable rank with
+// the smallest virtual clock. Cross-rank effects (message arrivals) are
+// global events processed in virtual-time order.
+//
+// Correctness argument (conservative order): a rank is resumed only when its
+// clock is the minimum over all runnable ranks and no pending event is
+// earlier. Any message is scheduled with an arrival time no earlier than its
+// sender's clock at the send, so when a rank executes at time t, every
+// arrival <= t has already been delivered to its inbox. Ties are broken
+// deterministically (event sequence numbers, then rank ids), which makes
+// whole simulations bit-reproducible.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::sim {
+
+class Engine;
+
+// A message (or any payload) delivered to a rank at a virtual time.
+struct Delivery {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // global order among equal-time deliveries
+  std::any payload;
+};
+
+// Per-rank handle passed to the rank main function. All methods must be
+// called from that rank's thread only.
+class RankCtx {
+ public:
+  RankCtx(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+  double now() const;
+
+  // Advances this rank's virtual clock (e.g. modeled computation time).
+  // Cheap: does not reschedule.
+  void advance(double dt);
+
+  // Yields to the scheduler so that global virtual-time order is
+  // re-established. Must be called before inspecting the inbox or touching
+  // any state shared between ranks (the network resources, the message
+  // store): after checkpoint() returns, every event with arrival <= now()
+  // has been delivered and no other rank with a smaller clock is runnable.
+  void checkpoint();
+
+  // Blocks this rank until a new delivery arrives for it (the engine wakes
+  // it with the delivery's time). Returns with now() >= the waking
+  // delivery's time.
+  void block();
+
+  // Schedules a payload for delivery to rank dst at virtual time `time`
+  // (must be >= now()).
+  void post(double time, int dst, std::any payload);
+
+  // Deliveries for this rank in arrival order. The consumer (e.g. the
+  // simulated MPI layer) owns matching/removal semantics.
+  std::deque<Delivery>& inbox();
+
+ private:
+  Engine* engine_;
+  int rank_;
+};
+
+// Thrown inside rank threads when the run is being torn down after an error
+// in some other rank; rank code should let it propagate.
+struct AbortRun {};
+
+class Engine {
+ public:
+  explicit Engine(int nranks);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  // Runs `rank_main` once per rank to completion. Throws util::Error on
+  // deadlock (every live rank blocked with no pending events) and rethrows
+  // the first exception escaping a rank main.
+  void run(const std::function<void(RankCtx&)>& rank_main);
+
+  // --- introspection / statistics ------------------------------------
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+
+ private:
+  friend class RankCtx;
+
+  enum class State { Ready, Blocked, Done };
+
+  struct Rank;
+
+  double now(int rank) const;
+  void advance(int rank, double dt);
+  void checkpoint(int rank);
+  void block(int rank);
+  void post(double time, int dst, std::any payload);
+  std::deque<Delivery>& inbox(int rank);
+
+  // Scheduler internals (run on the scheduler thread).
+  void scheduler_loop();
+  void deliver_front_event();
+  int pick_next_ready() const;
+  void resume(int rank);
+  [[noreturn]] void deadlock(const std::string& where) const;
+
+  // Handoff: rank thread -> scheduler.
+  void yield_to_scheduler(int rank);
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    int dst;
+    std::any payload;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  void* sched_slot_ = nullptr;     // TurnSlot of the scheduler, valid in run()
+  std::vector<Event> event_heap_;  // min-heap via std::push_heap/greater
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t context_switches_ = 0;
+  bool aborting_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,60 @@
+// Serially-reusable simulated resources (NICs, links, interrupt CPUs).
+//
+// A Resource tracks the virtual time at which it next becomes free. Callers
+// acquire it for a duration starting no earlier than a requested time; the
+// returned interval reflects queueing behind earlier users. Because the
+// engine executes ranks in nondecreasing virtual-time order, acquisitions
+// arrive in nondecreasing request order and the single `free_at` scalar
+// models a FIFO queue exactly.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace repro::sim {
+
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+  double duration() const { return end - begin; }
+  // Time spent queued before service started, relative to the request time.
+  double wait(double requested) const { return begin - requested; }
+};
+
+class Resource {
+ public:
+  Resource() = default;
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  // Occupies the resource for `duration`, starting at the later of `at` and
+  // the time the resource frees up. Returns the service interval.
+  Interval acquire(double at, double duration) {
+    REPRO_REQUIRE(duration >= 0.0, "resource occupancy must be nonnegative");
+    const double begin = std::max(at, free_at_);
+    free_at_ = begin + duration;
+    busy_ += duration;
+    ++acquisitions_;
+    return Interval{begin, free_at_};
+  }
+
+  double free_at() const { return free_at_; }
+  double busy_time() const { return busy_; }
+  std::size_t acquisitions() const { return acquisitions_; }
+  const std::string& name() const { return name_; }
+
+  void reset() {
+    free_at_ = 0.0;
+    busy_ = 0.0;
+    acquisitions_ = 0;
+  }
+
+ private:
+  std::string name_;
+  double free_at_ = 0.0;
+  double busy_ = 0.0;
+  std::size_t acquisitions_ = 0;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,784 @@
+#include "sysbuild/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace repro::sysbuild {
+
+namespace {
+
+using md::Box;
+using md::Topology;
+using util::Rng;
+using util::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kDeg = kPi / 180.0;
+
+// --- spatial hash for clash checks ----------------------------------------
+
+class HashGrid {
+ public:
+  // Periodic spatial hash over `box`; all distances use minimum image so
+  // clash checks agree with what the force field will later see.
+  HashGrid(const Box& box, double cell) : box_(box) {
+    nc_[0] = std::max(3, static_cast<int>(box.lx() / cell));
+    nc_[1] = std::max(3, static_cast<int>(box.ly() / cell));
+    nc_[2] = std::max(3, static_cast<int>(box.lz() / cell));
+  }
+
+  void insert(const Vec3& r, int id) {
+    cells_[key(box_.wrap(r))].emplace_back(id, box_.wrap(r));
+  }
+
+  // Distance from r to the nearest inserted point, ignoring ids in `skip`
+  // (a short list of bonded partners). Huge when nothing is nearby.
+  double nearest(const Vec3& r, const std::vector<int>& skip = {}) const {
+    Vec3 unused;
+    return nearest_with_pos(r, skip, unused);
+  }
+
+  double nearest_with_pos(const Vec3& r, const std::vector<int>& skip,
+                          Vec3& nearest_pos) const {
+    double best = 1e30;
+    const Vec3 rw = box_.wrap(r);
+    const auto [cx, cy, cz] = coords(rw);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const auto it =
+              cells_.find(pack((cx + dx + nc_[0]) % nc_[0],
+                               (cy + dy + nc_[1]) % nc_[1],
+                               (cz + dz + nc_[2]) % nc_[2]));
+          if (it == cells_.end()) continue;
+          for (const auto& [id, p] : it->second) {
+            if (std::find(skip.begin(), skip.end(), id) != skip.end()) {
+              continue;
+            }
+            const double d = util::norm(box_.min_image(p - rw));
+            if (d < best) {
+              best = d;
+              nearest_pos = p;
+            }
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::tuple<int, int, int> coords(const Vec3& rw) const {
+    auto idx = [](double x, double len, int n) {
+      int c = static_cast<int>(x / len * n);
+      return std::clamp(c, 0, n - 1);
+    };
+    return {idx(rw.x, box_.lx(), nc_[0]), idx(rw.y, box_.ly(), nc_[1]),
+            idx(rw.z, box_.lz(), nc_[2])};
+  }
+  static long long pack(int x, int y, int z) {
+    return (static_cast<long long>(x) << 42) |
+           (static_cast<long long>(y) << 21) | z;
+  }
+  long long key(const Vec3& rw) const {
+    const auto [x, y, z] = coords(rw);
+    return pack(x, y, z);
+  }
+
+  Box box_;
+  int nc_[3];
+  std::unordered_map<long long, std::vector<std::pair<int, Vec3>>> cells_;
+};
+
+// --- planned system ---------------------------------------------------------
+
+struct PlannedAtom {
+  Vec3 pos;
+  double mass = 12.011;
+  double charge = 0.0;
+  double eps = 0.08;
+  double rmin_half = 2.0;
+  bool hydrogen = false;
+};
+
+struct Plan {
+  std::vector<PlannedAtom> atoms;
+  std::vector<std::pair<int, int>> bonds;
+
+  int add(const PlannedAtom& a) {
+    atoms.push_back(a);
+    return static_cast<int>(atoms.size()) - 1;
+  }
+  void bond(int i, int j) { bonds.emplace_back(i, j); }
+};
+
+PlannedAtom heavy_atom(const Vec3& pos, double mass = 12.011,
+                       double rmin_half = 2.0, double eps = 0.08) {
+  PlannedAtom a;
+  a.pos = pos;
+  a.mass = mass;
+  a.rmin_half = rmin_half;
+  a.eps = eps;
+  return a;
+}
+
+PlannedAtom h_atom(const Vec3& pos) {
+  PlannedAtom a;
+  a.pos = pos;
+  a.mass = 1.008;
+  a.eps = 0.035;
+  a.rmin_half = 0.95;
+  a.hydrogen = true;
+  return a;
+}
+
+Vec3 random_unit(Rng& rng) {
+  for (;;) {
+    const Vec3 v{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double n2 = util::norm2(v);
+    if (n2 > 0.01 && n2 < 1.0) return v / std::sqrt(n2);
+  }
+}
+
+// Places a new atom bonded to `anchor` at the given bond length, preferring
+// the direction `bias` but retrying with random perturbations until it is
+// at least `min_dist` from every non-partner atom.
+Vec3 place_bonded(Rng& rng, const HashGrid& grid, const Vec3& anchor,
+                  const Vec3& bias, double bond_len, double min_dist,
+                  const std::vector<int>& skip) {
+  Vec3 best_pos = anchor + util::normalized(bias) * bond_len;
+  double best_sep = -1.0;
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    // First try the biased direction, then increasingly random ones.
+    const double mix = attempt == 0 ? 0.0 : (attempt < 24 ? 0.8 : 2.5);
+    const Vec3 dir = util::normalized(bias + random_unit(rng) * mix);
+    const Vec3 cand = anchor + dir * bond_len;
+    const double sep = grid.nearest(cand, skip);
+    if (sep > best_sep) {
+      best_sep = sep;
+      best_pos = cand;
+    }
+    if (sep >= min_dist) break;
+  }
+  // Hard floor: a crowded pocket must never produce a near-overlap (the
+  // r^-12 wall would dominate the whole system energy). Nudge away from
+  // the closest non-partner atom until a safe separation is reached.
+  for (int pass = 0; pass < 60 && best_sep < 1.5; ++pass) {
+    Vec3 npos;
+    best_sep = grid.nearest_with_pos(best_pos, skip, npos);
+    if (best_sep >= 1.5) break;
+    Vec3 away = best_pos - npos;
+    if (util::norm(away) < 1e-9) away = random_unit(rng);
+    // The random kick and the outward drift from the anchor break the
+    // oscillation between two crowding neighbors; stretching the bond is
+    // harmless because equilibrium lengths come from the built geometry.
+    best_pos += util::normalized(away) * (1.5 - best_sep + 0.05) +
+                random_unit(rng) * 0.08 +
+                util::normalized(best_pos - anchor) * 0.04;
+  }
+  return best_pos;
+}
+
+// --- bonded-term derivation -------------------------------------------------
+
+// Generates angles, dihedrals and equilibrium values from the bond graph
+// and the as-built geometry. Backbone carbonyl impropers are added by the
+// protein builder separately.
+void derive_bonded_terms(Topology& topo, const Box& box,
+                         const std::vector<Vec3>& pos) {
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  std::vector<std::vector<int>> adj(n);
+  for (auto& b : topo.bonds()) {
+    adj[static_cast<std::size_t>(b.i)].push_back(b.j);
+    adj[static_cast<std::size_t>(b.j)].push_back(b.i);
+    // Equilibrium bond length from the built geometry.
+    b.b0 = util::norm(box.min_image(pos[static_cast<std::size_t>(b.i)] -
+                                    pos[static_cast<std::size_t>(b.j)]));
+  }
+
+  auto angle_value = [&](int i, int j, int k) {
+    const Vec3 rij = box.min_image(pos[static_cast<std::size_t>(i)] -
+                                   pos[static_cast<std::size_t>(j)]);
+    const Vec3 rkj = box.min_image(pos[static_cast<std::size_t>(k)] -
+                                   pos[static_cast<std::size_t>(j)]);
+    const double c = std::clamp(
+        util::dot(rij, rkj) / (util::norm(rij) * util::norm(rkj)), -1.0, 1.0);
+    return std::acos(c);
+  };
+  auto torsion_value = [&](int i, int j, int k, int l) {
+    const Vec3 b1 = box.min_image(pos[static_cast<std::size_t>(j)] -
+                                  pos[static_cast<std::size_t>(i)]);
+    const Vec3 b2 = box.min_image(pos[static_cast<std::size_t>(k)] -
+                                  pos[static_cast<std::size_t>(j)]);
+    const Vec3 b3 = box.min_image(pos[static_cast<std::size_t>(l)] -
+                                  pos[static_cast<std::size_t>(k)]);
+    const Vec3 m = util::cross(b1, b2);
+    const Vec3 nn = util::cross(b2, b3);
+    return std::atan2(util::dot(util::cross(m, nn), b2) / util::norm(b2),
+                      util::dot(m, nn));
+  };
+
+  for (int j = 0; j < topo.natoms(); ++j) {
+    const auto& nb = adj[static_cast<std::size_t>(j)];
+    for (std::size_t a = 0; a < nb.size(); ++a) {
+      for (std::size_t b = a + 1; b < nb.size(); ++b) {
+        md::Angle ang;
+        ang.i = nb[a];
+        ang.j = j;
+        ang.k = nb[b];
+        const bool has_h = topo.atom(ang.i).mass < 2.0 ||
+                           topo.atom(ang.k).mass < 2.0;
+        ang.ktheta = has_h ? 38.0 : 52.0;
+        ang.theta0 = angle_value(ang.i, ang.j, ang.k);
+        topo.angles().push_back(ang);
+      }
+    }
+  }
+
+  for (const auto& b : topo.bonds()) {
+    for (int i : adj[static_cast<std::size_t>(b.i)]) {
+      if (i == b.j) continue;
+      for (int l : adj[static_cast<std::size_t>(b.j)]) {
+        if (l == b.i || l == i) continue;
+        md::Dihedral d;
+        d.i = i;
+        d.j = b.i;
+        d.k = b.j;
+        d.l = l;
+        d.kchi = 0.20;
+        d.n = 3;
+        // Phase chosen so the built conformation is a minimum:
+        // cos(n phi - delta) = -1  =>  delta = n phi - pi.
+        double delta = 3.0 * torsion_value(i, b.i, b.j, l) - kPi;
+        while (delta > kPi) delta -= 2.0 * kPi;
+        while (delta <= -kPi) delta += 2.0 * kPi;
+        d.delta = delta;
+        topo.dihedrals().push_back(d);
+      }
+    }
+  }
+}
+
+// --- myoglobin-like system ---------------------------------------------------
+
+struct ProteinLayout {
+  std::vector<int> residue_first_atom;
+  std::vector<int> ca_index;   // per residue
+  std::vector<int> n_index;    // per residue
+  std::vector<int> c_index;    // per residue
+  std::vector<int> o_index;    // per residue
+};
+
+// Builds the 153-residue helical-bundle protein into `plan`; returns layout
+// bookkeeping for impropers and charges.
+ProteinLayout build_protein(Plan& plan, Rng& rng, const Vec3& center,
+                            HashGrid& grid) {
+  ProteinLayout layout;
+
+  // Side-chain sizes: total protein atoms must hit kProteinAtoms exactly.
+  const int backbone_per_res = 6;  // N, HN, CA, HA, C, O
+  const int sidechain_total =
+      kProteinAtoms - kProteinResidues * backbone_per_res;
+  std::vector<int> sc_size(kProteinResidues);
+  int assigned = 0;
+  for (int r = 0; r < kProteinResidues; ++r) {
+    sc_size[static_cast<std::size_t>(r)] =
+        4 + static_cast<int>(rng.uniform_index(13));  // 4..16
+    assigned += sc_size[static_cast<std::size_t>(r)];
+  }
+  // Adjust until the total is exact, keeping sizes within [1, 18].
+  int idx = 0;
+  while (assigned != sidechain_total) {
+    auto& s = sc_size[static_cast<std::size_t>(idx % kProteinResidues)];
+    if (assigned < sidechain_total && s < 18) {
+      ++s;
+      ++assigned;
+    } else if (assigned > sidechain_total && s > 1) {
+      --s;
+      --assigned;
+    }
+    ++idx;
+  }
+
+  // Four antiparallel helical segments in a bundle along x.
+  const int seg_sizes[4] = {39, 38, 38, 38};
+  const double bundle_off = 5.6;
+  const Vec3 seg_offsets[4] = {{0, -bundle_off, -bundle_off},
+                               {0, -bundle_off, bundle_off},
+                               {0, bundle_off, -bundle_off},
+                               {0, bundle_off, bundle_off}};
+
+  // Helix geometry: 1.5 Å rise, 100 deg twist, 2.3 Å CA radius.
+  std::vector<Vec3> ca(kProteinResidues);
+  std::vector<int> seg_of(kProteinResidues);
+  {
+    int res = 0;
+    for (int s = 0; s < 4; ++s) {
+      const int nres = seg_sizes[s];
+      const double dir = (s % 2 == 0) ? 1.0 : -1.0;
+      const double len = 1.5 * (nres - 1);
+      const Vec3 base = center + seg_offsets[s] - Vec3{dir * len / 2, 0, 0};
+      for (int i = 0; i < nres; ++i, ++res) {
+        const double t = 1.5 * i;
+        const double ang = 100.0 * kDeg * i;
+        ca[static_cast<std::size_t>(res)] =
+            base + Vec3{dir * t, 2.3 * std::cos(ang), 2.3 * std::sin(ang)};
+        seg_of[static_cast<std::size_t>(res)] = s;
+      }
+    }
+  }
+
+  // Atom index layout per residue: [N, HN, CA, HA, C, O, side chain...].
+  std::vector<int> first_atom(kProteinResidues + 1);
+  first_atom[0] = static_cast<int>(plan.atoms.size());
+  for (int r = 0; r < kProteinResidues; ++r) {
+    first_atom[static_cast<std::size_t>(r) + 1] =
+        first_atom[static_cast<std::size_t>(r)] + 6 +
+        sc_size[static_cast<std::size_t>(r)];
+  }
+
+  // Pass A: place and register the whole backbone first, so side chains can
+  // never collide with a backbone atom that has not been built yet.
+  struct Frame {
+    Vec3 n, hn, ca, ha, c, o;
+    Vec3 radial, binormal;
+  };
+  std::vector<Frame> frames(kProteinResidues);
+  for (int r = 0; r < kProteinResidues; ++r) {
+    const Vec3 ca_r = ca[static_cast<std::size_t>(r)];
+    // Tangents are computed within the residue's own helical segment; a
+    // neighbor across a segment boundary lies on the far side of the
+    // bundle and would degenerate the local frame.
+    const bool has_prev =
+        r > 0 && seg_of[static_cast<std::size_t>(r - 1)] ==
+                     seg_of[static_cast<std::size_t>(r)];
+    const bool has_next =
+        r + 1 < kProteinResidues &&
+        seg_of[static_cast<std::size_t>(r + 1)] ==
+            seg_of[static_cast<std::size_t>(r)];
+    Vec3 t_pre = has_prev ? util::normalized(
+                                ca_r - ca[static_cast<std::size_t>(r - 1)])
+                          : Vec3{};
+    Vec3 t_next = has_next
+                      ? util::normalized(
+                            ca[static_cast<std::size_t>(r + 1)] - ca_r)
+                      : Vec3{};
+    if (!has_prev) t_pre = t_next;
+    if (!has_next) t_next = t_pre;
+    Vec3 seg_center = ca_r;
+    seg_center.y = center.y + ((ca_r.y > center.y) ? bundle_off : -bundle_off);
+    seg_center.z = center.z + ((ca_r.z > center.z) ? bundle_off : -bundle_off);
+    Vec3 radial = ca_r - seg_center;
+    radial.x = 0;
+    if (util::norm(radial) < 0.2) radial = Vec3{0, 1, 0};
+    radial = util::normalized(radial);
+    const Vec3 binormal = util::normalized(util::cross(t_next, radial));
+
+    // Orthonormal local frame: e1 along the chain, e2 radially outward
+    // (orthogonalized), e3 completing it. Using an orthogonal basis keeps
+    // the intra-residue geometry identical for every residue regardless of
+    // the helix twist phase.
+    const Vec3 e1 = util::normalized(t_pre + t_next);
+    Vec3 e2 = radial - e1 * util::dot(radial, e1);
+    if (util::norm(e2) < 0.2) e2 = binormal;
+    e2 = util::normalized(e2);
+    const Vec3 e3 = util::cross(e1, e2);
+
+    Frame& f = frames[static_cast<std::size_t>(r)];
+    f.radial = e2;
+    f.binormal = e3;
+    f.n = ca_r - e1 * 1.46 + e2 * 0.30;
+    f.hn = f.n - e3 * 1.0;
+    f.ca = ca_r;
+    f.ha = ca_r + e3 * 1.09;
+    f.c = ca_r + e1 * 1.52 + e2 * 0.30;
+    f.o = f.c + util::normalized(e2 + e3 * 0.4) * 1.23;
+
+    const int base = first_atom[static_cast<std::size_t>(r)];
+    grid.insert(f.n, base);
+    grid.insert(f.hn, base + 1);
+    grid.insert(f.ca, base + 2);
+    grid.insert(f.ha, base + 3);
+    grid.insert(f.c, base + 4);
+    grid.insert(f.o, base + 5);
+  }
+
+  // Pass B: materialize atoms residue by residue, growing side chains with
+  // clash checks against everything placed so far (full backbone included).
+  for (int r = 0; r < kProteinResidues; ++r) {
+    layout.residue_first_atom.push_back(static_cast<int>(plan.atoms.size()));
+    const Frame& f = frames[static_cast<std::size_t>(r)];
+
+    const int n_i = plan.add(heavy_atom(f.n, 14.007, 1.85, 0.2));
+    const int hn_i = plan.add(h_atom(f.hn));
+    const int ca_i = plan.add(heavy_atom(f.ca, 12.011, 2.27, 0.02));
+    const int ha_i = plan.add(h_atom(f.ha));
+    const int c_i = plan.add(heavy_atom(f.c, 12.011, 2.0, 0.11));
+    const int o_i = plan.add(heavy_atom(f.o, 15.999, 1.7, 0.12));
+    layout.n_index.push_back(n_i);
+    layout.ca_index.push_back(ca_i);
+    layout.c_index.push_back(c_i);
+    layout.o_index.push_back(o_i);
+
+    plan.bond(n_i, hn_i);
+    plan.bond(n_i, ca_i);
+    plan.bond(ca_i, ha_i);
+    plan.bond(ca_i, c_i);
+    plan.bond(c_i, o_i);
+    if (r > 0) plan.bond(layout.c_index[static_cast<std::size_t>(r - 1)], n_i);
+
+    const int sc = sc_size[static_cast<std::size_t>(r)];
+    const int n_heavy = std::max(1, (sc + 1) / 2);
+    const int n_hydro = sc - n_heavy;
+    std::vector<int> heavies;
+    int anchor = ca_i;
+    for (int a = 0; a < n_heavy; ++a) {
+      if (heavies.size() >= 2 && rng.uniform() < 0.3) {
+        anchor = heavies[rng.uniform_index(heavies.size())];
+      }
+      const Vec3 anchor_pos =
+          plan.atoms[static_cast<std::size_t>(anchor)].pos;
+      const Vec3 bias = f.radial + random_unit(rng) * 0.6;
+      const Vec3 p = place_bonded(rng, grid, anchor_pos, bias, 1.52, 1.9,
+                                  {anchor});
+      const int id = plan.add(heavy_atom(p, 12.011, 2.05, 0.07));
+      plan.bond(anchor, id);
+      grid.insert(p, id);
+      heavies.push_back(id);
+      anchor = id;
+    }
+    for (int a = 0; a < n_hydro; ++a) {
+      const int host = heavies[rng.uniform_index(heavies.size())];
+      const Vec3 host_pos = plan.atoms[static_cast<std::size_t>(host)].pos;
+      const Vec3 p = place_bonded(rng, grid, host_pos, random_unit(rng), 1.09,
+                                  1.6, {host});
+      const int id = plan.add(h_atom(p));
+      plan.bond(host, id);
+      grid.insert(p, id);
+    }
+  }
+  layout.residue_first_atom.push_back(static_cast<int>(plan.atoms.size()));
+  return layout;
+}
+
+// Assigns per-residue charges: 12 residues at +1, 10 at -1, rest neutral
+// (protein net +2, balancing the sulfate's -2).
+void assign_protein_charges(Plan& plan, const ProteinLayout& layout,
+                            Rng& rng) {
+  std::vector<double> target(kProteinResidues, 0.0);
+  std::vector<int> order(kProteinResidues);
+  for (int r = 0; r < kProteinResidues; ++r) order[static_cast<std::size_t>(r)] = r;
+  for (int r = kProteinResidues - 1; r > 0; --r) {
+    std::swap(order[static_cast<std::size_t>(r)],
+              order[rng.uniform_index(static_cast<std::size_t>(r) + 1)]);
+  }
+  for (int k = 0; k < 12; ++k) target[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = 1.0;
+  for (int k = 12; k < 22; ++k) target[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = -1.0;
+
+  for (int r = 0; r < kProteinResidues; ++r) {
+    const int first = layout.residue_first_atom[static_cast<std::size_t>(r)];
+    const int last = layout.residue_first_atom[static_cast<std::size_t>(r) + 1];
+    double sum = 0.0;
+    for (int a = first; a < last; ++a) {
+      auto& atom = plan.atoms[static_cast<std::size_t>(a)];
+      atom.charge = atom.hydrogen ? 0.09 + 0.15 * rng.uniform()
+                                  : -0.25 + 0.25 * rng.uniform();
+      sum += atom.charge;
+    }
+    // Shift so the residue hits its target exactly.
+    const double shift =
+        (target[static_cast<std::size_t>(r)] - sum) / (last - first);
+    for (int a = first; a < last; ++a) {
+      plan.atoms[static_cast<std::size_t>(a)].charge += shift;
+    }
+  }
+}
+
+// TIP3P-like water at `origin`. When a grid is given, the orientation is
+// re-drawn until both hydrogens keep a safe distance from existing atoms.
+void add_water(Plan& plan, Rng& rng, const Vec3& origin,
+               const HashGrid* grid = nullptr) {
+  PlannedAtom o;
+  o.pos = origin;
+  o.mass = 15.999;
+  o.charge = -0.834;
+  o.eps = 0.1521;
+  o.rmin_half = 1.7682;
+  const int oi = plan.add(o);
+
+  const double half = 0.5 * 104.52 * kDeg;
+  const double d = 0.9572;
+  Vec3 h1_pos, h2_pos;
+  double best_sep = -1.0;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const Vec3 u = random_unit(rng);
+    Vec3 v = util::cross(u, random_unit(rng));
+    if (util::norm(v) < 0.1) v = util::cross(u, Vec3{0, 0, 1});
+    v = util::normalized(v);
+    const Vec3 a = origin + (u * std::cos(half) + v * std::sin(half)) * d;
+    const Vec3 b = origin + (u * std::cos(half) - v * std::sin(half)) * d;
+    if (grid == nullptr) {
+      h1_pos = a;
+      h2_pos = b;
+      break;
+    }
+    const double sep = std::min(grid->nearest(a), grid->nearest(b));
+    if (sep > best_sep) {
+      best_sep = sep;
+      h1_pos = a;
+      h2_pos = b;
+    }
+    if (sep >= 1.7) break;
+  }
+  auto make_h = [&](const Vec3& pos) {
+    PlannedAtom h;
+    h.pos = pos;
+    h.mass = 1.008;
+    h.charge = 0.417;
+    h.eps = 0.046;
+    h.rmin_half = 0.2245;
+    h.hydrogen = true;
+    return h;
+  };
+  const int h1 = plan.add(make_h(h1_pos));
+  const int h2 = plan.add(make_h(h2_pos));
+  plan.bond(oi, h1);
+  plan.bond(oi, h2);
+}
+
+}  // namespace
+
+BuiltSystem build_myoglobin_like(std::uint64_t seed) {
+  Rng rng(util::mix_seed(seed, 0x6d796f67));
+  const Box box(80.0, 36.0, 48.0);
+  const Vec3 center{40.0, 18.0, 24.0};
+
+  Plan plan;
+  HashGrid grid(box, 3.0);
+  const ProteinLayout layout = build_protein(plan, rng, center, grid);
+  REPRO_REQUIRE(static_cast<int>(plan.atoms.size()) == kProteinAtoms,
+                "protein atom count drifted from the paper's 2534");
+  assign_protein_charges(plan, layout, rng);
+  const int protein_end = static_cast<int>(plan.atoms.size());
+
+  // Carbonmonoxide near the bundle core (myoglobin's ligand).
+  {
+    const Vec3 c_pos = place_bonded(rng, grid, center, random_unit(rng), 2.8,
+                                    2.3, {});
+    PlannedAtom c = heavy_atom(c_pos, 12.011, 2.0, 0.1);
+    c.charge = 0.021;
+    const int ci = plan.add(c);
+    grid.insert(c_pos, ci);
+    const Vec3 o_pos = place_bonded(rng, grid, c_pos, random_unit(rng), 1.128,
+                                    1.0, {ci});
+    PlannedAtom o = heavy_atom(o_pos, 15.999, 1.7, 0.12);
+    o.charge = -0.021;
+    const int oi = plan.add(o);
+    grid.insert(o_pos, oi);
+    plan.bond(ci, oi);
+  }
+
+  // Sulfate ion (net -2) near the protein surface.
+  {
+    Vec3 s_pos;
+    for (int attempt = 0;; ++attempt) {
+      s_pos = center + random_unit(rng) * rng.uniform(14.0, 17.0);
+      if (grid.nearest(s_pos) > 3.2 || attempt > 200) break;
+    }
+    PlannedAtom s = heavy_atom(s_pos, 32.06, 2.2, 0.45);
+    s.charge = 1.0;
+    const int si = plan.add(s);
+    grid.insert(s_pos, si);
+    const Vec3 t1 = random_unit(rng);
+    Vec3 t2 = util::normalized(util::cross(t1, random_unit(rng)));
+    const Vec3 t3 = util::cross(t1, t2);
+    const Vec3 dirs[4] = {t1, -t1 * (1.0 / 3.0) + t2 * (2.0 * std::sqrt(2.0) / 3.0),
+                          -t1 * (1.0 / 3.0) - t2 * (std::sqrt(2.0) / 3.0) +
+                              t3 * (std::sqrt(2.0 / 3.0)),
+                          -t1 * (1.0 / 3.0) - t2 * (std::sqrt(2.0) / 3.0) -
+                              t3 * (std::sqrt(2.0 / 3.0))};
+    for (const Vec3& d : dirs) {
+      PlannedAtom o = heavy_atom(s_pos + util::normalized(d) * 1.49, 15.999,
+                                 1.7, 0.12);
+      o.charge = -0.75;
+      const int oi = plan.add(o);
+      grid.insert(o.pos, oi);
+      plan.bond(si, oi);
+    }
+  }
+
+  // 337 waters in a solvation shell around the protein.
+  {
+    int placed = 0;
+    double shell_max = 6.5;
+    int attempts = 0;
+    while (placed < kWaterCount) {
+      ++attempts;
+      if (attempts % 40000 == 0) shell_max += 1.0;  // widen if crowded
+      const Vec3 cand{rng.uniform(0, box.lx()), rng.uniform(0, box.ly()),
+                      rng.uniform(0, box.lz())};
+      const double sep = grid.nearest(cand);
+      if (sep < 2.75 || sep > shell_max) continue;
+      const int first = static_cast<int>(plan.atoms.size());
+      add_water(plan, rng, cand, &grid);
+      for (int a = first; a < static_cast<int>(plan.atoms.size()); ++a) {
+        grid.insert(plan.atoms[static_cast<std::size_t>(a)].pos, a);
+      }
+      ++placed;
+    }
+  }
+
+  REPRO_REQUIRE(static_cast<int>(plan.atoms.size()) == kTotalAtoms,
+                "total atom count drifted from the paper's 3552");
+
+  // Materialize the topology.
+  BuiltSystem sys(kTotalAtoms, box, "myoglobin-like");
+  for (int i = 0; i < kTotalAtoms; ++i) {
+    const auto& a = plan.atoms[static_cast<std::size_t>(i)];
+    sys.topo.atom(i) = md::AtomParams{a.mass, a.charge, a.eps, a.rmin_half};
+    sys.positions.push_back(box.wrap(a.pos));
+  }
+  for (const auto& [i, j] : plan.bonds) {
+    md::Bond b;
+    b.i = i;
+    b.j = j;
+    const bool has_h = plan.atoms[static_cast<std::size_t>(i)].hydrogen ||
+                       plan.atoms[static_cast<std::size_t>(j)].hydrogen;
+    b.kb = has_h ? 380.0 : 300.0;
+    sys.topo.bonds().push_back(b);
+  }
+  derive_bonded_terms(sys.topo, box, sys.positions);
+
+  // Backbone carbonyl planarity impropers (C; CA, N_next, O).
+  for (int r = 0; r + 1 < kProteinResidues; ++r) {
+    md::Improper im;
+    im.i = layout.c_index[static_cast<std::size_t>(r)];
+    im.j = layout.ca_index[static_cast<std::size_t>(r)];
+    im.k = layout.n_index[static_cast<std::size_t>(r + 1)];
+    im.l = layout.o_index[static_cast<std::size_t>(r)];
+    im.kpsi = 45.0;
+    // psi0 from the as-built geometry: recompute with the same torsion
+    // convention used by the bonded kernel.
+    {
+      const auto& p = sys.positions;
+      const Vec3 b1 = box.min_image(p[static_cast<std::size_t>(im.j)] -
+                                    p[static_cast<std::size_t>(im.i)]);
+      const Vec3 b2 = box.min_image(p[static_cast<std::size_t>(im.k)] -
+                                    p[static_cast<std::size_t>(im.j)]);
+      const Vec3 b3 = box.min_image(p[static_cast<std::size_t>(im.l)] -
+                                    p[static_cast<std::size_t>(im.k)]);
+      const Vec3 m = util::cross(b1, b2);
+      const Vec3 nn = util::cross(b2, b3);
+      im.psi0 = std::atan2(
+          util::dot(util::cross(m, nn), b2) / util::norm(b2),
+          util::dot(m, nn));
+    }
+    sys.topo.impropers().push_back(im);
+  }
+  (void)protein_end;
+
+  sys.topo.build_exclusions();
+  return sys;
+}
+
+BuiltSystem build_water_box(int waters_per_side, double spacing) {
+  REPRO_REQUIRE(waters_per_side >= 1, "need at least one water");
+  Rng rng(util::mix_seed(7, 0x77626f78));
+  const int n = waters_per_side;
+  const double len = n * spacing;
+  const Box box(len, len, len);
+
+  Plan plan;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      for (int z = 0; z < n; ++z) {
+        const Vec3 origin{(x + 0.5) * spacing, (y + 0.5) * spacing,
+                          (z + 0.5) * spacing};
+        add_water(plan, rng, origin);
+      }
+    }
+  }
+
+  BuiltSystem sys(static_cast<int>(plan.atoms.size()), box, "water-box");
+  for (std::size_t i = 0; i < plan.atoms.size(); ++i) {
+    const auto& a = plan.atoms[i];
+    sys.topo.atom(static_cast<int>(i)) =
+        md::AtomParams{a.mass, a.charge, a.eps, a.rmin_half};
+    sys.positions.push_back(a.pos);
+  }
+  for (const auto& [i, j] : plan.bonds) {
+    md::Bond b;
+    b.i = i;
+    b.j = j;
+    b.kb = 450.0;
+    sys.topo.bonds().push_back(b);
+  }
+  derive_bonded_terms(sys.topo, box, sys.positions);
+  sys.topo.build_exclusions();
+  return sys;
+}
+
+BuiltSystem build_random_charges(int n, const md::Box& box,
+                                 std::uint64_t seed) {
+  REPRO_REQUIRE(n % 2 == 0, "random charge system must be even (neutral)");
+  Rng rng(util::mix_seed(seed, 0x63686172));
+  BuiltSystem sys(n, box, "random-charges");
+  for (int i = 0; i < n; ++i) {
+    const double q = (i % 2 == 0 ? 1.0 : -1.0) * rng.uniform(0.3, 1.0);
+    sys.topo.atom(i) = md::AtomParams{10.0, q, 0.0, 1.0};
+    sys.positions.push_back(Vec3{rng.uniform(0, box.lx()),
+                                 rng.uniform(0, box.ly()),
+                                 rng.uniform(0, box.lz())});
+  }
+  // Enforce exact neutrality (pairs are sampled with unequal magnitudes).
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += sys.topo.atom(i).charge;
+  for (int i = 0; i < n; ++i) {
+    sys.topo.atom(i).charge -= total / n;
+  }
+  sys.topo.build_exclusions();
+  return sys;
+}
+
+BuiltSystem build_test_chain(int natoms, std::uint64_t seed) {
+  REPRO_REQUIRE(natoms >= 4, "chain needs at least 4 atoms");
+  Rng rng(util::mix_seed(seed, 0x636861696e));
+  const Box box(100.0, 100.0, 100.0);
+  BuiltSystem sys(natoms, box, "test-chain");
+
+  Vec3 at{50.0, 50.0, 50.0};
+  Vec3 dir{1.0, 0.0, 0.0};
+  for (int i = 0; i < natoms; ++i) {
+    sys.topo.atom(i) = md::AtomParams{12.011, (i % 2 ? 0.1 : -0.1), 0.08, 2.0};
+    sys.positions.push_back(at);
+    dir = util::normalized(dir + random_unit(rng) * 0.7);
+    at += dir * 1.52;
+  }
+  for (int i = 0; i + 1 < natoms; ++i) {
+    md::Bond b;
+    b.i = i;
+    b.j = i + 1;
+    b.kb = 300.0;
+    sys.topo.bonds().push_back(b);
+  }
+  derive_bonded_terms(sys.topo, box, sys.positions);
+  if (natoms >= 4) {
+    md::Improper im;
+    im.i = 0;
+    im.j = 1;
+    im.k = 2;
+    im.l = 3;
+    im.kpsi = 40.0;
+    im.psi0 = 0.3;
+    sys.topo.impropers().push_back(im);
+  }
+  sys.topo.build_exclusions();
+  return sys;
+}
+
+}  // namespace repro::sysbuild

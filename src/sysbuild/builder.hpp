@@ -1,0 +1,59 @@
+// Synthetic molecular systems.
+//
+// The paper's workload is myoglobin (153-residue all-alpha protein) + CO +
+// 337 waters + a sulfate ion: 3552 atoms in a box whose PME grid is
+// 80 x 36 x 48. The original PSC input files are not redistributable, so
+// build_myoglobin_like() constructs a synthetic equivalent with the same
+// atom count, composition, density and charge structure: an all-atom
+// 4-segment alpha-helical bundle (2534 protein atoms), TIP3P-like waters in
+// a solvation shell, CO and SO4(2-) near the surface, net charge zero.
+//
+// Bonded parameters use standard force constants with equilibrium values
+// taken from the as-built geometry ("self-consistent parameterization"),
+// so the structure starts near a minimum — which is what matters for a
+// workload study: realistic term counts, pair counts and force magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::sysbuild {
+
+struct BuiltSystem {
+  md::Topology topo;
+  md::Box box;
+  std::vector<util::Vec3> positions;
+  std::string name;
+
+  BuiltSystem(int natoms, const md::Box& b, std::string n)
+      : topo(natoms), box(b), name(std::move(n)) {}
+};
+
+// Composition constants of the paper's molecular system.
+inline constexpr int kProteinResidues = 153;
+inline constexpr int kProteinAtoms = 2534;
+inline constexpr int kWaterCount = 337;
+inline constexpr int kTotalAtoms = 3552;  // protein + CO(2) + waters + SO4(5)
+
+// The full 3552-atom system in the 80 x 36 x 48 Å box.
+BuiltSystem build_myoglobin_like(std::uint64_t seed = 2002);
+
+// A cubic lattice water box (n^3 waters, TIP3P-like), for NVE and
+// integrator tests.
+BuiltSystem build_water_box(int waters_per_side, double spacing = 3.106);
+
+// n point charges (no bonds, neutral overall) in the given box — the Ewald
+// validation workload.
+BuiltSystem build_random_charges(int n, const md::Box& box,
+                                 std::uint64_t seed);
+
+// A single flexible chain molecule (bonds/angles/dihedrals/impropers), for
+// bonded-kernel and gradient tests.
+BuiltSystem build_test_chain(int natoms, std::uint64_t seed);
+
+}  // namespace repro::sysbuild

@@ -1,0 +1,28 @@
+// Text serialization of built systems — a PSF/CRD-flavoured format so a
+// generated system can be exported, inspected, version-controlled, and
+// re-imported bit-exactly (topology and parameters included).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sysbuild/builder.hpp"
+
+namespace repro::sysbuild {
+
+// Writes the full system (box, atoms with parameters, bonded terms,
+// positions) in the "RSYS 1" text format.
+void write_system(std::ostream& out, const BuiltSystem& sys);
+void save_system(const std::string& path, const BuiltSystem& sys);
+
+// Reads a system previously written by write_system. Exclusions are
+// rebuilt from the bond list.
+BuiltSystem read_system(std::istream& in);
+BuiltSystem load_system(const std::string& path);
+
+// Exports ATOM/CONECT records in PDB format for visualization tools.
+// Element is guessed from the mass; the chain is a single segment.
+void write_pdb(std::ostream& out, const BuiltSystem& sys);
+void save_pdb(const std::string& path, const BuiltSystem& sys);
+
+}  // namespace repro::sysbuild

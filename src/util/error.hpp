@@ -1,0 +1,40 @@
+// Error handling helpers.
+//
+// REPRO_REQUIRE is for conditions that indicate misuse of a public API or a
+// broken invariant; it throws so tests can assert on failures and callers
+// can recover. It is always on (not compiled out in release builds) because
+// none of the guarded checks sit on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace repro::util {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& message, const char* file,
+                              int line) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << message;
+  throw Error(os.str());
+}
+
+}  // namespace repro::util
+
+#define REPRO_REQUIRE(cond, message)                              \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::repro::util::fail(std::string("requirement failed: ") +   \
+                              #cond + " — " + (message),          \
+                          __FILE__, __LINE__);                    \
+    }                                                             \
+  } while (0)
+
+#define REPRO_UNREACHABLE(message) \
+  ::repro::util::fail(std::string("unreachable: ") + (message), __FILE__, \
+                      __LINE__)

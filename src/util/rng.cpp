@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace repro::util {
+
+double Rng::normal() {
+  // Box-Muller; uniform() never returns 0 exactly because the mantissa draw
+  // of 0 maps to 0.0, so guard the log argument.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  // One round of a SplitMix-style finalizer over a combination of the
+  // inputs; quality only needs to be "streams do not obviously collide".
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL +
+                    c * 0x165667b19e3779f9ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace repro::util

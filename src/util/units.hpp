@@ -1,0 +1,29 @@
+// Physical constants and unit conventions.
+//
+// The MD engine uses the AKMA-style unit system of CHARMM:
+//   length  : Angstrom (Å)
+//   energy  : kcal/mol
+//   mass    : atomic mass unit (g/mol)
+//   charge  : elementary charge (e)
+//   time    : picosecond (ps) at the public API; internally the integrator
+//             converts with the AKMA time factor so that
+//             kcal/mol = amu * Å^2 / akma_time^2.
+#pragma once
+
+namespace repro::units {
+
+// Coulomb conversion: E[kcal/mol] = kCoulomb * q1*q2 / r[Å].
+inline constexpr double kCoulomb = 332.0636;
+
+// Boltzmann constant in kcal/(mol*K).
+inline constexpr double kBoltzmann = 0.0019872041;
+
+// 1 AKMA time unit in picoseconds: sqrt(amu * Å^2 / (kcal/mol)).
+inline constexpr double kAkmaPs = 0.04888821;
+
+// Converts force/mass to acceleration in Å/ps^2:
+//   a[Å/ps^2] = kForceToAccel * F[kcal/mol/Å] / m[amu].
+// (1 kcal/mol = 4184 J/mol; 1 amu Å^2/ps^2 = 10.0003 J/mol.)
+inline constexpr double kForceToAccel = 418.4 / 1.00003;
+
+}  // namespace repro::units

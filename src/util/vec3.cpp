@@ -1,0 +1,11 @@
+#include "util/vec3.hpp"
+
+#include <ostream>
+
+namespace repro::util {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace repro::util

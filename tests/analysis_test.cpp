@@ -1,0 +1,199 @@
+// Tests for the analysis observables (RDF, MSD, Rg, selections), the PDB
+// export, and integrator time-reversibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "charmm/simulation.hpp"
+#include "md/analysis.hpp"
+#include "sysbuild/builder.hpp"
+#include "sysbuild/io.hpp"
+#include "util/rng.hpp"
+
+namespace repro::md {
+namespace {
+
+using util::Vec3;
+
+// A simple cubic lattice of n^3 points with spacing a.
+std::pair<Topology, std::vector<Vec3>> cubic_lattice(int n, double a) {
+  Topology topo(n * n * n);
+  std::vector<Vec3> pos;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      for (int z = 0; z < n; ++z) {
+        topo.atom(static_cast<int>(pos.size())) =
+            AtomParams{12.0, 0.0, 0.0, 1.0};
+        pos.push_back(Vec3{x * a, y * a, z * a});
+      }
+    }
+  }
+  topo.build_exclusions();
+  return {std::move(topo), std::move(pos)};
+}
+
+TEST(RdfTest, CubicLatticePeaks) {
+  const double a = 3.0;
+  auto [topo, pos] = cubic_lattice(6, a);
+  const Box box(6 * a, 6 * a, 6 * a);
+  const auto sel = select_all(topo);
+  const RdfResult rdf = radial_distribution(box, pos, sel, sel, 6.5, 130);
+
+  // No pairs below the lattice constant; strong peaks at a, a*sqrt(2),
+  // a*sqrt(3), 2a.
+  auto g_at = [&](double r) {
+    const int bin = static_cast<int>(r / 6.5 * 130);
+    return rdf.g[static_cast<std::size_t>(bin)];
+  };
+  EXPECT_DOUBLE_EQ(g_at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(g_at(2.5), 0.0);
+  EXPECT_GT(g_at(a), 10.0);
+  EXPECT_GT(g_at(a * std::sqrt(2.0)), 10.0);
+  EXPECT_GT(g_at(a * std::sqrt(3.0)), 5.0);
+  EXPECT_GT(rdf.pairs, 0u);
+}
+
+TEST(RdfTest, IdealGasIsFlat) {
+  util::Rng rng(8);
+  const int n = 600;
+  Topology topo(n);
+  const Box box(24, 24, 24);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < n; ++i) {
+    topo.atom(i) = AtomParams{12.0, 0, 0, 1.0};
+    pos.push_back(Vec3{rng.uniform(0, 24), rng.uniform(0, 24),
+                       rng.uniform(0, 24)});
+  }
+  topo.build_exclusions();
+  const auto sel = select_all(topo);
+  const RdfResult rdf = radial_distribution(box, pos, sel, sel, 8.0, 16);
+  // g(r) ~ 1 everywhere for uncorrelated points (outer bins have the most
+  // samples; allow generous noise in the small-r bins).
+  double mean_outer = 0.0;
+  for (int b = 8; b < 16; ++b) mean_outer += rdf.g[static_cast<std::size_t>(b)];
+  mean_outer /= 8.0;
+  EXPECT_NEAR(mean_outer, 1.0, 0.1);
+}
+
+TEST(RdfTest, CrossSelectionCountsOncePerPair) {
+  auto [topo, pos] = cubic_lattice(4, 3.0);
+  const Box box(12, 12, 12);
+  std::vector<int> evens, odds;
+  for (int i = 0; i < topo.natoms(); ++i) {
+    (i % 2 == 0 ? evens : odds).push_back(i);
+  }
+  const RdfResult rdf =
+      radial_distribution(box, pos, evens, odds, 5.0, 10);
+  EXPECT_EQ(rdf.pairs, static_cast<std::size_t>(rdf.pairs));
+  EXPECT_GT(rdf.pairs, 0u);
+}
+
+TEST(RdfTest, RejectsOversizedRange) {
+  auto [topo, pos] = cubic_lattice(3, 3.0);
+  const Box box(9, 9, 9);
+  const auto sel = select_all(topo);
+  EXPECT_THROW(radial_distribution(box, pos, sel, sel, 20.0, 10),
+               util::Error);
+}
+
+TEST(MsdTest, UniformShift) {
+  auto [topo, pos] = cubic_lattice(3, 2.0);
+  auto moved = pos;
+  for (auto& r : moved) r += Vec3{1.0, 2.0, 2.0};
+  const auto sel = select_all(topo);
+  EXPECT_DOUBLE_EQ(mean_squared_displacement(pos, moved, sel), 9.0);
+}
+
+TEST(RgTest, TwoPointMasses) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{10.0, 0, 0, 1};
+  topo.atom(1) = AtomParams{10.0, 0, 0, 1};
+  const std::vector<Vec3> pos{{0, 0, 0}, {4, 0, 0}};
+  const std::vector<int> sel{0, 1};
+  EXPECT_DOUBLE_EQ(radius_of_gyration(topo, pos, sel), 2.0);
+  const Vec3 com = center_of_mass(topo, pos, sel);
+  EXPECT_DOUBLE_EQ(com.x, 2.0);
+}
+
+TEST(RgTest, MassWeightedCom) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{30.0, 0, 0, 1};
+  topo.atom(1) = AtomParams{10.0, 0, 0, 1};
+  const std::vector<Vec3> pos{{0, 0, 0}, {4, 0, 0}};
+  const std::vector<int> sel{0, 1};
+  EXPECT_DOUBLE_EQ(center_of_mass(topo, pos, sel).x, 1.0);
+}
+
+TEST(SelectionTest, WaterOxygensAndHeavies) {
+  const auto water = sysbuild::build_water_box(2);
+  EXPECT_EQ(select_water_oxygens(water.topo).size(), 8u);
+  EXPECT_EQ(select_heavy_atoms(water.topo).size(), 8u);
+  EXPECT_EQ(select_all(water.topo).size(), 24u);
+
+  const auto myo = sysbuild::build_myoglobin_like();
+  EXPECT_EQ(select_water_oxygens(myo.topo).size(), 337u);  // the paper's count
+}
+
+TEST(SelectionTest, ProteinRadiusOfGyrationIsCompact) {
+  const auto myo = sysbuild::build_myoglobin_like();
+  // Protein atoms are the first kProteinAtoms by construction.
+  std::vector<int> protein;
+  for (int i = 0; i < sysbuild::kProteinAtoms; ++i) protein.push_back(i);
+  const double rg = radius_of_gyration(myo.topo, myo.positions, protein);
+  // A folded 153-residue bundle: Rg in the 12-20 Å range (myoglobin ~15 Å).
+  EXPECT_GT(rg, 10.0);
+  EXPECT_LT(rg, 22.0);
+}
+
+TEST(PdbExportTest, WellFormedRecords) {
+  const auto sys = sysbuild::build_water_box(2);
+  std::stringstream out;
+  sysbuild::write_pdb(out, sys);
+  const std::string pdb = out.str();
+  EXPECT_EQ(pdb.rfind("CRYST1", 0), 0u);  // starts with the cell
+  std::size_t atom_lines = 0;
+  std::size_t conect_lines = 0;
+  std::istringstream lines(pdb);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("ATOM", 0) == 0) {
+      ++atom_lines;
+      EXPECT_GE(line.size(), 54u);  // through the z coordinate
+    }
+    if (line.rfind("CONECT", 0) == 0) ++conect_lines;
+  }
+  EXPECT_EQ(atom_lines, 24u);
+  EXPECT_EQ(conect_lines, sys.topo.bonds().size());
+  EXPECT_NE(pdb.find("END"), std::string::npos);
+}
+
+TEST(ReversibilityTest, VelocityVerletRunsBackward) {
+  // Velocity Verlet is time-reversible: integrate forward, negate the
+  // velocities, integrate the same number of steps, and the system returns
+  // to its starting point (up to floating-point roundoff). This exercises
+  // integrator + kernels + neighbor-list determinism at once.
+  static const sysbuild::BuiltSystem water = sysbuild::build_water_box(3);
+  charmm::SimulationConfig config;
+  config.pme = pme::PmeParams{12, 12, 12, 4, 0.7};
+  config.cutoff = 4.2;
+  config.switch_on = 3.5;
+  config.dt_ps = 0.0005;
+  charmm::Simulation sim(water, config);
+  sim.set_velocities_from_temperature(150.0, 13);
+
+  const auto pos0 = sim.positions();
+  sim.step(20);
+  auto& vel = const_cast<std::vector<Vec3>&>(sim.velocities());
+  for (auto& v : vel) v = -v;
+  sim.step(20);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pos0.size(); ++i) {
+    worst = std::max(worst, util::norm(sim.positions()[i] - pos0[i]));
+  }
+  EXPECT_LT(worst, 1e-7);
+}
+
+}  // namespace
+}  // namespace repro::md

@@ -1,0 +1,393 @@
+// Characterization property tests: the paper's qualitative findings, as
+// assertions against the simulated platform. These are the reproduction's
+// acceptance tests — every figure's *shape* claim is encoded here.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "charmm/simulation.hpp"
+#include "core/experiment.hpp"
+#include "core/factorial.hpp"
+#include "core/model.hpp"
+#include "sysbuild/builder.hpp"
+
+namespace repro::core {
+namespace {
+
+const sysbuild::BuiltSystem& system_fixture() {
+  static const sysbuild::BuiltSystem sys = [] {
+    sysbuild::BuiltSystem s = sysbuild::build_myoglobin_like();
+    charmm::relax_system(s, 60);
+    return s;
+  }();
+  return sys;
+}
+
+// Experiments are deterministic; cache them across assertions.
+const ExperimentResult& cached_run(const Platform& platform, int nprocs) {
+  using Key = std::tuple<net::Network, middleware::Kind, int, int>;
+  static std::map<Key, ExperimentResult> cache;
+  const Key key{platform.network, platform.middleware,
+                platform.cpus_per_node, nprocs};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    ExperimentSpec spec;
+    spec.platform = platform;
+    spec.nprocs = nprocs;
+    it = cache.emplace(key, run_experiment(system_fixture(), spec)).first;
+  }
+  return it->second;
+}
+
+Platform plat(net::Network n = net::Network::kTcpGigE,
+              middleware::Kind m = middleware::Kind::kMpi, int cpus = 1) {
+  return Platform{n, m, cpus};
+}
+
+// --- Figure 3: the reference case -------------------------------------------
+
+TEST(Figure3Test, SequentialScaleMatchesPaper) {
+  const auto& r = cached_run(plat(), 1);
+  // Paper: total ~6.5 s for ten steps on the 1 GHz PIII; calibration keeps
+  // us within ~15%.
+  EXPECT_GT(r.total_seconds(), 5.5);
+  EXPECT_LT(r.total_seconds(), 8.0);
+  // "In the sequential version ... the PME time is slightly less than half
+  // of the total calculation time."
+  const double pme_frac = r.pme_seconds() / r.total_seconds();
+  EXPECT_GT(pme_frac, 0.33);
+  EXPECT_LT(pme_frac, 0.5);
+}
+
+TEST(Figure3Test, PmeAtTwoProcessorsExceedsSequential) {
+  // "For two processors, the execution time of the PME calculation is
+  // actually larger than for one processor."
+  EXPECT_GT(cached_run(plat(), 2).pme_seconds(),
+            cached_run(plat(), 1).pme_seconds());
+}
+
+TEST(Figure3Test, PmeBecomesDominantInParallel) {
+  // "In the parallel version, the PME time is almost two thirds of the
+  // total calculation time."
+  for (int p : {4, 8}) {
+    const auto& r = cached_run(plat(), p);
+    const double frac = r.pme_seconds() / r.total_seconds();
+    EXPECT_GT(frac, 0.5) << "p=" << p;
+    EXPECT_LT(frac, 0.75) << "p=" << p;
+  }
+}
+
+// --- Figure 4: breakdown of the reference case ------------------------------
+
+TEST(Figure4Test, ClassicOverheadBands) {
+  // "less than 10% for two processors increasing to over 60% for eight".
+  EXPECT_LT(cached_run(plat(), 2).breakdown.classic_wall.overhead_fraction(),
+            0.10);
+  EXPECT_GT(cached_run(plat(), 8).breakdown.classic_wall.overhead_fraction(),
+            0.60);
+}
+
+TEST(Figure4Test, PmeOverheadBands) {
+  // "from slightly more than 50% for two processors to over 75% for eight".
+  EXPECT_GT(cached_run(plat(), 2).breakdown.pme_wall.overhead_fraction(),
+            0.45);
+  EXPECT_GT(cached_run(plat(), 8).breakdown.pme_wall.overhead_fraction(),
+            0.75);
+}
+
+TEST(Figure4Test, OverheadGrowsMonotonicallyWithRanks) {
+  double last_classic = -1.0;
+  double last_pme = -1.0;
+  for (int p : {1, 2, 4, 8}) {
+    const auto& r = cached_run(plat(), p);
+    const double c = r.breakdown.classic_wall.overhead_fraction();
+    const double m = r.breakdown.pme_wall.overhead_fraction();
+    EXPECT_GE(c, last_classic) << "p=" << p;
+    EXPECT_GE(m, last_pme - 0.02) << "p=" << p;
+    last_classic = c;
+    last_pme = m;
+  }
+}
+
+// --- Figures 5/6: network factor ---------------------------------------------
+
+TEST(Figure5Test, BetterNetworksScaleBetter) {
+  for (int p : {4, 8}) {
+    const double tcp = cached_run(plat(net::Network::kTcpGigE), p)
+                           .total_seconds();
+    const double score = cached_run(plat(net::Network::kScoreGigE), p)
+                             .total_seconds();
+    const double myri = cached_run(plat(net::Network::kMyrinetGM), p)
+                            .total_seconds();
+    EXPECT_GT(tcp, score) << "p=" << p;
+    EXPECT_GT(score, myri) << "p=" << p;
+  }
+}
+
+TEST(Figure5Test, SpeedupsMatchPaperConclusions) {
+  const double seq = cached_run(plat(), 1).total_seconds();
+  // TCP: dissatisfactory scalability (under 2x at 8 processors).
+  EXPECT_LT(seq / cached_run(plat(net::Network::kTcpGigE), 8)
+                      .total_seconds(),
+            2.0);
+  // SCore: good scalability at no extra hardware cost.
+  EXPECT_GT(seq / cached_run(plat(net::Network::kScoreGigE), 8)
+                      .total_seconds(),
+            3.5);
+  // Myrinet: best.
+  EXPECT_GT(seq / cached_run(plat(net::Network::kMyrinetGM), 8)
+                      .total_seconds(),
+            4.0);
+}
+
+TEST(Figure6Test, CommunicationCostCarriesTheDifference) {
+  // "The big difference arises from the cost of the communication
+  // operations": comm differs by large factors across networks...
+  const auto& tcp = cached_run(plat(net::Network::kTcpGigE), 8);
+  const auto& score = cached_run(plat(net::Network::kScoreGigE), 8);
+  const auto& myri = cached_run(plat(net::Network::kMyrinetGM), 8);
+  const double tcp_comm =
+      tcp.breakdown.classic_wall.comm + tcp.breakdown.pme_wall.comm;
+  const double score_comm =
+      score.breakdown.classic_wall.comm + score.breakdown.pme_wall.comm;
+  const double myri_comm =
+      myri.breakdown.classic_wall.comm + myri.breakdown.pme_wall.comm;
+  EXPECT_GT(tcp_comm, 3.0 * score_comm);
+  EXPECT_GT(score_comm, myri_comm);
+  // ..."the cost of synchronization alone remains within reasonable limits
+  // and is similar for all three networks".
+  const double tcp_sync =
+      tcp.breakdown.classic_wall.sync + tcp.breakdown.pme_wall.sync;
+  EXPECT_LT(tcp_sync, 0.25 * tcp.total_seconds());
+}
+
+// --- Figure 7: communication speed per node -----------------------------------
+
+TEST(Figure7Test, SpeedOrderingAcrossNetworks) {
+  for (int p : {2, 4, 8}) {
+    const double tcp = cached_run(plat(net::Network::kTcpGigE), p)
+                           .breakdown.comm_speed.avg_mb_per_s;
+    const double score = cached_run(plat(net::Network::kScoreGigE), p)
+                             .breakdown.comm_speed.avg_mb_per_s;
+    const double myri = cached_run(plat(net::Network::kMyrinetGM), p)
+                            .breakdown.comm_speed.avg_mb_per_s;
+    EXPECT_LT(tcp, score) << "p=" << p;
+    EXPECT_LT(score, myri) << "p=" << p;
+  }
+}
+
+TEST(Figure7Test, TcpIsSlowAndUnstable) {
+  // Low absolute rate ("low communication rate of TCP/IP on GigE").
+  const auto& r8 = cached_run(plat(net::Network::kTcpGigE), 8);
+  EXPECT_LT(r8.breakdown.comm_speed.avg_mb_per_s, 20.0);
+  // "The high variability of MPI transfers over TCP/IP starts abruptly
+  // with four processors": relative spread grows from p=2 to p>=4.
+  auto spread = [&](int p) {
+    const auto& cs = cached_run(plat(net::Network::kTcpGigE), p)
+                         .breakdown.comm_speed;
+    return (cs.max_mb_per_s - cs.min_mb_per_s) /
+           std::max(cs.avg_mb_per_s, 1e-9);
+  };
+  EXPECT_LT(spread(2), 0.15);
+  EXPECT_GT(spread(4), spread(2));
+  EXPECT_GT(spread(8), 0.4);
+}
+
+TEST(Figure7Test, ScoreIsStable) {
+  // "SCore provides stable and higher communication rate on GigE."
+  const auto& cs =
+      cached_run(plat(net::Network::kScoreGigE), 8).breakdown.comm_speed;
+  const double spread =
+      (cs.max_mb_per_s - cs.min_mb_per_s) / cs.avg_mb_per_s;
+  const auto& tcp =
+      cached_run(plat(net::Network::kTcpGigE), 8).breakdown.comm_speed;
+  const double tcp_spread =
+      (tcp.max_mb_per_s - tcp.min_mb_per_s) / tcp.avg_mb_per_s;
+  EXPECT_LT(spread, tcp_spread);
+}
+
+// --- Figure 8: middleware factor -----------------------------------------------
+
+TEST(Figure8Test, CmpiNeverBeatsMpi) {
+  for (int p : {2, 4, 8}) {
+    EXPECT_GE(
+        cached_run(plat(net::Network::kTcpGigE, middleware::Kind::kCmpi), p)
+                .total_seconds(),
+        cached_run(plat(), p).total_seconds() * 0.98)
+        << "p=" << p;
+  }
+}
+
+TEST(Figure8Test, CmpiLosesScalabilityFromFourToEight) {
+  // "With the increase of the number of slaves from four to eight, both
+  // parts of the execution time ... are increasing instead of falling."
+  const auto& p4 =
+      cached_run(plat(net::Network::kTcpGigE, middleware::Kind::kCmpi), 4);
+  const auto& p8 =
+      cached_run(plat(net::Network::kTcpGigE, middleware::Kind::kCmpi), 8);
+  EXPECT_GT(p8.classic_seconds(), p4.classic_seconds());
+  EXPECT_GT(p8.pme_seconds(), p4.pme_seconds() * 0.95);
+  EXPECT_GT(p8.total_seconds(), p4.total_seconds());
+}
+
+TEST(Figure8Test, CmpiSlowdownIsSynchronization) {
+  // "...a total loss of scalability in the synchronization operations that
+  // are performed in the CMPI middleware."
+  const auto& mpi8 = cached_run(plat(), 8);
+  const auto& cmpi8 =
+      cached_run(plat(net::Network::kTcpGigE, middleware::Kind::kCmpi), 8);
+  const double mpi_sync = mpi8.breakdown.total_wall().sync;
+  const double cmpi_sync = cmpi8.breakdown.total_wall().sync;
+  EXPECT_GT(cmpi_sync, 4.0 * mpi_sync);
+  // Synchronization becomes a dominant share of the CMPI total.
+  EXPECT_GT(cmpi_sync / cmpi8.total_seconds(), 0.25);
+}
+
+// --- Figure 9: dual-processor nodes --------------------------------------------
+
+TEST(Figure9Test, DualProcessorTcpLosesScalability) {
+  // "Both the classic energy time and the PME energy time does not
+  // decrease but increases with the number of nodes in the dual processor
+  // case."
+  const auto& d2 = cached_run(plat(net::Network::kTcpGigE,
+                                   middleware::Kind::kMpi, 2),
+                              2);
+  const auto& d4 = cached_run(plat(net::Network::kTcpGigE,
+                                   middleware::Kind::kMpi, 2),
+                              4);
+  const auto& d8 = cached_run(plat(net::Network::kTcpGigE,
+                                   middleware::Kind::kMpi, 2),
+                              8);
+  EXPECT_GT(d4.total_seconds(), d2.total_seconds());
+  EXPECT_GT(d8.total_seconds(), d4.total_seconds());
+  EXPECT_GT(d8.pme_seconds(), d4.pme_seconds());
+  EXPECT_GE(d8.classic_seconds(), d4.classic_seconds() * 0.95);
+  // Dual-processor nodes are strictly worse than uni-processor ones here.
+  EXPECT_GT(d8.total_seconds(),
+            1.5 * cached_run(plat(), 8).total_seconds());
+}
+
+TEST(Figure9Test, DualProcessorFineOnMyrinet) {
+  // "This is not the case for network technologies such as SCore and
+  // Myrinet."
+  const auto& uni = cached_run(plat(net::Network::kMyrinetGM), 8);
+  const auto& dual = cached_run(plat(net::Network::kMyrinetGM,
+                                     middleware::Kind::kMpi, 2),
+                                8);
+  EXPECT_LT(std::abs(dual.total_seconds() - uni.total_seconds()) /
+                uni.total_seconds(),
+            0.15);
+  // Dual Myrinet still scales: 8 processors clearly beat 2.
+  const auto& dual2 = cached_run(plat(net::Network::kMyrinetGM,
+                                      middleware::Kind::kMpi, 2),
+                                 2);
+  EXPECT_LT(dual.total_seconds(), 0.5 * dual2.total_seconds());
+}
+
+TEST(Section41Test, FastEthernetBehavesLikeGigabitEthernet) {
+  // "Surprisingly, the Fast Ethernet has almost the same performance
+  // characteristics and the same interactions as Gigabit Ethernet."
+  const double gige =
+      cached_run(plat(net::Network::kTcpGigE), 4).total_seconds();
+  const double faste =
+      cached_run(plat(net::Network::kTcpFastEthernet), 4).total_seconds();
+  EXPECT_LT(std::abs(faste - gige) / gige, 0.30);
+  // And both stay far from the well-engineered stacks.
+  const double score =
+      cached_run(plat(net::Network::kScoreGigE), 4).total_seconds();
+  EXPECT_GT(faste, 1.5 * score);
+}
+
+TEST(FactorialTest, EffectsComputedFromCells) {
+  // Synthetic cells: SCore twice as fast as TCP, dual twice as slow, CMPI
+  // 3x MPI; effects must recover those ratios.
+  std::vector<FactorialCell> cells;
+  for (const Platform& platform : full_factorial()) {
+    FactorialCell cell;
+    cell.platform = platform;
+    cell.nprocs = 8;
+    double total = 8.0;
+    if (platform.network == net::Network::kScoreGigE) total /= 2.0;
+    if (platform.network == net::Network::kMyrinetGM) total /= 4.0;
+    if (platform.middleware == middleware::Kind::kCmpi) total *= 3.0;
+    if (platform.cpus_per_node == 2) total *= 2.0;
+    cell.result.breakdown.classic_wall.comp = total;
+    cells.push_back(cell);
+  }
+  const FactorEffects fx = factor_effects(cells, 8);
+  EXPECT_NEAR(fx.network_score_vs_tcp, 2.0, 1e-9);
+  EXPECT_NEAR(fx.network_myrinet_vs_tcp, 4.0, 1e-9);
+  EXPECT_NEAR(fx.middleware_cmpi_vs_mpi, 3.0, 1e-9);
+  EXPECT_NEAR(fx.dual_vs_uni, 2.0, 1e-9);
+  EXPECT_FALSE(factorial_report(cells).empty());
+}
+
+TEST(AnalyticModelTest, PredictsContentionFreeOverheads) {
+  // On the deterministic stacks (no jitter), the closed-form LogGP model
+  // must land in the same ballpark as the simulator (it ignores queueing
+  // and skew, so generous bounds).
+  for (net::Network network :
+       {net::Network::kScoreGigE, net::Network::kMyrinetGM}) {
+    for (int p : {2, 4, 8}) {
+      const auto& sim = cached_run(plat(network), p);
+      const OverheadPrediction pred = predict_step_overheads(
+          net::params_for(network), p, sysbuild::kTotalAtoms,
+          pme::PmeParams{80, 36, 48, 4, 0.34});
+      const double sim_classic_comm =
+          sim.breakdown.classic_wall.comm / 10.0;  // per step
+      const double sim_pme_comm = sim.breakdown.pme_wall.comm / 10.0;
+      EXPECT_GT(pred.classic_comm_per_step, 0.3 * sim_classic_comm)
+          << net::to_string(network) << " p=" << p;
+      EXPECT_LT(pred.classic_comm_per_step, 3.0 * sim_classic_comm)
+          << net::to_string(network) << " p=" << p;
+      EXPECT_GT(pred.pme_comm_per_step, 0.3 * sim_pme_comm);
+      EXPECT_LT(pred.pme_comm_per_step, 3.0 * sim_pme_comm);
+    }
+  }
+}
+
+TEST(AnalyticModelTest, SequentialHasNoOverhead) {
+  const OverheadPrediction pred = predict_step_overheads(
+      net::params_for(net::Network::kScoreGigE), 1, 3552,
+      pme::PmeParams{80, 36, 48, 4, 0.34});
+  EXPECT_EQ(pred.total_per_step(), 0.0);
+}
+
+TEST(AnalyticModelTest, MessageTimeMonotoneInSizeAndStack) {
+  const auto tcp = net::params_for(net::Network::kTcpGigE);
+  const auto myri = net::params_for(net::Network::kMyrinetGM);
+  EXPECT_GT(predict_message_seconds(tcp, 100000),
+            predict_message_seconds(tcp, 1000));
+  EXPECT_GT(predict_message_seconds(tcp, 100000),
+            predict_message_seconds(myri, 100000));
+  EXPECT_GT(predict_message_seconds(tcp, 100000, true),
+            predict_message_seconds(tcp, 100000, false));
+}
+
+// --- general conclusions ---------------------------------------------------------
+
+TEST(ConclusionTest, SoftwareMattersMoreThanHardware) {
+  // "Performance depends more on the software infrastructures than on the
+  // hardware components": SCore (same GigE wire as TCP, better software)
+  // recovers most of Myrinet's advantage.
+  const double tcp = cached_run(plat(net::Network::kTcpGigE), 8)
+                         .total_seconds();
+  const double score = cached_run(plat(net::Network::kScoreGigE), 8)
+                           .total_seconds();
+  const double myri = cached_run(plat(net::Network::kMyrinetGM), 8)
+                          .total_seconds();
+  const double software_gain = tcp - score;  // same wire, new software
+  const double hardware_gain = score - myri;  // new wire on top
+  EXPECT_GT(software_gain, hardware_gain);
+}
+
+TEST(ConclusionTest, ReplicatedStateIdenticalOnAllRanks) {
+  // run_experiment asserts per-rank checksum equality internally; verify a
+  // couple of configurations execute without tripping it.
+  EXPECT_NO_THROW(cached_run(plat(net::Network::kTcpGigE,
+                                  middleware::Kind::kCmpi, 2),
+                             8));
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "md/bonded.hpp"
+#include "md/box.hpp"
+#include "md/integrator.hpp"
+#include "md/minimize.hpp"
+#include "md/neighbor.hpp"
+#include "md/nonbonded.hpp"
+#include "md/topology.hpp"
+#include "sysbuild/builder.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace repro::md {
+namespace {
+
+using util::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(BoxTest, MinImage) {
+  Box box(10, 20, 30);
+  EXPECT_EQ(box.min_image(Vec3{1, 2, 3}), Vec3(1, 2, 3));
+  const Vec3 wrapped = box.min_image(Vec3{9, 19, 29});
+  EXPECT_NEAR(wrapped.x, -1.0, 1e-12);
+  EXPECT_NEAR(wrapped.y, -1.0, 1e-12);
+  EXPECT_NEAR(wrapped.z, -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(box.volume(), 6000.0);
+}
+
+TEST(BoxTest, Wrap) {
+  Box box(10, 10, 10);
+  const Vec3 w = box.wrap(Vec3{-1.0, 11.0, 25.0});
+  EXPECT_NEAR(w.x, 9.0, 1e-12);
+  EXPECT_NEAR(w.y, 1.0, 1e-12);
+  EXPECT_NEAR(w.z, 5.0, 1e-12);
+}
+
+TEST(TopologyTest, ExclusionsFromBondGraph) {
+  // Chain 0-1-2-3-4: 1-2 and 1-3 neighbors excluded, 1-4 not.
+  Topology topo(5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    Bond b;
+    b.i = i;
+    b.j = i + 1;
+    topo.bonds().push_back(b);
+  }
+  topo.build_exclusions();
+  EXPECT_TRUE(topo.excluded(0, 1));   // 1-2
+  EXPECT_TRUE(topo.excluded(0, 2));   // 1-3
+  EXPECT_FALSE(topo.excluded(0, 3));  // 1-4 interacts
+  EXPECT_FALSE(topo.excluded(0, 4));
+  EXPECT_TRUE(topo.excluded(2, 4));
+  EXPECT_TRUE(topo.excluded(4, 3));   // symmetric
+  EXPECT_EQ(topo.excluded_pairs().size(), 4u + 3u);
+}
+
+TEST(TopologyTest, ExclusionPolicies) {
+  // Chain 0-1-2-3-4 under each NBXMOD level.
+  auto make = [](ExclusionPolicy policy) {
+    Topology topo(5);
+    for (int i = 0; i + 1 < 5; ++i) {
+      Bond b;
+      b.i = i;
+      b.j = i + 1;
+      topo.bonds().push_back(b);
+    }
+    topo.build_exclusions(policy);
+    return topo;
+  };
+  const Topology nbx2 = make(ExclusionPolicy::kBonds);
+  EXPECT_TRUE(nbx2.excluded(0, 1));
+  EXPECT_FALSE(nbx2.excluded(0, 2));
+  EXPECT_EQ(nbx2.excluded_pairs().size(), 4u);
+
+  const Topology nbx4 = make(ExclusionPolicy::kBondsAnglesDihedrals);
+  EXPECT_TRUE(nbx4.excluded(0, 3));   // 1-4 excluded too
+  EXPECT_FALSE(nbx4.excluded(0, 4));  // 1-5 interacts
+  EXPECT_EQ(nbx4.excluded_pairs().size(), 4u + 3u + 2u);
+}
+
+TEST(TopologyTest, TotalChargeAndMass) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{12.0, 0.5, 0.1, 2.0};
+  topo.atom(1) = AtomParams{1.0, -0.5, 0.05, 1.0};
+  EXPECT_DOUBLE_EQ(topo.total_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(topo.total_mass(), 13.0);
+}
+
+// --- bonded terms against hand-computed values ------------------------------
+
+TEST(BondedTest, BondEnergyAndForce) {
+  Topology topo(2);
+  Bond b;
+  b.i = 0;
+  b.j = 1;
+  b.kb = 100.0;
+  b.b0 = 1.5;
+  topo.bonds().push_back(b);
+  Box box(50, 50, 50);
+  std::vector<Vec3> pos{{0, 0, 0}, {2.0, 0, 0}};
+  std::vector<Vec3> f(2);
+  EnergyTerms e;
+  bonded_energy(topo, box, pos, f, e);
+  EXPECT_NEAR(e.bond, 100.0 * 0.25, 1e-12);
+  // dE/dr = 2*100*0.5 = 100 pulling the atoms together.
+  EXPECT_NEAR(f[0].x, 100.0, 1e-10);
+  EXPECT_NEAR(f[1].x, -100.0, 1e-10);
+}
+
+TEST(BondedTest, AngleEnergyAtRightAngle) {
+  Topology topo(3);
+  Angle a;
+  a.i = 0;
+  a.j = 1;
+  a.k = 2;
+  a.ktheta = 50.0;
+  a.theta0 = kPi / 2.0;
+  topo.angles().push_back(a);
+  Box box(50, 50, 50);
+  // 60-degree angle.
+  std::vector<Vec3> pos{{1, 0, 0}, {0, 0, 0},
+                        {std::cos(kPi / 3), std::sin(kPi / 3), 0}};
+  std::vector<Vec3> f(3);
+  EnergyTerms e;
+  bonded_energy(topo, box, pos, f, e);
+  const double dt = kPi / 3 - kPi / 2;
+  EXPECT_NEAR(e.angle, 50.0 * dt * dt, 1e-10);
+  // Net force and torque vanish.
+  EXPECT_NEAR(util::norm(f[0] + f[1] + f[2]), 0.0, 1e-10);
+}
+
+TEST(BondedTest, UreyBradleyAddsOneThreeTerm) {
+  Topology topo(3);
+  Angle a;
+  a.i = 0;
+  a.j = 1;
+  a.k = 2;
+  a.ktheta = 0.0;
+  a.theta0 = kPi / 2;
+  a.kub = 30.0;
+  a.s0 = 2.0;
+  topo.angles().push_back(a);
+  Box box(50, 50, 50);
+  std::vector<Vec3> pos{{1.5, 0, 0}, {0, 0, 0}, {0, 1.5, 0}};
+  std::vector<Vec3> f(3);
+  EnergyTerms e;
+  bonded_energy(topo, box, pos, f, e);
+  const double s = std::sqrt(4.5);
+  EXPECT_NEAR(e.angle, 30.0 * (s - 2.0) * (s - 2.0), 1e-10);
+}
+
+TEST(BondedTest, DihedralEnergyAtKnownAngle) {
+  Topology topo(4);
+  Dihedral d;
+  d.i = 0;
+  d.j = 1;
+  d.k = 2;
+  d.l = 3;
+  d.kchi = 2.0;
+  d.n = 1;
+  d.delta = 0.0;
+  topo.dihedrals().push_back(d);
+  Box box(50, 50, 50);
+  // Planar trans conformation: phi = pi (with the atan2 convention used).
+  std::vector<Vec3> pos{{0, 1, 0}, {0, 0, 0}, {1, 0, 0}, {1, -1, 0}};
+  std::vector<Vec3> f(4);
+  EnergyTerms e;
+  bonded_energy(topo, box, pos, f, e);
+  // E = k (1 + cos(phi)); at phi = +-pi this is 0.
+  EXPECT_NEAR(e.dihedral, 0.0, 1e-10);
+  // Cis conformation: phi = 0 -> E = 2k.
+  pos[3] = Vec3{1, 1, 0};
+  std::fill(f.begin(), f.end(), Vec3{});
+  EnergyTerms e2;
+  bonded_energy(topo, box, pos, f, e2);
+  EXPECT_NEAR(e2.dihedral, 4.0, 1e-10);
+}
+
+// Numerical-gradient check on a realistic random chain covering every
+// bonded term type at once.
+TEST(BondedTest, ForcesMatchNumericalGradient) {
+  auto sys = sysbuild::build_test_chain(12, 77);
+  const double h = 1e-6;
+  std::vector<Vec3> f(static_cast<std::size_t>(sys.topo.natoms()));
+  EnergyTerms e;
+  bonded_energy(sys.topo, sys.box, sys.positions, f, e);
+  for (int i = 0; i < sys.topo.natoms(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto plus = sys.positions;
+      auto minus = sys.positions;
+      plus[static_cast<std::size_t>(i)][d] += h;
+      minus[static_cast<std::size_t>(i)][d] -= h;
+      std::vector<Vec3> tmp(static_cast<std::size_t>(sys.topo.natoms()));
+      EnergyTerms ep, em;
+      bonded_energy(sys.topo, sys.box, plus, tmp, ep);
+      bonded_energy(sys.topo, sys.box, minus, tmp, em);
+      const double numeric =
+          -(ep.bonded() - em.bonded()) / (2.0 * h);
+      EXPECT_NEAR(f[static_cast<std::size_t>(i)][d], numeric, 2e-4)
+          << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(BondedTest, ShardsPartitionTheWork) {
+  auto sys = sysbuild::build_test_chain(20, 5);
+  std::vector<Vec3> full(static_cast<std::size_t>(sys.topo.natoms()));
+  EnergyTerms efull;
+  const BondedWork wfull =
+      bonded_energy(sys.topo, sys.box, sys.positions, full, efull);
+
+  const int p = 3;
+  std::vector<Vec3> acc(static_cast<std::size_t>(sys.topo.natoms()));
+  EnergyTerms eacc;
+  std::size_t terms = 0;
+  for (int shard = 0; shard < p; ++shard) {
+    terms +=
+        bonded_energy(sys.topo, sys.box, sys.positions, acc, eacc, shard, p)
+            .total();
+  }
+  EXPECT_EQ(terms, wfull.total());
+  EXPECT_NEAR(eacc.bonded(), efull.bonded(), 1e-9);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(util::norm(acc[i] - full[i]), 0.0, 1e-9);
+  }
+}
+
+// --- neighbor list -----------------------------------------------------------
+
+TEST(NeighborListTest, MatchesBruteForce) {
+  util::Rng rng(31);
+  const int n = 200;
+  Topology topo(n);
+  Box box(24, 30, 36);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < n; ++i) {
+    topo.atom(i) = AtomParams{12.0, 0.0, 0.1, 2.0};
+    pos.push_back(Vec3{rng.uniform(0, box.lx()), rng.uniform(0, box.ly()),
+                       rng.uniform(0, box.lz())});
+  }
+  // A few bonds create exclusions.
+  for (int i = 0; i < 20; ++i) {
+    Bond b;
+    b.i = 2 * i;
+    b.j = 2 * i + 1;
+    topo.bonds().push_back(b);
+  }
+  topo.build_exclusions();
+
+  NeighborList nbl(6.0, 1.0);
+  nbl.build(topo, box, pos);
+
+  std::set<std::pair<int, int>> listed;
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t t = nbl.offsets()[static_cast<std::size_t>(i)];
+         t < nbl.offsets()[static_cast<std::size_t>(i) + 1]; ++t) {
+      listed.insert({i, nbl.neighbors()[t]});
+    }
+  }
+  std::set<std::pair<int, int>> brute;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (topo.excluded(i, j)) continue;
+      const double r2 = util::norm2(
+          box.min_image(pos[static_cast<std::size_t>(i)] -
+                        pos[static_cast<std::size_t>(j)]));
+      if (r2 < 49.0) brute.insert({i, j});
+    }
+  }
+  EXPECT_EQ(listed, brute);
+}
+
+TEST(NeighborListTest, RebuildTrigger) {
+  auto sys = sysbuild::build_water_box(4);
+  NeighborList nbl(4.0, 2.0);
+  nbl.build(sys.topo, sys.box, sys.positions);
+  EXPECT_FALSE(nbl.needs_rebuild(sys.box, sys.positions));
+  auto moved = sys.positions;
+  moved[0].x += 0.9;  // below skin/2
+  EXPECT_FALSE(nbl.needs_rebuild(sys.box, moved));
+  moved[0].x += 0.2;  // beyond skin/2
+  EXPECT_TRUE(nbl.needs_rebuild(sys.box, moved));
+}
+
+// --- non-bonded kernels -------------------------------------------------------
+
+TEST(NonbondedTest, ListedMatchesReference) {
+  auto sys = sysbuild::build_water_box(4);
+  NonbondedOptions opts;
+  opts.cutoff = 5.0;
+  opts.switch_on = 4.0;
+  NeighborList nbl(opts.cutoff, 1.0);
+  nbl.build(sys.topo, sys.box, sys.positions);
+
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> f1(n), f2(n);
+  EnergyTerms e1, e2;
+  nonbonded_energy(sys.topo, sys.box, sys.positions, nbl, opts, f1, e1);
+  nonbonded_energy_reference(sys.topo, sys.box, sys.positions, opts, f2, e2);
+  EXPECT_NEAR(e1.lj, e2.lj, 1e-9);
+  EXPECT_NEAR(e1.elec, e2.elec, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(util::norm(f1[i] - f2[i]), 0.0, 1e-9);
+  }
+}
+
+class ElecMethodTest
+    : public ::testing::TestWithParam<NonbondedOptions::Elec> {};
+
+TEST_P(ElecMethodTest, ForcesMatchNumericalGradient) {
+  auto sys = sysbuild::build_water_box(2);
+  NonbondedOptions opts;
+  opts.cutoff = 3.0;
+  opts.switch_on = 2.2;
+  opts.elec = GetParam();
+  opts.beta = 0.4;
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> f(n);
+  EnergyTerms e;
+  nonbonded_energy_reference(sys.topo, sys.box, sys.positions, opts, f, e);
+  const double h = 1e-6;
+  for (int i = 0; i < sys.topo.natoms(); i += 3) {
+    for (int d = 0; d < 3; ++d) {
+      auto plus = sys.positions;
+      auto minus = sys.positions;
+      plus[static_cast<std::size_t>(i)][d] += h;
+      minus[static_cast<std::size_t>(i)][d] -= h;
+      std::vector<Vec3> tmp(n);
+      EnergyTerms ep, em;
+      nonbonded_energy_reference(sys.topo, sys.box, plus, opts, tmp, ep);
+      nonbonded_energy_reference(sys.topo, sys.box, minus, opts, tmp, em);
+      const double numeric =
+          -((ep.lj + ep.elec) - (em.lj + em.elec)) / (2.0 * h);
+      EXPECT_NEAR(f[static_cast<std::size_t>(i)][d], numeric, 5e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ElecMethodTest,
+                         ::testing::Values(NonbondedOptions::Elec::kShift,
+                                           NonbondedOptions::Elec::kEwaldDirect));
+
+TEST(NonbondedTest, ShiftElectrostaticsVanishAtCutoff) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{1.0, 1.0, 0.0, 1.0};
+  topo.atom(1) = AtomParams{1.0, -1.0, 0.0, 1.0};
+  topo.build_exclusions();
+  Box box(60, 60, 60);
+  NonbondedOptions opts;
+  opts.cutoff = 10.0;
+  std::vector<Vec3> f(2);
+
+  // Just inside the cutoff: energy is ~0 (continuous to zero).
+  std::vector<Vec3> pos{{0, 0, 0}, {9.999, 0, 0}};
+  EnergyTerms e;
+  nonbonded_energy_reference(topo, box, pos, opts, f, e);
+  EXPECT_NEAR(e.elec, 0.0, 1e-5);
+  // Well inside: attractive and close to plain Coulomb modified by shift.
+  pos[1].x = 2.0;
+  EnergyTerms e2;
+  nonbonded_energy_reference(topo, box, pos, opts, f, e2);
+  const double shift = std::pow(1.0 - 4.0 / 100.0, 2);
+  EXPECT_NEAR(e2.elec, -units::kCoulomb / 2.0 * shift, 1e-9);
+}
+
+TEST(NonbondedTest, SwitchingFunctionContinuity) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{1.0, 0.0, 0.2, 1.9};
+  topo.atom(1) = AtomParams{1.0, 0.0, 0.2, 1.9};
+  topo.build_exclusions();
+  Box box(60, 60, 60);
+  NonbondedOptions opts;
+  opts.cutoff = 10.0;
+  opts.switch_on = 8.0;
+  auto energy_at = [&](double r) {
+    std::vector<Vec3> f(2);
+    std::vector<Vec3> pos{{0, 0, 0}, {r, 0, 0}};
+    EnergyTerms e;
+    nonbonded_energy_reference(topo, box, pos, opts, f, e);
+    return e.lj;
+  };
+  // Continuous at the switch-on radius and zero at the cutoff.
+  EXPECT_NEAR(energy_at(7.9999), energy_at(8.0001), 1e-6);
+  EXPECT_NEAR(energy_at(9.9999), 0.0, 1e-8);
+  // LJ minimum at rmin: E = -eps.
+  EXPECT_NEAR(energy_at(3.8), -0.2, 1e-10);
+}
+
+TEST(NonbondedTest, ShardsPartitionPairs) {
+  auto sys = sysbuild::build_water_box(4);
+  NonbondedOptions opts;
+  opts.cutoff = 5.0;
+  opts.switch_on = 4.0;
+  NeighborList nbl(opts.cutoff, 1.0);
+  nbl.build(sys.topo, sys.box, sys.positions);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+
+  std::vector<Vec3> full(n);
+  EnergyTerms efull;
+  const NonbondedWork wfull =
+      nonbonded_energy(sys.topo, sys.box, sys.positions, nbl, opts, full,
+                       efull);
+  const int p = 5;
+  std::vector<Vec3> acc(n);
+  EnergyTerms eacc;
+  std::size_t pairs = 0;
+  for (int shard = 0; shard < p; ++shard) {
+    pairs += nonbonded_energy(sys.topo, sys.box, sys.positions, nbl, opts,
+                              acc, eacc, shard, p)
+                 .pairs_listed;
+  }
+  EXPECT_EQ(pairs, wfull.pairs_listed);
+  EXPECT_NEAR(eacc.lj, efull.lj, 1e-9);
+  EXPECT_NEAR(eacc.elec, efull.elec, 1e-9);
+}
+
+// --- integrator ----------------------------------------------------------------
+
+TEST(IntegratorTest, HarmonicOscillatorPeriod) {
+  // Single particle on a spring to a fixed point via a bond to a huge mass.
+  Topology topo(2);
+  topo.atom(0) = AtomParams{1.0, 0, 0, 0};
+  topo.atom(1) = AtomParams{1e12, 0, 0, 0};
+  Bond b;
+  b.i = 0;
+  b.j = 1;
+  b.kb = 10.0;  // E = k (r - r0)^2 -> omega = sqrt(2k/m)
+  b.b0 = 2.0;
+  topo.bonds().push_back(b);
+  Box box(100, 100, 100);
+  std::vector<Vec3> pos{{52.5, 50, 50}, {50, 50, 50}};
+  std::vector<Vec3> vel{{0, 0, 0}, {0, 0, 0}};
+  std::vector<Vec3> f(2);
+
+  const double omega = std::sqrt(2.0 * 10.0 * units::kForceToAccel / 1.0);
+  const double period = 2.0 * kPi / omega;
+  const double dt = period / 2000.0;
+  VelocityVerlet vv(dt);
+
+  auto eval = [&] {
+    std::fill(f.begin(), f.end(), Vec3{});
+    EnergyTerms e;
+    bonded_energy(topo, box, pos, f, e);
+  };
+  eval();
+  for (int s = 0; s < 2000; ++s) {
+    vv.begin_step(topo, f, pos, vel);
+    eval();
+    vv.end_step(topo, f, vel);
+  }
+  // After one period the oscillator returns to its start.
+  EXPECT_NEAR(pos[0].x, 52.5, 1e-3);
+  EXPECT_NEAR(vel[0].x, 0.0, 0.05);
+}
+
+TEST(IntegratorTest, KineticEnergyAndTemperature) {
+  Topology topo(2);
+  topo.atom(0) = AtomParams{2.0, 0, 0, 0};
+  topo.atom(1) = AtomParams{3.0, 0, 0, 0};
+  std::vector<Vec3> vel{{1, 0, 0}, {0, 2, 0}};
+  const double ke = kinetic_energy(topo, vel);
+  EXPECT_NEAR(ke, 0.5 * (2.0 + 12.0) / units::kForceToAccel, 1e-12);
+  EXPECT_GT(temperature(topo, vel), 0.0);
+}
+
+TEST(IntegratorTest, AssignVelocitiesHitsTemperature) {
+  auto sys = sysbuild::build_water_box(4);
+  std::vector<Vec3> vel;
+  assign_velocities(sys.topo, 300.0, 99, vel);
+  EXPECT_NEAR(temperature(sys.topo, vel), 300.0, 15.0);
+  // No net momentum.
+  Vec3 momentum;
+  for (int i = 0; i < sys.topo.natoms(); ++i) {
+    momentum += vel[static_cast<std::size_t>(i)] * sys.topo.atom(i).mass;
+  }
+  EXPECT_NEAR(util::norm(momentum), 0.0, 1e-9);
+}
+
+TEST(MinimizeTest, QuadraticBowlConverges) {
+  MinimizeOptions opts;
+  opts.max_steps = 500;
+  opts.force_tolerance = 1e-3;
+  std::vector<Vec3> pos{{5, -3, 2}};
+  auto eval = [](const std::vector<Vec3>& p, std::vector<Vec3>& f) {
+    f[0] = -2.0 * p[0];
+    return util::norm2(p[0]);
+  };
+  const MinimizeResult res = minimize(opts, eval, pos);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.final_energy, 1e-4);
+  EXPECT_LT(res.final_energy, res.initial_energy);
+}
+
+TEST(MinimizeTest, NeverIncreasesEnergy) {
+  auto sys = sysbuild::build_test_chain(16, 3);
+  // Perturb to create strain.
+  util::Rng rng(4);
+  for (auto& r : sys.positions) {
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  }
+  auto eval = [&](const std::vector<Vec3>& p, std::vector<Vec3>& f) {
+    EnergyTerms e;
+    std::fill(f.begin(), f.end(), Vec3{});
+    bonded_energy(sys.topo, sys.box, p, f, e);
+    return e.bonded();
+  };
+  MinimizeOptions opts;
+  opts.max_steps = 100;
+  auto pos = sys.positions;
+  const MinimizeResult res = minimize(opts, eval, pos);
+  EXPECT_LE(res.final_energy, res.initial_energy);
+}
+
+}  // namespace
+}  // namespace repro::md

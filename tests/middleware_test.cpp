@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "middleware/middleware.hpp"
+#include "net/cluster.hpp"
+#include "perf/recorder.hpp"
+#include "sim/engine.hpp"
+
+namespace repro::middleware {
+namespace {
+
+struct RunResult {
+  std::vector<perf::RankRecorder> recorders;
+};
+
+RunResult run_mw(int nranks, Kind kind,
+                 const std::function<void(Middleware&)>& body,
+                 net::Network network = net::Network::kTcpGigE) {
+  net::ClusterConfig config;
+  config.nranks = nranks;
+  config.network = network;
+  net::ClusterNetwork cluster(config);
+  RunResult out;
+  out.recorders.resize(static_cast<std::size_t>(nranks));
+  sim::Engine engine(nranks);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster,
+                   out.recorders[static_cast<std::size_t>(ctx.rank())]);
+    auto mw = make_middleware(kind, comm);
+    body(*mw);
+  });
+  return out;
+}
+
+class MiddlewareKindTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(MiddlewareKindTest, GlobalSumIsCorrect) {
+  for (int p : {1, 2, 4, 5, 8}) {
+    run_mw(p, GetParam(), [p](Middleware& mw) {
+      std::vector<double> v(50);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = mw.rank() * 100.0 + static_cast<double>(i);
+      }
+      mw.global_sum(v.data(), v.size());
+      const double rank_sum = 100.0 * p * (p - 1) / 2.0;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_NEAR(v[i], rank_sum + static_cast<double>(i) * p, 1e-9);
+      }
+    });
+  }
+}
+
+TEST_P(MiddlewareKindTest, GlobalSumBitIdenticalAcrossRanks) {
+  // The replicated-data scheme relies on every rank ending with the exact
+  // same force vector.
+  for (int p : {2, 4, 8}) {
+    std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+    run_mw(p, GetParam(), [&](Middleware& mw) {
+      std::vector<double> v(64);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 1.0 / (mw.rank() + 1.0) + 1e-13 * static_cast<double>(i);
+      }
+      mw.global_sum(v.data(), v.size());
+      results[static_cast<std::size_t>(mw.rank())] = v;
+    });
+    for (int r = 1; r < p; ++r) {
+      EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);
+    }
+  }
+}
+
+TEST_P(MiddlewareKindTest, BroadcastFromRoot) {
+  run_mw(6, GetParam(), [](Middleware& mw) {
+    std::vector<double> v(10, mw.rank() == 0 ? 3.25 : 0.0);
+    mw.broadcast(v.data(), v.size() * sizeof(double), 0);
+    for (double x : v) EXPECT_DOUBLE_EQ(x, 3.25);
+  });
+}
+
+TEST_P(MiddlewareKindTest, TransposeMatchesAlltoall) {
+  for (int p : {1, 2, 3, 4, 8}) {
+    run_mw(p, GetParam(), [p](Middleware& mw) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p),
+                                      2 * sizeof(double));
+      std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        displs[static_cast<std::size_t>(d)] =
+            static_cast<std::size_t>(d) * 2 * sizeof(double);
+      }
+      std::vector<double> send(static_cast<std::size_t>(2 * p));
+      for (int d = 0; d < p; ++d) {
+        send[static_cast<std::size_t>(2 * d)] = 10.0 * mw.rank() + d;
+        send[static_cast<std::size_t>(2 * d + 1)] = -1.0 * d;
+      }
+      std::vector<double> recv(static_cast<std::size_t>(2 * p), 0.0);
+      mw.transpose(send.data(), counts, displs, recv.data(), counts, displs);
+      for (int s = 0; s < p; ++s) {
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(2 * s)],
+                         10.0 * s + mw.rank());
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(2 * s + 1)],
+                         -1.0 * mw.rank());
+      }
+    });
+  }
+}
+
+TEST_P(MiddlewareKindTest, SynchronizeCompletes) {
+  run_mw(8, GetParam(), [](Middleware& mw) {
+    mw.comm().compute(0.001 * mw.rank());
+    mw.synchronize();
+    mw.synchronize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MiddlewareKindTest,
+                         ::testing::Values(Kind::kMpi, Kind::kCmpi),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(MiddlewareCostTest, CmpiSynchronizationCostsMoreOnTcp) {
+  auto mpi_run = run_mw(8, Kind::kMpi, [](Middleware& mw) {
+    for (int i = 0; i < 10; ++i) mw.synchronize();
+  });
+  auto cmpi_run = run_mw(8, Kind::kCmpi, [](Middleware& mw) {
+    for (int i = 0; i < 10; ++i) mw.synchronize();
+  });
+  double mpi_sync = 0.0;
+  double cmpi_sync = 0.0;
+  for (int r = 0; r < 8; ++r) {
+    mpi_sync += mpi_run.recorders[static_cast<std::size_t>(r)].time(
+        perf::Component::kOther, perf::Kind::kSync);
+    cmpi_sync += cmpi_run.recorders[static_cast<std::size_t>(r)].time(
+        perf::Component::kOther, perf::Kind::kSync);
+  }
+  // p-1 ring repetitions vs a log2(p) dissemination barrier.
+  EXPECT_GT(cmpi_sync, 1.5 * mpi_sync);
+}
+
+TEST(MiddlewareCostTest, CmpiSyncScalesWithRankCount) {
+  auto sync_time = [](int p) {
+    auto run = run_mw(p, Kind::kCmpi, [](Middleware& mw) {
+      for (int i = 0; i < 5; ++i) mw.synchronize();
+    });
+    double total = 0.0;
+    for (const auto& rec : run.recorders) {
+      total += rec.time(perf::Component::kOther, perf::Kind::kSync);
+    }
+    return total / p;  // per-rank average
+  };
+  const double t2 = sync_time(2);
+  const double t8 = sync_time(8);
+  EXPECT_GT(t8, 2.0 * t2);
+}
+
+TEST(MiddlewareCostTest, CmpiGlobalSumMovesMoreBytes) {
+  const std::size_t n = 5000;
+  auto bytes_for = [&](Kind kind) {
+    auto run = run_mw(8, kind, [&](Middleware& mw) {
+      std::vector<double> v(n, 1.0);
+      mw.global_sum(v.data(), v.size());
+    });
+    double total = 0.0;
+    for (const auto& rec : run.recorders) total += rec.total_bytes();
+    return total;
+  };
+  // Ring circulation (p-1 full vectors per rank) vs a binomial tree.
+  EXPECT_GT(bytes_for(Kind::kCmpi), 2.0 * bytes_for(Kind::kMpi));
+}
+
+TEST(MiddlewareFactoryTest, NamesAndCreation) {
+  EXPECT_STREQ(to_string(Kind::kMpi), "MPI");
+  EXPECT_STREQ(to_string(Kind::kCmpi), "CMPI");
+  net::ClusterConfig config;
+  config.nranks = 1;
+  net::ClusterNetwork cluster(config);
+  perf::RankRecorder rec;
+  sim::Engine engine(1);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster, rec);
+    EXPECT_NE(make_middleware(Kind::kMpi, comm), nullptr);
+    EXPECT_NE(make_middleware(Kind::kCmpi, comm), nullptr);
+  });
+}
+
+}  // namespace
+}  // namespace repro::middleware

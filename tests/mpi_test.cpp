@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "perf/recorder.hpp"
+#include "sim/engine.hpp"
+
+namespace repro::mpi {
+namespace {
+
+// Runs `body` on a simulated cluster and returns the per-rank recorders.
+std::vector<perf::RankRecorder> run_cluster(
+    int nranks, const std::function<void(Comm&)>& body,
+    net::Network network = net::Network::kScoreGigE) {
+  net::ClusterConfig config;
+  config.nranks = nranks;
+  config.network = network;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recorders(
+      static_cast<std::size_t>(nranks));
+  sim::Engine engine(nranks);
+  engine.run([&](sim::RankCtx& ctx) {
+    Comm comm(ctx, cluster,
+              recorders[static_cast<std::size_t>(ctx.rank())]);
+    body(comm);
+  });
+  return recorders;
+}
+
+TEST(P2PTest, SendRecvDeliversBytes) {
+  run_cluster(2, [](Comm& comm) {
+    const std::vector<int> data{1, 2, 3, 4, 5};
+    if (comm.rank() == 0) {
+      comm.send(1, 7, data.data(), data.size() * sizeof(int));
+    } else {
+      std::vector<int> got(5);
+      const std::size_t n = comm.recv(0, 7, got.data(), 5 * sizeof(int));
+      EXPECT_EQ(n, 5 * sizeof(int));
+      EXPECT_EQ(got, data);
+    }
+  });
+}
+
+TEST(P2PTest, TagMatching) {
+  run_cluster(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 10;
+      const int b = 20;
+      comm.send(1, /*tag=*/1, &a, sizeof(a));
+      comm.send(1, /*tag=*/2, &b, sizeof(b));
+    } else {
+      int got = 0;
+      // Receive tag 2 first even though tag 1 arrived first.
+      comm.recv(0, 2, &got, sizeof(got));
+      EXPECT_EQ(got, 20);
+      comm.recv(0, 1, &got, sizeof(got));
+      EXPECT_EQ(got, 10);
+    }
+  });
+}
+
+TEST(P2PTest, AnySourceMatchesEarliestArrival) {
+  run_cluster(3, [](Comm& comm) {
+    if (comm.rank() == 2) {
+      int got = 0;
+      comm.recv(kAnySource, 5, &got, sizeof(got));
+      // rank 1's message was sent at an earlier virtual time.
+      EXPECT_EQ(got, 111);
+      comm.recv(kAnySource, 5, &got, sizeof(got));
+      EXPECT_EQ(got, 222);
+    } else if (comm.rank() == 1) {
+      const int v = 111;
+      comm.send(2, 5, &v, sizeof(v));
+    } else {
+      comm.compute(1.0);  // rank 0 sends much later
+      const int v = 222;
+      comm.send(2, 5, &v, sizeof(v));
+    }
+  });
+}
+
+TEST(P2PTest, ChannelFifoOrder) {
+  run_cluster(2, [](Comm& comm) {
+    constexpr int kN = 20;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) comm.send(1, 3, &i, sizeof(i));
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int got = -1;
+        comm.recv(0, 3, &got, sizeof(got));
+        EXPECT_EQ(got, i);
+      }
+    }
+  });
+}
+
+TEST(P2PTest, SelfSend) {
+  run_cluster(1, [](Comm& comm) {
+    const double x = 3.5;
+    comm.send(0, 9, &x, sizeof(x));
+    double got = 0.0;
+    comm.recv(0, 9, &got, sizeof(got));
+    EXPECT_DOUBLE_EQ(got, 3.5);
+  });
+}
+
+TEST(P2PTest, IsendIrecvWait) {
+  run_cluster(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 77;
+      Request s = comm.isend(1, 4, &v, sizeof(v));
+      comm.wait(s);
+      EXPECT_TRUE(s.done);
+    } else {
+      int got = 0;
+      Request r = comm.irecv(0, 4, &got, sizeof(got));
+      comm.wait(r);
+      EXPECT_EQ(got, 77);
+      EXPECT_EQ(r.received, sizeof(int));
+    }
+  });
+}
+
+TEST(P2PTest, RecvWaitIsCommunicationTime) {
+  auto recs = run_cluster(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(1.0);  // make the receiver wait
+      const int v = 1;
+      comm.send(1, 8, &v, sizeof(v));
+    } else {
+      int got;
+      comm.recv(0, 8, &got, sizeof(got));
+    }
+  });
+  // The receiver's blocked second shows up as communication (data-op time).
+  EXPECT_GT(recs[1].time(perf::Component::kOther, perf::Kind::kComm), 0.9);
+}
+
+TEST(P2PTest, OversizeMessageRejected) {
+  EXPECT_THROW(run_cluster(2,
+                           [](Comm& comm) {
+                             if (comm.rank() == 0) {
+                               const std::vector<char> big(100);
+                               comm.send(1, 1, big.data(), big.size());
+                             } else {
+                               char small[10];
+                               comm.recv(0, 1, small, sizeof(small));
+                             }
+                           }),
+               util::Error);
+}
+
+// --- collectives over a sweep of communicator sizes -----------------------
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, Barrier) {
+  const int p = GetParam();
+  auto recs = run_cluster(p, [](Comm& comm) {
+    comm.compute(0.01 * comm.rank());
+    comm.barrier();
+    comm.barrier();
+  });
+  // Barrier time is synchronization, not communication.
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.time(perf::Component::kOther, perf::Kind::kComm), 0.0);
+    if (recs.size() > 1) {
+      EXPECT_GE(r.time(perf::Component::kOther, perf::Kind::kSync), 0.0);
+    }
+  }
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run_cluster(p, [root](Comm& comm) {
+      std::vector<double> data(17, comm.rank() == root ? 42.0 : 0.0);
+      comm.bcast(data.data(), data.size() * sizeof(double), root);
+      for (double v : data) EXPECT_DOUBLE_EQ(v, 42.0);
+    });
+  }
+}
+
+TEST_P(CollectiveTest, ReduceSumToRoot) {
+  const int p = GetParam();
+  run_cluster(p, [p](Comm& comm) {
+    std::vector<double> data(8);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = comm.rank() + static_cast<double>(i) * 10.0;
+    }
+    comm.reduce_sum(data.data(), data.size(), 0);
+    if (comm.rank() == 0) {
+      const double rank_sum = p * (p - 1) / 2.0;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_DOUBLE_EQ(data[i], rank_sum + p * static_cast<double>(i) * 10.0);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceSum) {
+  const int p = GetParam();
+  run_cluster(p, [p](Comm& comm) {
+    std::vector<double> data(33, static_cast<double>(comm.rank() + 1));
+    comm.allreduce_sum(data.data(), data.size());
+    const double expect = p * (p + 1) / 2.0;
+    for (double v : data) EXPECT_DOUBLE_EQ(v, expect);
+  });
+}
+
+TEST_P(CollectiveTest, AllgathervVariableBlocks) {
+  const int p = GetParam();
+  run_cluster(p, [p](Comm& comm) {
+    // Rank r contributes r+1 doubles of value r.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      displs[static_cast<std::size_t>(r)] = total;
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(double);
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank() + 1),
+                             static_cast<double>(comm.rank()));
+    std::vector<double> all(total / sizeof(double), -1.0);
+    comm.allgatherv(mine.data(), mine.size() * sizeof(double), all.data(),
+                    counts, displs);
+    std::size_t idx = 0;
+    for (int r = 0; r < p; ++r) {
+      for (int k = 0; k <= r; ++k) {
+        EXPECT_DOUBLE_EQ(all[idx++], static_cast<double>(r));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvPersonalized) {
+  const int p = GetParam();
+  run_cluster(p, [p](Comm& comm) {
+    // Rank r sends value 100*r + d to rank d.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p),
+                                    sizeof(double));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      displs[static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>(d) * sizeof(double);
+    }
+    std::vector<double> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      send[static_cast<std::size_t>(d)] = 100.0 * comm.rank() + d;
+    }
+    std::vector<double> recv(static_cast<std::size_t>(p), -1.0);
+    comm.alltoallv(send.data(), counts, displs, recv.data(), counts, displs);
+    for (int s = 0; s < p; ++s) {
+      EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(s)],
+                       100.0 * s + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ConsecutiveCollectivesDoNotInterfere) {
+  const int p = GetParam();
+  run_cluster(p, [](Comm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<double> d(3, 1.0);
+      comm.allreduce_sum(d.data(), d.size());
+      EXPECT_DOUBLE_EQ(d[0], static_cast<double>(comm.size()));
+      comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+// --- algorithm variants -----------------------------------------------------
+
+struct AlgoCase {
+  AllreduceAlgorithm allreduce;
+  BcastAlgorithm bcast;
+  int nranks;
+};
+
+class CollectiveAlgorithmTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(CollectiveAlgorithmTest, AllreduceCorrectAndConsistent) {
+  const AlgoCase c = GetParam();
+  net::ClusterConfig config;
+  config.nranks = c.nranks;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(static_cast<std::size_t>(c.nranks));
+  std::vector<std::vector<double>> results(
+      static_cast<std::size_t>(c.nranks));
+  CollectiveConfig cc;
+  cc.allreduce = c.allreduce;
+  cc.bcast = c.bcast;
+  sim::Engine engine(c.nranks);
+  engine.run([&](sim::RankCtx& ctx) {
+    Comm comm(ctx, cluster, recs[static_cast<std::size_t>(ctx.rank())], cc);
+    std::vector<double> v(37);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 1.0 / (comm.rank() + 2.0) + 0.001 * static_cast<double>(i);
+    }
+    comm.allreduce_sum(v.data(), v.size());
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  // Numerically correct...
+  double expect0 = 0.0;
+  for (int r = 0; r < c.nranks; ++r) expect0 += 1.0 / (r + 2.0);
+  EXPECT_NEAR(results[0][0], expect0, 1e-12);
+  // ...and bit-identical on every rank (the replicated-data invariant).
+  for (int r = 1; r < c.nranks; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0])
+        << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveAlgorithmTest, BcastDeliversLargePayload) {
+  const AlgoCase c = GetParam();
+  net::ClusterConfig config;
+  config.nranks = c.nranks;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(static_cast<std::size_t>(c.nranks));
+  CollectiveConfig cc;
+  cc.allreduce = c.allreduce;
+  cc.bcast = c.bcast;
+  sim::Engine engine(c.nranks);
+  engine.run([&](sim::RankCtx& ctx) {
+    Comm comm(ctx, cluster, recs[static_cast<std::size_t>(ctx.rank())], cc);
+    // Larger than one ring segment, not a multiple of it.
+    std::vector<double> v(7013, comm.rank() == 1 ? 2.5 : 0.0);
+    comm.bcast(v.data(), v.size() * sizeof(double), 1);
+    for (double x : v) ASSERT_DOUBLE_EQ(x, 2.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, CollectiveAlgorithmTest,
+    ::testing::Values(
+        AlgoCase{AllreduceAlgorithm::kReduceBcast,
+                 BcastAlgorithm::kBinomialTree, 8},
+        AlgoCase{AllreduceAlgorithm::kRecursiveDoubling,
+                 BcastAlgorithm::kBinomialTree, 8},
+        AlgoCase{AllreduceAlgorithm::kRecursiveDoubling,
+                 BcastAlgorithm::kBinomialTree, 6},
+        AlgoCase{AllreduceAlgorithm::kRing, BcastAlgorithm::kRingPipeline, 8},
+        AlgoCase{AllreduceAlgorithm::kRing, BcastAlgorithm::kRingPipeline, 5},
+        AlgoCase{AllreduceAlgorithm::kRing, BcastAlgorithm::kBinomialTree,
+                 3}));
+
+// --- rendezvous protocol ----------------------------------------------------
+
+std::vector<perf::RankRecorder> run_rendezvous_cluster(
+    int nranks, std::size_t threshold,
+    const std::function<void(Comm&)>& body) {
+  net::ClusterConfig config;
+  config.nranks = nranks;
+  config.network = net::Network::kScoreGigE;
+  net::NetworkParams params = net::params_for(config.network);
+  params.rendezvous_threshold = threshold;
+  net::ClusterNetwork cluster(config, params);
+  std::vector<perf::RankRecorder> recorders(
+      static_cast<std::size_t>(nranks));
+  sim::Engine engine(nranks);
+  engine.run([&](sim::RankCtx& ctx) {
+    Comm comm(ctx, cluster,
+              recorders[static_cast<std::size_t>(ctx.rank())]);
+    body(comm);
+  });
+  return recorders;
+}
+
+TEST(RendezvousTest, LargeMessageDeliveredCorrectly) {
+  run_rendezvous_cluster(2, 1024, [](Comm& comm) {
+    std::vector<double> data(1000, 1.5);  // 8000 bytes > threshold
+    if (comm.rank() == 0) {
+      comm.send(1, 5, data.data(), data.size() * sizeof(double));
+    } else {
+      std::vector<double> got(1000);
+      comm.recv(0, 5, got.data(), got.size() * sizeof(double));
+      EXPECT_EQ(got, data);
+    }
+  });
+}
+
+TEST(RendezvousTest, HandshakeAddsRoundTrip) {
+  auto elapsed_with = [](std::size_t threshold) {
+    double sender_end = 0.0;
+    run_rendezvous_cluster(2, threshold, [&](Comm& comm) {
+      std::vector<double> data(10000);
+      if (comm.rank() == 0) {
+        comm.send(1, 5, data.data(), data.size() * sizeof(double));
+        sender_end = comm.now();
+      } else {
+        comm.compute(0.5);  // receiver enters MPI late
+        std::vector<double> got(10000);
+        comm.recv(0, 5, got.data(), got.size() * sizeof(double));
+      }
+    });
+    return sender_end;
+  };
+  // Eager: the sender fires and forgets. Rendezvous: it must wait for the
+  // receiver to reach the library and answer the RTS.
+  const double eager = elapsed_with(0);
+  const double rndv = elapsed_with(1024);
+  EXPECT_GT(rndv, 0.4);
+  EXPECT_LT(eager, 0.1);
+}
+
+TEST(RendezvousTest, SymmetricExchangeDoesNotDeadlock) {
+  run_rendezvous_cluster(4, 64, [](Comm& comm) {
+    // Everyone sends a large message to everyone else simultaneously.
+    const int p = comm.size();
+    std::vector<double> data(500, static_cast<double>(comm.rank()));
+    for (int k = 1; k < p; ++k) {
+      comm.send((comm.rank() + k) % p, 9, data.data(),
+                data.size() * sizeof(double));
+    }
+    std::vector<double> got(500);
+    for (int k = 1; k < p; ++k) {
+      const int src = (comm.rank() - k + p) % p;
+      comm.recv(src, 9, got.data(), got.size() * sizeof(double));
+      EXPECT_DOUBLE_EQ(got[0], static_cast<double>(src));
+    }
+  });
+}
+
+TEST(RendezvousTest, CollectivesStillCorrect) {
+  run_rendezvous_cluster(8, 128, [](Comm& comm) {
+    std::vector<double> v(200, 1.0);
+    comm.allreduce_sum(v.data(), v.size());
+    for (double x : v) ASSERT_DOUBLE_EQ(x, 8.0);
+    comm.barrier();
+    std::vector<double> b(512, comm.rank() == 2 ? 7.0 : 0.0);
+    comm.bcast(b.data(), b.size() * sizeof(double), 2);
+    EXPECT_DOUBLE_EQ(b[511], 7.0);
+  });
+}
+
+TEST(RendezvousTest, SmallMessagesStayEager) {
+  auto recs = run_rendezvous_cluster(2, 1 << 20, [](Comm& comm) {
+    // Below threshold: no handshake, sender returns immediately.
+    double x = 1.0;
+    if (comm.rank() == 0) {
+      comm.send(1, 3, &x, sizeof(x));
+      EXPECT_LT(comm.now(), 1e-3);
+    } else {
+      comm.compute(0.2);
+      comm.recv(0, 3, &x, sizeof(x));
+    }
+  });
+  (void)recs;
+}
+
+TEST(AccountingTest, BytesCountedOnDataOpsOnly) {
+  auto recs = run_cluster(2, [](Comm& comm) {
+    std::vector<double> d(1000, 1.0);
+    comm.allreduce_sum(d.data(), d.size());
+    comm.barrier();  // sync traffic must not count as data bytes
+  });
+  EXPECT_GT(recs[0].total_bytes(), 0.0);
+  // Each rank moves ~8000 bytes once or twice; far below 1 MB.
+  EXPECT_LT(recs[0].total_bytes(), 1e6);
+}
+
+TEST(AccountingTest, ComputeChargesActiveComponent) {
+  auto recs = run_cluster(1, [](Comm& comm) {
+    comm.recorder().set_component(perf::Component::kPme);
+    comm.compute(2.5);
+    comm.recorder().set_component(perf::Component::kClassic);
+    comm.compute(1.0);
+  });
+  EXPECT_DOUBLE_EQ(recs[0].time(perf::Component::kPme, perf::Kind::kComp),
+                   2.5);
+  EXPECT_DOUBLE_EQ(
+      recs[0].time(perf::Component::kClassic, perf::Kind::kComp), 1.0);
+}
+
+}  // namespace
+}  // namespace repro::mpi

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "net/cluster.hpp"
+#include "net/params.hpp"
+#include "util/error.hpp"
+
+namespace repro::net {
+namespace {
+
+ClusterConfig config(int nranks, int cpus, Network network,
+                     std::uint64_t seed = 99) {
+  ClusterConfig c;
+  c.nranks = nranks;
+  c.cpus_per_node = cpus;
+  c.network = network;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ParamsTest, AllNetworksDefined) {
+  for (Network n :
+       {Network::kTcpGigE, Network::kScoreGigE, Network::kMyrinetGM}) {
+    const NetworkParams p = params_for(n);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.bandwidth, 0.0);
+    EXPECT_GT(p.latency, 0.0);
+    EXPECT_GT(p.mtu, 0u);
+    EXPECT_FALSE(to_string(n).empty());
+  }
+}
+
+TEST(ParamsTest, StackOrderingMatchesEra) {
+  const NetworkParams tcp = params_for(Network::kTcpGigE);
+  const NetworkParams score = params_for(Network::kScoreGigE);
+  const NetworkParams myri = params_for(Network::kMyrinetGM);
+  // Latency: TCP worst, Myrinet best.
+  EXPECT_GT(tcp.latency, score.latency);
+  EXPECT_GT(score.latency, myri.latency);
+  // Effective bandwidth: TCP worst.
+  EXPECT_LT(tcp.bandwidth, score.bandwidth);
+  EXPECT_LT(score.bandwidth, myri.bandwidth);
+  // Host per-packet costs: offloading NICs are nearly free.
+  EXPECT_GT(tcp.packet_cost_recv, myri.packet_cost_recv);
+  // Only TCP is unstable and interrupt-driven.
+  EXPECT_GT(tcp.jitter_prob_per_rank, 0.0);
+  EXPECT_EQ(score.jitter_prob_per_rank, 0.0);
+  EXPECT_TRUE(tcp.rx_uses_interrupt_cpu);
+  EXPECT_FALSE(myri.rx_uses_interrupt_cpu);
+}
+
+TEST(ClusterTest, NodePlacement) {
+  ClusterNetwork uni(config(8, 1, Network::kScoreGigE));
+  EXPECT_EQ(uni.nnodes(), 8);
+  EXPECT_EQ(uni.node_of(5), 5);
+  ClusterNetwork dual(config(8, 2, Network::kScoreGigE));
+  EXPECT_EQ(dual.nnodes(), 4);
+  EXPECT_EQ(dual.node_of(0), 0);
+  EXPECT_EQ(dual.node_of(1), 0);
+  EXPECT_EQ(dual.node_of(2), 1);
+  EXPECT_TRUE(dual.same_node(6, 7));
+  EXPECT_FALSE(dual.same_node(1, 2));
+}
+
+TEST(ClusterTest, RejectsBadConfigs) {
+  EXPECT_THROW(ClusterNetwork(config(0, 1, Network::kTcpGigE)), util::Error);
+  EXPECT_THROW(ClusterNetwork(config(4, 3, Network::kTcpGigE)), util::Error);
+}
+
+TEST(ClusterTest, MessageTimingBasics) {
+  ClusterNetwork net(config(2, 1, Network::kScoreGigE));
+  const MessageTiming t = net.message(0, 1, 100000, 1.0);
+  EXPECT_GT(t.sender_busy, 0.0);
+  EXPECT_GT(t.arrival, 1.0 + 100000 / params_for(Network::kScoreGigE).bandwidth);
+  EXPECT_GT(t.recv_copy, 0.0);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_DOUBLE_EQ(net.bytes_sent(), 100000.0);
+}
+
+TEST(ClusterTest, SelfSendRejected) {
+  ClusterNetwork net(config(2, 1, Network::kScoreGigE));
+  EXPECT_THROW(net.message(1, 1, 10, 0.0), util::Error);
+}
+
+TEST(ClusterTest, LargerMessagesTakeLonger) {
+  ClusterNetwork net(config(2, 1, Network::kMyrinetGM));
+  const double small = net.message(0, 1, 1000, 0.0).arrival;
+  const double large = net.message(0, 1, 1000000, 10.0).arrival - 10.0;
+  EXPECT_GT(large, small);
+}
+
+TEST(ClusterTest, IntraNodeFasterThanCrossNodeForSan) {
+  // SCore/Myrinet use a shared-memory driver within a node.
+  ClusterNetwork net(config(4, 2, Network::kMyrinetGM));
+  const double intra = net.message(0, 1, 65536, 0.0).arrival;
+  const double cross = net.message(0, 2, 65536, 100.0).arrival - 100.0;
+  EXPECT_LT(intra, cross);
+}
+
+TEST(ClusterTest, FifoPerChannel) {
+  ClusterNetwork net(config(4, 1, Network::kTcpGigE, 1234));
+  double last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const MessageTiming t =
+        net.message(0, 1, 1000, static_cast<double>(i) * 1e-4);
+    EXPECT_GT(t.arrival, last);
+    last = t.arrival;
+  }
+}
+
+TEST(ClusterTest, NicContentionSerializes) {
+  // Two big back-to-back messages through one NIC: the second one's
+  // arrival is pushed out by roughly the first one's wire time.
+  ClusterNetwork net(config(4, 1, Network::kScoreGigE));
+  const double wire = 1e6 / params_for(Network::kScoreGigE).bandwidth;
+  const MessageTiming a = net.message(0, 1, 1000000, 0.0);
+  const MessageTiming b = net.message(0, 2, 1000000, 1e-6);
+  EXPECT_GT(b.arrival, a.arrival);
+  EXPECT_GT(b.arrival, 2.0 * wire * 0.9);
+}
+
+TEST(ClusterTest, IncastContentionAtReceiver) {
+  // Many senders into one receiver serialize on the inbound link.
+  ClusterNetwork net(config(8, 1, Network::kScoreGigE));
+  double last_arrival = 0.0;
+  for (int src = 1; src < 8; ++src) {
+    const MessageTiming t = net.message(src, 0, 500000, 0.0);
+    EXPECT_GT(t.arrival, last_arrival);
+    last_arrival = t.arrival;
+  }
+  const double wire = 500000 / params_for(Network::kScoreGigE).bandwidth;
+  EXPECT_GT(last_arrival, 7 * wire * 0.9);
+}
+
+TEST(ClusterTest, JitterDeterministicPerSeed) {
+  auto arrivals = [](std::uint64_t seed) {
+    ClusterNetwork net(config(8, 1, Network::kTcpGigE, seed));
+    std::vector<double> out;
+    for (int i = 0; i < 30; ++i) {
+      out.push_back(net.message(0, 1, 50000, i * 0.1).arrival);
+    }
+    return out;
+  };
+  EXPECT_EQ(arrivals(5), arrivals(5));
+  EXPECT_NE(arrivals(5), arrivals(6));
+}
+
+TEST(ClusterTest, JitterOnsetAtFourRanks) {
+  // Below the onset rank count, TCP timings are deterministic functions of
+  // the message (no flow-control incidents): two consecutive identical,
+  // uncontended messages take identical times.
+  ClusterNetwork net2(config(2, 1, Network::kTcpGigE, 7));
+  const double d1 =
+      net2.message(0, 1, 50000, 0.0).arrival - 0.0;
+  const double d2 = net2.message(0, 1, 50000, 100.0).arrival - 100.0;
+  EXPECT_NEAR(d1, d2, 1e-9);
+
+  // At 8 ranks some of a series of messages must hit incidents: timings
+  // spread out.
+  ClusterNetwork net8(config(8, 1, Network::kTcpGigE, 7));
+  double min_d = 1e30;
+  double max_d = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const double t0 = i * 10.0;
+    const double d = net8.message(0, 1, 50000, t0).arrival - t0;
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(max_d / min_d, 1.5);
+}
+
+TEST(ClusterTest, ExchangePenaltyOnlyForTcp) {
+  ClusterNetwork tcp(config(2, 1, Network::kTcpGigE));
+  const double one_way = tcp.message(0, 1, 500000, 0.0).arrival;
+  const double exch =
+      tcp.message(0, 1, 500000, 1000.0, /*exchange=*/true).arrival - 1000.0;
+  EXPECT_GT(exch, one_way * 1.5);
+
+  ClusterNetwork myri(config(2, 1, Network::kMyrinetGM));
+  const double m1 = myri.message(0, 1, 500000, 0.0).arrival;
+  const double m2 =
+      myri.message(0, 1, 500000, 1000.0, /*exchange=*/true).arrival - 1000.0;
+  EXPECT_NEAR(m1, m2, 1e-9);
+}
+
+TEST(ClusterTest, SmpPenaltiesOnlyWithTwoRanksPerNode) {
+  // 3 ranks keeps TCP jitter off (onset is 4), isolating the SMP effects.
+  ClusterNetwork uni(config(3, 1, Network::kTcpGigE, 3));
+  ClusterNetwork dual(config(3, 2, Network::kTcpGigE, 3));
+  EXPECT_DOUBLE_EQ(uni.compute_factor(0), 1.0);
+  EXPECT_GT(dual.compute_factor(0), 1.0);
+  // Cross-node message touching a dual node is slower than between uni
+  // nodes (interrupt-routing bandwidth collapse).
+  const double u = uni.message(0, 2, 200000, 0.0).arrival;
+  const double d = dual.message(0, 2, 200000, 0.0).arrival;
+  EXPECT_GT(d, u * 1.5);
+}
+
+TEST(ClusterTest, DualNodeWithSingleRankLeftoverIsUnpenalized) {
+  // 3 ranks on dual nodes: node 1 hosts only rank 2.
+  ClusterNetwork net(config(3, 2, Network::kTcpGigE));
+  EXPECT_GT(net.compute_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(net.compute_factor(2), 1.0);
+}
+
+// Generic invariants that must hold for every stack.
+class AllNetworksTest : public ::testing::TestWithParam<Network> {};
+
+TEST_P(AllNetworksTest, ZeroByteMessagesAreValid) {
+  ClusterNetwork net(config(4, 1, GetParam()));
+  const MessageTiming t = net.message(0, 1, 0, 0.0);
+  EXPECT_GT(t.arrival, 0.0);
+  EXPECT_GE(t.sender_busy, 0.0);
+}
+
+TEST_P(AllNetworksTest, TimingScalesWithBytes) {
+  ClusterNetwork net(config(2, 1, GetParam()));
+  double last = 0.0;
+  double t0 = 0.0;
+  for (std::size_t bytes : {1000u, 10000u, 100000u, 1000000u}) {
+    t0 += 1000.0;  // keep the NIC idle between probes
+    const double d = net.message(0, 1, bytes, t0).arrival - t0;
+    EXPECT_GT(d, last);
+    last = d;
+  }
+}
+
+TEST_P(AllNetworksTest, LatencyFloorRespected) {
+  ClusterNetwork net(config(2, 1, GetParam()));
+  const double d = net.message(0, 1, 1, 0.0).arrival;
+  EXPECT_GE(d, params_for(GetParam()).latency);
+}
+
+TEST_P(AllNetworksTest, IntraNodeNeverUsesTheWire) {
+  // Dual-node intra-node messages must be cheaper than cross-node ones of
+  // the same size for every stack (loopback or shared memory).
+  ClusterNetwork net(config(4, 2, GetParam()));
+  const double intra = net.message(0, 1, 200000, 0.0).arrival;
+  const double cross = net.message(0, 2, 200000, 1000.0).arrival - 1000.0;
+  EXPECT_LT(intra, cross);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, AllNetworksTest,
+                         ::testing::Values(Network::kTcpGigE,
+                                           Network::kScoreGigE,
+                                           Network::kMyrinetGM,
+                                           Network::kTcpFastEthernet),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(FastEthernetTest, SlowerWireSameProtocolPath) {
+  const NetworkParams ge = params_for(Network::kTcpGigE);
+  const NetworkParams fe = params_for(Network::kTcpFastEthernet);
+  EXPECT_LT(fe.bandwidth, ge.bandwidth);
+  EXPECT_EQ(fe.packet_cost_recv, ge.packet_cost_recv);
+  EXPECT_EQ(fe.rx_uses_interrupt_cpu, ge.rx_uses_interrupt_cpu);
+  EXPECT_GT(fe.jitter_prob_per_rank, 0.0);
+}
+
+TEST(ClusterTest, ArrivalNeverPrecedesSend) {
+  ClusterNetwork net(config(16, 2, Network::kTcpGigE, 77));
+  util::Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const int src = static_cast<int>(rng.uniform_index(16));
+    int dst = static_cast<int>(rng.uniform_index(16));
+    if (dst == src) dst = (dst + 1) % 16;
+    t += rng.uniform(0.0, 0.01);
+    const auto bytes = static_cast<std::size_t>(rng.uniform_index(100000));
+    const MessageTiming m = net.message(src, dst, bytes, t);
+    EXPECT_GE(m.arrival, t);
+    EXPECT_GE(m.sender_busy, 0.0);
+    EXPECT_GE(m.sender_stall, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace repro::net

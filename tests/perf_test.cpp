@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "perf/recorder.hpp"
+#include "perf/report.hpp"
+#include "perf/timeline.hpp"
+
+namespace repro::perf {
+namespace {
+
+TEST(RecorderTest, TimesAccumulatePerComponentAndKind) {
+  RankRecorder rec;
+  rec.set_component(Component::kClassic);
+  rec.record(Kind::kComp, 1.0);
+  rec.record(Kind::kComm, 0.5);
+  rec.set_component(Component::kPme);
+  rec.record(Kind::kComp, 2.0);
+  rec.record(Kind::kSync, 0.25);
+
+  EXPECT_DOUBLE_EQ(rec.time(Component::kClassic, Kind::kComp), 1.0);
+  EXPECT_DOUBLE_EQ(rec.time(Component::kClassic, Kind::kComm), 0.5);
+  EXPECT_DOUBLE_EQ(rec.time(Component::kPme, Kind::kComp), 2.0);
+  EXPECT_DOUBLE_EQ(rec.time(Component::kPme, Kind::kSync), 0.25);
+  EXPECT_DOUBLE_EQ(rec.time(Component::kClassic, Kind::kSync), 0.0);
+}
+
+TEST(RecorderTest, BreakdownSumsAndFractions) {
+  RankRecorder rec;
+  rec.set_component(Component::kClassic);
+  rec.record(Kind::kComp, 3.0);
+  rec.record(Kind::kComm, 1.0);
+  rec.record(Kind::kSync, 1.0);
+  const Breakdown b = rec.breakdown(Component::kClassic);
+  EXPECT_DOUBLE_EQ(b.total(), 5.0);
+  EXPECT_DOUBLE_EQ(b.overhead(), 2.0);
+  EXPECT_DOUBLE_EQ(b.overhead_fraction(), 0.4);
+  const Breakdown total = rec.total_breakdown();
+  EXPECT_DOUBLE_EQ(total.total(), 5.0);
+}
+
+TEST(RecorderTest, RejectsNegativeTime) {
+  RankRecorder rec;
+  EXPECT_THROW(rec.record(Kind::kComp, -1.0), util::Error);
+}
+
+TEST(RecorderTest, StepCommSamples) {
+  RankRecorder rec;
+  rec.set_component(Component::kClassic);
+  rec.record(Kind::kComm, 0.5);
+  rec.record_bytes(5.0e6);
+  rec.end_step();
+  rec.record(Kind::kComm, 1.0);
+  rec.record_bytes(2.0e6);
+  rec.end_step();
+
+  ASSERT_EQ(rec.steps().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.steps()[0].speed_mb_per_s(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.steps()[1].speed_mb_per_s(), 2.0);
+  EXPECT_DOUBLE_EQ(rec.total_bytes(), 7.0e6);
+}
+
+TEST(RecorderTest, SyncTimeDoesNotCountAsTransfer) {
+  RankRecorder rec;
+  rec.record(Kind::kSync, 2.0);
+  rec.end_step();
+  EXPECT_DOUBLE_EQ(rec.steps()[0].comm_time, 0.0);
+}
+
+TEST(ComponentScopeTest, RestoresPrevious) {
+  RankRecorder rec;
+  rec.set_component(Component::kClassic);
+  {
+    ComponentScope scope(rec, Component::kPme);
+    EXPECT_EQ(rec.component(), Component::kPme);
+  }
+  EXPECT_EQ(rec.component(), Component::kClassic);
+}
+
+TEST(AggregateTest, WallTakesSlowestRankPerComponent) {
+  std::vector<RankRecorder> recs(2);
+  recs[0].set_component(Component::kClassic);
+  recs[0].record(Kind::kComp, 5.0);
+  recs[1].set_component(Component::kClassic);
+  recs[1].record(Kind::kComp, 3.0);
+  recs[1].record(Kind::kComm, 1.0);
+
+  const RunBreakdown rb = aggregate(recs, 1);
+  // Rank 0 has the larger classic total (5 > 4): its split is reported.
+  EXPECT_DOUBLE_EQ(rb.classic_wall.total(), 5.0);
+  EXPECT_DOUBLE_EQ(rb.classic_wall.comm, 0.0);
+  EXPECT_DOUBLE_EQ(rb.classic_mean.comp, 4.0);
+  EXPECT_DOUBLE_EQ(rb.classic_mean.comm, 0.5);
+  EXPECT_EQ(rb.nranks, 2);
+}
+
+TEST(AggregateTest, CommSpeedGroupsRanksByNode) {
+  std::vector<RankRecorder> recs(4);
+  for (auto& r : recs) {
+    r.record(Kind::kComm, 1.0);
+    r.record_bytes(10.0e6);
+    r.end_step();
+  }
+  // Uni-processor: 4 node samples of 10 MB/s.
+  const RunBreakdown uni = aggregate(recs, 1);
+  EXPECT_EQ(uni.comm_speed.samples, 4u);
+  EXPECT_DOUBLE_EQ(uni.comm_speed.avg_mb_per_s, 10.0);
+  // Dual-processor: 2 node samples of 20 MB / 2 s = 10 MB/s still, but
+  // only 2 samples.
+  const RunBreakdown dual = aggregate(recs, 2);
+  EXPECT_EQ(dual.comm_speed.samples, 2u);
+  EXPECT_DOUBLE_EQ(dual.comm_speed.avg_mb_per_s, 10.0);
+}
+
+TEST(AggregateTest, EmptyCommStepsYieldNoSamples) {
+  std::vector<RankRecorder> recs(1);
+  recs[0].record(Kind::kComp, 1.0);
+  recs[0].end_step();
+  const RunBreakdown rb = aggregate(recs, 1);
+  EXPECT_EQ(rb.comm_speed.samples, 0u);
+}
+
+TEST(AggregateTest, RejectsEmpty) {
+  std::vector<RankRecorder> recs;
+  EXPECT_THROW(aggregate(recs, 1), util::Error);
+}
+
+TEST(TimelineTest, CollectsEvents) {
+  Timeline t;
+  t.add(0.0, 1.0, Component::kClassic, Kind::kComp);
+  t.add(1.0, 1.5, Component::kClassic, Kind::kComm);
+  t.add(2.0, 2.0, Component::kPme, Kind::kSync);  // zero width: dropped
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.span_end(), 1.5);
+}
+
+TEST(TimelineTest, RecorderSinkIsOptional) {
+  RankRecorder rec;
+  EXPECT_EQ(rec.timeline(), nullptr);
+  Timeline t;
+  rec.attach_timeline(&t);
+  EXPECT_EQ(rec.timeline(), &t);
+}
+
+TEST(TimelineTest, RenderShowsKindsWithSeverityOrder) {
+  std::vector<Timeline> rows(2);
+  rows[0].add(0.0, 0.5, Component::kClassic, Kind::kComp);
+  rows[0].add(0.5, 1.0, Component::kClassic, Kind::kComm);
+  rows[1].add(0.0, 1.0, Component::kPme, Kind::kSync);
+  RenderOptions opts;
+  opts.columns = 10;
+  const std::string art = render_timelines(rows, opts);
+  EXPECT_NE(art.find("rank 0"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('='), std::string::npos);
+  EXPECT_NE(art.find('~'), std::string::npos);
+}
+
+TEST(TimelineTest, RenderHandlesEmpty) {
+  std::vector<Timeline> rows(1);
+  EXPECT_NE(render_timelines(rows).find("empty"), std::string::npos);
+}
+
+TEST(TimelineTest, RenderWindowClips) {
+  std::vector<Timeline> rows(1);
+  rows[0].add(0.0, 10.0, Component::kClassic, Kind::kComp);
+  rows[0].add(10.0, 20.0, Component::kClassic, Kind::kSync);
+  RenderOptions opts;
+  opts.columns = 10;
+  opts.begin = 0.0;
+  opts.end = 10.0;
+  // Skip the legend line; inspect the rank rows only.
+  const std::string art = render_timelines(rows, opts);
+  const std::string rows_only = art.substr(art.find("rank"));
+  EXPECT_NE(rows_only.find('#'), std::string::npos);
+  EXPECT_EQ(rows_only.find('~'), std::string::npos);
+}
+
+TEST(BreakdownTest, Addition) {
+  Breakdown a{1, 2, 3};
+  Breakdown b{10, 20, 30};
+  const Breakdown c = a + b;
+  EXPECT_DOUBLE_EQ(c.comp, 11);
+  EXPECT_DOUBLE_EQ(c.comm, 22);
+  EXPECT_DOUBLE_EQ(c.sync, 33);
+}
+
+}  // namespace
+}  // namespace repro::perf

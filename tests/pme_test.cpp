@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "md/nonbonded.hpp"
+#include "middleware/middleware.hpp"
+#include "net/cluster.hpp"
+#include "pme/bspline.hpp"
+#include "pme/ewald_ref.hpp"
+#include "pme/pme.hpp"
+#include "sim/engine.hpp"
+#include "sysbuild/builder.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace repro::pme {
+namespace {
+
+using util::Vec3;
+
+// --- B-splines ---------------------------------------------------------------
+
+class BsplineOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BsplineOrderTest, PartitionOfUnity) {
+  const int order = GetParam();
+  for (double w : {0.0, 0.1, 0.37, 0.5, 0.77, 0.999}) {
+    double vals[kMaxOrder];
+    double derivs[kMaxOrder];
+    bspline_weights(order, w, vals, derivs);
+    double sum = 0.0;
+    double dsum = 0.0;
+    for (int j = 0; j < order; ++j) {
+      EXPECT_GE(vals[j], -1e-14);
+      sum += vals[j];
+      dsum += derivs[j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "order " << order << " w " << w;
+    // Derivatives of a partition of unity sum to zero.
+    EXPECT_NEAR(dsum, 0.0, 1e-12);
+  }
+}
+
+TEST_P(BsplineOrderTest, DerivativeMatchesFiniteDifference) {
+  const int order = GetParam();
+  const double w = 0.4;
+  const double h = 1e-7;
+  double v0[kMaxOrder], v1[kMaxOrder], d[kMaxOrder];
+  bspline_weights(order, w - h, v0, nullptr);
+  bspline_weights(order, w + h, v1, nullptr);
+  double vals[kMaxOrder];
+  bspline_weights(order, w, vals, d);
+  for (int j = 0; j < order; ++j) {
+    EXPECT_NEAR(d[j], (v1[j] - v0[j]) / (2 * h), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BsplineOrderTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(BsplineTest, KnownValuesOrder2) {
+  double vals[kMaxOrder];
+  bspline_weights(2, 0.25, vals, nullptr);
+  // M2(x) = x on [0,1], 2-x on [1,2]: M2(0.25) = 0.25, M2(1.25) = 0.75.
+  EXPECT_NEAR(vals[0], 0.25, 1e-15);
+  EXPECT_NEAR(vals[1], 0.75, 1e-15);
+}
+
+TEST(BsplineTest, KnownValuesOrder4AtHalf) {
+  double vals[kMaxOrder];
+  bspline_weights(4, 0.5, vals, nullptr);
+  // Cubic B-spline at x = 0.5, 1.5, 2.5, 3.5: 1/48, 23/48, 23/48, 1/48.
+  EXPECT_NEAR(vals[0], 1.0 / 48.0, 1e-12);
+  EXPECT_NEAR(vals[1], 23.0 / 48.0, 1e-12);
+  EXPECT_NEAR(vals[2], 23.0 / 48.0, 1e-12);
+  EXPECT_NEAR(vals[3], 1.0 / 48.0, 1e-12);
+}
+
+TEST(BsplineTest, ModuliPositiveAndPatched) {
+  for (int order : {4, 6}) {
+    for (std::size_t n : {16u, 36u, 48u, 80u}) {
+      const auto mod = bspline_moduli(n, order);
+      ASSERT_EQ(mod.size(), n);
+      for (double m : mod) EXPECT_GT(m, 0.0);
+      EXPECT_NEAR(mod[0], 1.0, 1e-9);  // b(0) = 1
+    }
+  }
+}
+
+// --- Ewald identities ----------------------------------------------------------
+
+TEST(EwaldTest, SelfEnergyFormula) {
+  md::Topology topo(2);
+  topo.atom(0).charge = 1.0;
+  topo.atom(1).charge = -2.0;
+  const double beta = 0.4;
+  EXPECT_NEAR(ewald_self_energy(topo, beta),
+              -units::kCoulomb * beta / std::sqrt(std::numbers::pi) * 5.0,
+              1e-9);
+}
+
+TEST(EwaldTest, ReferenceBetaIndependence) {
+  // The full Ewald energy must not depend on the splitting parameter.
+  auto sys = sysbuild::build_random_charges(16, md::Box(12, 12, 12), 1);
+  EwaldRefOptions o1;
+  o1.beta = 0.55;
+  o1.kmax = 14;
+  EwaldRefOptions o2;
+  o2.beta = 0.75;
+  o2.kmax = 18;
+  const double e1 = ewald_reference(sys.topo, sys.box, sys.positions, o1)
+                        .total();
+  const double e2 = ewald_reference(sys.topo, sys.box, sys.positions, o2)
+                        .total();
+  EXPECT_NEAR(e1, e2, std::abs(e1) * 1e-4 + 1e-3);
+}
+
+TEST(EwaldTest, ReferenceForcesMatchGradient) {
+  auto sys = sysbuild::build_random_charges(8, md::Box(10, 10, 10), 2);
+  EwaldRefOptions opts;
+  opts.beta = 0.6;
+  opts.kmax = 10;
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> fd(n), fr(n);
+  ewald_reference(sys.topo, sys.box, sys.positions, opts, &fd, &fr);
+  const double h = 1e-5;
+  for (int i = 0; i < 4; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto plus = sys.positions;
+      auto minus = sys.positions;
+      plus[static_cast<std::size_t>(i)][d] += h;
+      minus[static_cast<std::size_t>(i)][d] -= h;
+      const double ep =
+          ewald_reference(sys.topo, sys.box, plus, opts).total();
+      const double em =
+          ewald_reference(sys.topo, sys.box, minus, opts).total();
+      const double numeric = -(ep - em) / (2 * h);
+      EXPECT_NEAR(fd[static_cast<std::size_t>(i)][d] +
+                      fr[static_cast<std::size_t>(i)][d],
+                  numeric, 5e-3);
+    }
+  }
+}
+
+// --- serial PME vs brute-force Ewald ------------------------------------------
+
+TEST(SerialPmeTest, ReciprocalMatchesKspaceSum) {
+  auto sys = sysbuild::build_random_charges(20, md::Box(14, 11, 9), 3);
+  const double beta = 0.5;
+  PmeParams params;
+  params.nx = 28;
+  params.ny = 24;
+  params.nz = 20;
+  params.order = 6;
+  params.beta = beta;
+  SerialPme pme(params, sys.box);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> f(n);
+  const double recip = pme.reciprocal(sys.topo, sys.positions, f);
+
+  EwaldRefOptions opts;
+  opts.beta = beta;
+  opts.kmax = 12;
+  const EwaldRefResult ref =
+      ewald_reference(sys.topo, sys.box, sys.positions, opts);
+  EXPECT_NEAR(recip, ref.reciprocal, std::abs(ref.reciprocal) * 2e-3 + 1e-3);
+}
+
+TEST(SerialPmeTest, ForcesMatchNumericalGradient) {
+  auto sys = sysbuild::build_random_charges(10, md::Box(10, 10, 10), 4);
+  PmeParams params;
+  params.nx = 24;
+  params.ny = 24;
+  params.nz = 24;
+  params.order = 4;
+  params.beta = 0.45;
+  SerialPme pme(params, sys.box);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> f(n);
+  pme.reciprocal(sys.topo, sys.positions, f);
+  const double h = 1e-4;
+  for (int i = 0; i < 5; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto plus = sys.positions;
+      auto minus = sys.positions;
+      plus[static_cast<std::size_t>(i)][d] += h;
+      minus[static_cast<std::size_t>(i)][d] -= h;
+      std::vector<Vec3> tmp(n);
+      const double ep = pme.reciprocal(sys.topo, plus, tmp);
+      const double em = pme.reciprocal(sys.topo, minus, tmp);
+      EXPECT_NEAR(f[static_cast<std::size_t>(i)][d], -(ep - em) / (2 * h),
+                  2e-2);
+    }
+  }
+}
+
+TEST(SerialPmeTest, NetForceSmallAndShrinksWithOrder) {
+  // Smooth PME does not conserve momentum exactly (the B-spline
+  // interpolation breaks translation invariance); the residual net force
+  // must be small and must shrink rapidly with the interpolation order.
+  auto sys = sysbuild::build_random_charges(30, md::Box(15, 12, 10), 5);
+  auto net_force = [&](int order) {
+    PmeParams params;
+    params.nx = 30;
+    params.ny = 24;
+    params.nz = 20;
+    params.beta = 0.5;
+    params.order = order;
+    SerialPme pme(params, sys.box);
+    std::vector<Vec3> f(static_cast<std::size_t>(sys.topo.natoms()));
+    pme.reciprocal(sys.topo, sys.positions, f);
+    Vec3 net;
+    double fmax = 0.0;
+    for (const auto& v : f) {
+      net += v;
+      fmax = std::max(fmax, util::norm(v));
+    }
+    return std::pair<double, double>(util::norm(net), fmax);
+  };
+  const auto [net4, fmax4] = net_force(4);
+  const auto [net6, fmax6] = net_force(6);
+  EXPECT_LT(net4, 0.02 * fmax4);
+  EXPECT_LT(net6, 0.1 * net4);
+}
+
+TEST(SerialPmeTest, TotalElectrostaticBetaIndependent) {
+  // direct(erfc) + recip + self must be invariant under the split.
+  auto sys = sysbuild::build_random_charges(12, md::Box(12, 12, 12), 6);
+  auto total_for = [&](double beta) {
+    PmeParams params;
+    params.nx = 32;
+    params.ny = 32;
+    params.nz = 32;
+    params.order = 6;
+    params.beta = beta;
+    SerialPme pme(params, sys.box);
+    const auto n = static_cast<std::size_t>(sys.topo.natoms());
+    std::vector<Vec3> f(n);
+    double total = pme.reciprocal(sys.topo, sys.positions, f);
+    total += ewald_self_energy(sys.topo, beta);
+    // Direct part via the md kernel (reference path, full pair loop).
+    md::NonbondedOptions opts;
+    opts.cutoff = 5.9;
+    opts.elec = md::NonbondedOptions::Elec::kEwaldDirect;
+    opts.beta = beta;
+    md::EnergyTerms e;
+    md::nonbonded_energy_reference(sys.topo, sys.box, sys.positions, opts, f,
+                                   e);
+    return total + e.elec;
+  };
+  const double e1 = total_for(0.65);
+  const double e2 = total_for(0.85);
+  EXPECT_NEAR(e1, e2, std::abs(e1) * 5e-3 + 0.05);
+}
+
+TEST(SerialPmeTest, SpreadingConservesCharge) {
+  // The k=0 mode of the spread grid is the total charge; with the net
+  // charge zero the reciprocal energy is finite and the influence function
+  // kills k=0 regardless. Verify via a directly constructed system with a
+  // known non-zero total: Q^(0) = sum q.
+  md::Topology topo(3);
+  topo.atom(0).charge = 1.0;
+  topo.atom(1).charge = 2.0;
+  topo.atom(2).charge = -0.5;
+  md::Box box(8, 8, 8);
+  std::vector<Vec3> pos{{1.2, 3.4, 5.6}, {7.9, 0.1, 2.2}, {4.0, 4.0, 4.0}};
+  PmeParams params;
+  params.nx = 16;
+  params.ny = 16;
+  params.nz = 16;
+  SerialPme pme(params, box);
+  std::vector<Vec3> f(3);
+  pme.reciprocal(topo, pos, f);  // exercises spreading internally
+  // Spreading conservation is verified through the b-spline partition of
+  // unity (tested above); here we check the reciprocal energy is finite
+  // and forces are finite for a charged system (neutralizing background).
+  for (const auto& v : f) {
+    EXPECT_TRUE(std::isfinite(v.x + v.y + v.z));
+  }
+}
+
+TEST(ExclusionCorrectionTest, MatchesAnalyticPair) {
+  md::Topology topo(2);
+  topo.atom(0).charge = 0.6;
+  topo.atom(1).charge = -0.4;
+  md::Bond b;
+  b.i = 0;
+  b.j = 1;
+  topo.bonds().push_back(b);
+  topo.build_exclusions();
+  md::Box box(20, 20, 20);
+  std::vector<Vec3> pos{{5, 5, 5}, {6.2, 5, 5}};
+  std::vector<Vec3> f(2);
+  const double beta = 0.4;
+  const double e = ewald_exclusion_correction(topo, box, pos, beta, f);
+  const double qq = units::kCoulomb * 0.6 * -0.4;
+  EXPECT_NEAR(e, -qq * std::erf(beta * 1.2) / 1.2, 1e-12);
+}
+
+TEST(ExclusionCorrectionTest, ForcesMatchGradient) {
+  auto sys = sysbuild::build_test_chain(8, 12);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> f(n);
+  const double beta = 0.34;
+  ewald_exclusion_correction(sys.topo, sys.box, sys.positions, beta, f);
+  const double h = 1e-6;
+  for (int i = 0; i < sys.topo.natoms(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto plus = sys.positions;
+      auto minus = sys.positions;
+      plus[static_cast<std::size_t>(i)][d] += h;
+      minus[static_cast<std::size_t>(i)][d] -= h;
+      std::vector<Vec3> tmp(n);
+      const double ep =
+          ewald_exclusion_correction(sys.topo, sys.box, plus, beta, tmp);
+      const double em =
+          ewald_exclusion_correction(sys.topo, sys.box, minus, beta, tmp);
+      EXPECT_NEAR(f[static_cast<std::size_t>(i)][d], -(ep - em) / (2 * h),
+                  1e-4);
+    }
+  }
+}
+
+TEST(ExclusionCorrectionTest, ShardsPartition) {
+  auto sys = sysbuild::build_test_chain(16, 8);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> full(n);
+  const double efull = ewald_exclusion_correction(sys.topo, sys.box,
+                                                  sys.positions, 0.34, full);
+  std::vector<Vec3> acc(n);
+  double eacc = 0.0;
+  for (int shard = 0; shard < 4; ++shard) {
+    eacc += ewald_exclusion_correction(sys.topo, sys.box, sys.positions,
+                                       0.34, acc, shard, 4);
+  }
+  EXPECT_NEAR(eacc, efull, 1e-10);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(util::norm(acc[i] - full[i]), 0.0, 1e-10);
+  }
+}
+
+// PME error vs. the exact k-space sum must fall as the mesh refines and as
+// the interpolation order rises.
+TEST(SerialPmeTest, AccuracyConvergesWithGridAndOrder) {
+  auto sys = sysbuild::build_random_charges(16, md::Box(10, 10, 10), 44);
+  const double beta = 0.45;
+  EwaldRefOptions opts;
+  opts.beta = beta;
+  opts.kmax = 12;
+  const double exact =
+      ewald_reference(sys.topo, sys.box, sys.positions, opts).reciprocal;
+
+  auto error_for = [&](std::size_t n, int order) {
+    PmeParams params;
+    params.nx = n;
+    params.ny = n;
+    params.nz = n;
+    params.order = order;
+    params.beta = beta;
+    SerialPme pme(params, sys.box);
+    std::vector<Vec3> f(static_cast<std::size_t>(sys.topo.natoms()));
+    return std::abs(pme.reciprocal(sys.topo, sys.positions, f) - exact);
+  };
+
+  const double coarse = error_for(10, 4);
+  const double fine = error_for(20, 4);
+  const double finer = error_for(32, 4);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(finer, fine);
+  // Higher order at a fixed (adequate) mesh is more accurate.
+  EXPECT_LT(error_for(20, 6), error_for(20, 4) * 1.01);
+  // And the finest result is genuinely accurate.
+  EXPECT_LT(finer, std::abs(exact) * 1e-3 + 1e-4);
+}
+
+// --- parallel PME ---------------------------------------------------------------
+
+class ParallelPmeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelPmeTest, MatchesSerial) {
+  const int p = GetParam();
+  auto sys = sysbuild::build_random_charges(40, md::Box(16, 10, 12), 21);
+  PmeParams params;
+  params.nx = 20;
+  params.ny = 12;
+  params.nz = 16;
+  params.order = 4;
+  params.beta = 0.4;
+
+  SerialPme serial(params, sys.box);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> serial_forces(n);
+  const double serial_energy =
+      serial.reciprocal(sys.topo, sys.positions, serial_forces);
+
+  net::ClusterConfig config;
+  config.nranks = p;
+  config.network = net::Network::kScoreGigE;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(static_cast<std::size_t>(p));
+  std::vector<double> energies(static_cast<std::size_t>(p));
+  std::vector<std::vector<Vec3>> forces(static_cast<std::size_t>(p),
+                                        std::vector<Vec3>(n));
+  sim::Engine engine(p);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster,
+                   recs[static_cast<std::size_t>(ctx.rank())]);
+    middleware::MpiMiddleware mw(comm);
+    ParallelPme pme(params, sys.box, mw);
+    energies[static_cast<std::size_t>(ctx.rank())] = pme.reciprocal(
+        sys.topo, sys.positions,
+        forces[static_cast<std::size_t>(ctx.rank())]);
+  });
+
+  double energy = 0.0;
+  std::vector<Vec3> total(n);
+  for (int r = 0; r < p; ++r) {
+    energy += energies[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < n; ++i) {
+      total[i] += forces[static_cast<std::size_t>(r)][i];
+    }
+  }
+  EXPECT_NEAR(energy, serial_energy, std::abs(serial_energy) * 1e-9 + 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(util::norm(total[i] - serial_forces[i]), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelPmeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(ParallelPmeTest2, WorkCountersPopulated) {
+  auto sys = sysbuild::build_random_charges(20, md::Box(10, 10, 10), 30);
+  PmeParams params;
+  params.nx = 16;
+  params.ny = 16;
+  params.nz = 16;
+  net::ClusterConfig config;
+  config.nranks = 2;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(2);
+  sim::Engine engine(2);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster,
+                   recs[static_cast<std::size_t>(ctx.rank())]);
+    middleware::MpiMiddleware mw(comm);
+    double charged = 0.0;
+    ParallelPme pme(params, sys.box, mw,
+                    [&](double flops) { charged += flops; });
+    PmeWork work;
+    std::vector<Vec3> f(static_cast<std::size_t>(sys.topo.natoms()));
+    pme.reciprocal(sys.topo, sys.positions, f, &work);
+    EXPECT_GT(work.atoms_spread, 0u);
+    EXPECT_GT(work.stencil_points, 0u);
+    EXPECT_GT(work.mesh_points, 0u);
+    EXPECT_GT(charged, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace repro::pme
