@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_network_mechanisms.dir/ablation_network_mechanisms.cpp.o"
+  "CMakeFiles/ablation_network_mechanisms.dir/ablation_network_mechanisms.cpp.o.d"
+  "ablation_network_mechanisms"
+  "ablation_network_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

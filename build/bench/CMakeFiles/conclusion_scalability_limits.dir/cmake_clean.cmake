@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conclusion_scalability_limits.dir/conclusion_scalability_limits.cpp.o"
+  "CMakeFiles/conclusion_scalability_limits.dir/conclusion_scalability_limits.cpp.o.d"
+  "conclusion_scalability_limits"
+  "conclusion_scalability_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conclusion_scalability_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

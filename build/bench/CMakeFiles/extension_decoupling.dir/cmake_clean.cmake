@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_decoupling.dir/extension_decoupling.cpp.o"
+  "CMakeFiles/extension_decoupling.dir/extension_decoupling.cpp.o.d"
+  "extension_decoupling"
+  "extension_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

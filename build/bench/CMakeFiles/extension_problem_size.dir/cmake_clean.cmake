@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_problem_size.dir/extension_problem_size.cpp.o"
+  "CMakeFiles/extension_problem_size.dir/extension_problem_size.cpp.o.d"
+  "extension_problem_size"
+  "extension_problem_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

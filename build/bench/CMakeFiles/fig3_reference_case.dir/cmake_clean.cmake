@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_reference_case.dir/fig3_reference_case.cpp.o"
+  "CMakeFiles/fig3_reference_case.dir/fig3_reference_case.cpp.o.d"
+  "fig3_reference_case"
+  "fig3_reference_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_reference_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

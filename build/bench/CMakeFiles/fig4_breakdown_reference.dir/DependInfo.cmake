@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_breakdown_reference.cpp" "bench/CMakeFiles/fig4_breakdown_reference.dir/fig4_breakdown_reference.cpp.o" "gcc" "bench/CMakeFiles/fig4_breakdown_reference.dir/fig4_breakdown_reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/charmm/CMakeFiles/repro_charmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pme/CMakeFiles/repro_pme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/repro_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysbuild/CMakeFiles/repro_sysbuild.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/repro_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/repro_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/repro_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/repro_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

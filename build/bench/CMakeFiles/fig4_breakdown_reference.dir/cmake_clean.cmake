@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_breakdown_reference.dir/fig4_breakdown_reference.cpp.o"
+  "CMakeFiles/fig4_breakdown_reference.dir/fig4_breakdown_reference.cpp.o.d"
+  "fig4_breakdown_reference"
+  "fig4_breakdown_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_breakdown_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

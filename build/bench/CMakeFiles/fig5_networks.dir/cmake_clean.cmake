@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_networks.dir/fig5_networks.cpp.o"
+  "CMakeFiles/fig5_networks.dir/fig5_networks.cpp.o.d"
+  "fig5_networks"
+  "fig5_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_breakdown_networks.dir/fig6_breakdown_networks.cpp.o"
+  "CMakeFiles/fig6_breakdown_networks.dir/fig6_breakdown_networks.cpp.o.d"
+  "fig6_breakdown_networks"
+  "fig6_breakdown_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_breakdown_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

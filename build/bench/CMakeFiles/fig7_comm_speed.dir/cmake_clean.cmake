@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_comm_speed.dir/fig7_comm_speed.cpp.o"
+  "CMakeFiles/fig7_comm_speed.dir/fig7_comm_speed.cpp.o.d"
+  "fig7_comm_speed"
+  "fig7_comm_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_comm_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_comm_speed.
+# This may be replaced when dependencies are built.

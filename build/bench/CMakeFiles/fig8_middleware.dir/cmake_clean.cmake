@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_middleware.dir/fig8_middleware.cpp.o"
+  "CMakeFiles/fig8_middleware.dir/fig8_middleware.cpp.o.d"
+  "fig8_middleware"
+  "fig8_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

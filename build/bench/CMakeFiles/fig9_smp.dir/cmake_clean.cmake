@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_smp.dir/fig9_smp.cpp.o"
+  "CMakeFiles/fig9_smp.dir/fig9_smp.cpp.o.d"
+  "fig9_smp"
+  "fig9_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_factorial.dir/full_factorial.cpp.o"
+  "CMakeFiles/full_factorial.dir/full_factorial.cpp.o.d"
+  "full_factorial"
+  "full_factorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

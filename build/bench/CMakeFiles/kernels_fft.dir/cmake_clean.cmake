@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_fft.dir/kernels_fft.cpp.o"
+  "CMakeFiles/kernels_fft.dir/kernels_fft.cpp.o.d"
+  "kernels_fft"
+  "kernels_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_md.dir/kernels_md.cpp.o"
+  "CMakeFiles/kernels_md.dir/kernels_md.cpp.o.d"
+  "kernels_md"
+  "kernels_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_pme.dir/kernels_pme.cpp.o"
+  "CMakeFiles/kernels_pme.dir/kernels_pme.cpp.o.d"
+  "kernels_pme"
+  "kernels_pme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_pme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

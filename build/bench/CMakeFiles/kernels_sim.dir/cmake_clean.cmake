@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_sim.dir/kernels_sim.cpp.o"
+  "CMakeFiles/kernels_sim.dir/kernels_sim.cpp.o.d"
+  "kernels_sim"
+  "kernels_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

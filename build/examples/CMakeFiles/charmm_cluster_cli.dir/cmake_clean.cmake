@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmm_cluster_cli.dir/charmm_cluster_cli.cpp.o"
+  "CMakeFiles/charmm_cluster_cli.dir/charmm_cluster_cli.cpp.o.d"
+  "charmm_cluster_cli"
+  "charmm_cluster_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmm_cluster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

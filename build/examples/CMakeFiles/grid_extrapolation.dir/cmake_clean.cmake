@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_extrapolation.dir/grid_extrapolation.cpp.o"
+  "CMakeFiles/grid_extrapolation.dir/grid_extrapolation.cpp.o.d"
+  "grid_extrapolation"
+  "grid_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

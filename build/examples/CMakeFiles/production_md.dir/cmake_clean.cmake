@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_md.dir/production_md.cpp.o"
+  "CMakeFiles/production_md.dir/production_md.cpp.o.d"
+  "production_md"
+  "production_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

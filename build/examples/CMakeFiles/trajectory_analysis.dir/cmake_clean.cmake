@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_analysis.dir/trajectory_analysis.cpp.o"
+  "CMakeFiles/trajectory_analysis.dir/trajectory_analysis.cpp.o.d"
+  "trajectory_analysis"
+  "trajectory_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_charmm.dir/app.cpp.o"
+  "CMakeFiles/repro_charmm.dir/app.cpp.o.d"
+  "CMakeFiles/repro_charmm.dir/cost_model.cpp.o"
+  "CMakeFiles/repro_charmm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/repro_charmm.dir/simulation.cpp.o"
+  "CMakeFiles/repro_charmm.dir/simulation.cpp.o.d"
+  "librepro_charmm.a"
+  "librepro_charmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_charmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

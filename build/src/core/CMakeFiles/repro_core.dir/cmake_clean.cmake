@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/experiment.cpp.o"
+  "CMakeFiles/repro_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/repro_core.dir/factorial.cpp.o"
+  "CMakeFiles/repro_core.dir/factorial.cpp.o.d"
+  "CMakeFiles/repro_core.dir/model.cpp.o"
+  "CMakeFiles/repro_core.dir/model.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

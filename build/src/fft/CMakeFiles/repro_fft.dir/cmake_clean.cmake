@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fft.dir/fft.cpp.o"
+  "CMakeFiles/repro_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/repro_fft.dir/parallel_fft.cpp.o"
+  "CMakeFiles/repro_fft.dir/parallel_fft.cpp.o.d"
+  "librepro_fft.a"
+  "librepro_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

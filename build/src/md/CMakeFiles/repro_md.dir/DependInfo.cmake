@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/repro_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/bonded.cpp" "src/md/CMakeFiles/repro_md.dir/bonded.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/bonded.cpp.o.d"
+  "/root/repo/src/md/constraints.cpp" "src/md/CMakeFiles/repro_md.dir/constraints.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/constraints.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/repro_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/minimize.cpp" "src/md/CMakeFiles/repro_md.dir/minimize.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/minimize.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/repro_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/nonbonded.cpp" "src/md/CMakeFiles/repro_md.dir/nonbonded.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/nonbonded.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/md/CMakeFiles/repro_md.dir/thermostat.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/thermostat.cpp.o.d"
+  "/root/repo/src/md/topology.cpp" "src/md/CMakeFiles/repro_md.dir/topology.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/topology.cpp.o.d"
+  "/root/repo/src/md/trajectory.cpp" "src/md/CMakeFiles/repro_md.dir/trajectory.cpp.o" "gcc" "src/md/CMakeFiles/repro_md.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

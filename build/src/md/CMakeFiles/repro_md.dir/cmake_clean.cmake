@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_md.dir/analysis.cpp.o"
+  "CMakeFiles/repro_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/repro_md.dir/bonded.cpp.o"
+  "CMakeFiles/repro_md.dir/bonded.cpp.o.d"
+  "CMakeFiles/repro_md.dir/constraints.cpp.o"
+  "CMakeFiles/repro_md.dir/constraints.cpp.o.d"
+  "CMakeFiles/repro_md.dir/integrator.cpp.o"
+  "CMakeFiles/repro_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/repro_md.dir/minimize.cpp.o"
+  "CMakeFiles/repro_md.dir/minimize.cpp.o.d"
+  "CMakeFiles/repro_md.dir/neighbor.cpp.o"
+  "CMakeFiles/repro_md.dir/neighbor.cpp.o.d"
+  "CMakeFiles/repro_md.dir/nonbonded.cpp.o"
+  "CMakeFiles/repro_md.dir/nonbonded.cpp.o.d"
+  "CMakeFiles/repro_md.dir/thermostat.cpp.o"
+  "CMakeFiles/repro_md.dir/thermostat.cpp.o.d"
+  "CMakeFiles/repro_md.dir/topology.cpp.o"
+  "CMakeFiles/repro_md.dir/topology.cpp.o.d"
+  "CMakeFiles/repro_md.dir/trajectory.cpp.o"
+  "CMakeFiles/repro_md.dir/trajectory.cpp.o.d"
+  "librepro_md.a"
+  "librepro_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

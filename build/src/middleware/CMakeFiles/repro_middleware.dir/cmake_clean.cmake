@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_middleware.dir/middleware.cpp.o"
+  "CMakeFiles/repro_middleware.dir/middleware.cpp.o.d"
+  "librepro_middleware.a"
+  "librepro_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

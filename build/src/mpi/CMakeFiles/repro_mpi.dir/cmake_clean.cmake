@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mpi.dir/comm.cpp.o"
+  "CMakeFiles/repro_mpi.dir/comm.cpp.o.d"
+  "librepro_mpi.a"
+  "librepro_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

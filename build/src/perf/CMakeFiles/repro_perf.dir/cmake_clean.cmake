@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_perf.dir/report.cpp.o"
+  "CMakeFiles/repro_perf.dir/report.cpp.o.d"
+  "CMakeFiles/repro_perf.dir/timeline.cpp.o"
+  "CMakeFiles/repro_perf.dir/timeline.cpp.o.d"
+  "librepro_perf.a"
+  "librepro_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

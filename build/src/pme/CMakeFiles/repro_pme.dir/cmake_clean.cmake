@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pme.dir/bspline.cpp.o"
+  "CMakeFiles/repro_pme.dir/bspline.cpp.o.d"
+  "CMakeFiles/repro_pme.dir/ewald_ref.cpp.o"
+  "CMakeFiles/repro_pme.dir/ewald_ref.cpp.o.d"
+  "CMakeFiles/repro_pme.dir/pme.cpp.o"
+  "CMakeFiles/repro_pme.dir/pme.cpp.o.d"
+  "librepro_pme.a"
+  "librepro_pme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sysbuild.dir/builder.cpp.o"
+  "CMakeFiles/repro_sysbuild.dir/builder.cpp.o.d"
+  "CMakeFiles/repro_sysbuild.dir/io.cpp.o"
+  "CMakeFiles/repro_sysbuild.dir/io.cpp.o.d"
+  "librepro_sysbuild.a"
+  "librepro_sysbuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sysbuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmm_test.dir/charmm_test.cpp.o"
+  "CMakeFiles/charmm_test.dir/charmm_test.cpp.o.d"
+  "charmm_test"
+  "charmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_extensions_test.dir/md_extensions_test.cpp.o"
+  "CMakeFiles/md_extensions_test.dir/md_extensions_test.cpp.o.d"
+  "md_extensions_test"
+  "md_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_test.dir/md_test.cpp.o"
+  "CMakeFiles/md_test.dir/md_test.cpp.o.d"
+  "md_test"
+  "md_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pme_test.dir/pme_test.cpp.o"
+  "CMakeFiles/pme_test.dir/pme_test.cpp.o.d"
+  "pme_test"
+  "pme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

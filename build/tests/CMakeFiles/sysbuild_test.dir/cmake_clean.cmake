@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysbuild_test.dir/sysbuild_test.cpp.o"
+  "CMakeFiles/sysbuild_test.dir/sysbuild_test.cpp.o.d"
+  "sysbuild_test"
+  "sysbuild_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysbuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
