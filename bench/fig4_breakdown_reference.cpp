@@ -38,5 +38,28 @@ int main() {
   std::printf("  pme overhead >75%% at 8 procs     : %s (%.1f%%)\n",
               p8.breakdown.pme_wall.overhead_fraction() > 0.75 ? "yes" : "NO",
               100 * p8.breakdown.pme_wall.overhead_fraction());
+
+  // Where the overheads sit in the machine: per-resource utilization at
+  // the reference point (p=8). This is the observability layer's view of
+  // the same run — the numbers a trace/metrics export carries.
+  const perf::RunMetrics& m = p8.metrics;
+  std::printf("\nresource utilization at 8 procs (makespan %.3f s):\n",
+              m.makespan);
+  Table util({"resource", "busy (s)", "util %", "queue wait (s)", "acq"});
+  for (const auto& r : m.resources) {
+    if (r.acquisitions == 0) continue;
+    util.add_row({r.name, Table::num(r.busy_time, 3),
+                  Table::num(100.0 * r.utilization, 1),
+                  Table::num(r.queue_wait, 3),
+                  std::to_string(r.acquisitions)});
+  }
+  std::printf("%s", util.to_string().c_str());
+  std::printf("  mean/max queue wait : %.4f / %.4f s\n", m.mean_queue_wait(),
+              m.max_queue_wait());
+  std::printf("  sender stall (sync) : %.4f s total\n", m.total_stall_time());
+  if (const perf::ResourceMetrics* hot = m.incast_hot_spot()) {
+    std::printf("  incast hot-spot     : %s (%.4f s queued)\n",
+                hot->name.c_str(), hot->queue_wait);
+  }
   return 0;
 }

@@ -4,7 +4,8 @@
 //   charmm_cluster_cli build-system [--seed N] [--out sys.rsys] [--pdb x.pdb]
 //   charmm_cluster_cli run [--system sys.rsys] [--procs P] [--network N]
 //                          [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]
-//                          [--timeline]
+//                          [--timeline] [--trace-out=FILE]
+//                          [--metrics-out=FILE]
 //   charmm_cluster_cli predict --procs P [--network N]
 //   charmm_cluster_cli sweep [--network N] [--middleware M] [--cpus C]
 //
@@ -19,6 +20,8 @@
 #include "charmm/simulation.hpp"
 #include "core/experiment.hpp"
 #include "core/model.hpp"
+#include "perf/metrics.hpp"
+#include "perf/trace_export.hpp"
 #include "sysbuild/builder.hpp"
 #include "sysbuild/io.hpp"
 #include "util/table.hpp"
@@ -49,6 +52,12 @@ Args parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
+    // Both --key value and --key=value are accepted.
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     std::string value = "true";
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
@@ -130,11 +139,23 @@ int cmd_run(const Args& args) {
   spec.nprocs = args.get_int("procs", 8);
   spec.charmm.nsteps = args.get_int("steps", 10);
   spec.charmm.use_pme = args.get("pme", "on") != "off";
-  spec.record_timelines = args.has("timeline");
+  // The Chrome trace needs the per-rank timelines recorded.
+  spec.record_timelines = args.has("timeline") || args.has("trace-out");
   const core::ExperimentResult r = core::run_experiment(sys, spec);
   print_result(r, spec);
-  if (spec.record_timelines) {
+  if (args.has("timeline")) {
     std::printf("\n%s", perf::render_timelines(r.timelines).c_str());
+  }
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "trace.json");
+    perf::write_chrome_trace(path, r.timelines);
+    std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                path.c_str());
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    perf::write_metrics(path, r.metrics);
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }
@@ -193,6 +214,8 @@ void usage() {
       "tcp|score|myrinet|faste]\n"
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
       "                [--pme on|off] [--timeline]\n"
+      "                [--trace-out=F.json]    Chrome trace (Perfetto)\n"
+      "                [--metrics-out=F.json]  resource-utilization report\n"
       "  predict       [--procs P] [--network ...]   (closed-form model)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n");
@@ -202,10 +225,15 @@ void usage() {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  if (args.command == "build-system") return cmd_build_system(args);
-  if (args.command == "run") return cmd_run(args);
-  if (args.command == "predict") return cmd_predict(args);
-  if (args.command == "sweep") return cmd_sweep(args);
+  try {
+    if (args.command == "build-system") return cmd_build_system(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   usage();
   return args.command.empty() ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+
 #include "sim/engine.hpp"
 #include "util/error.hpp"
 
@@ -12,6 +14,52 @@ std::string Platform::to_string() const {
 }
 
 Platform reference_platform() { return Platform{}; }
+
+namespace {
+
+// Snapshots the network's shared resources and channel counters into a
+// RunMetrics. The makespan (utilization denominator) is the slowest rank's
+// total recorded virtual time — every advance of a rank clock is mirrored
+// in its recorder, so this equals the run's virtual wall clock.
+perf::RunMetrics collect_metrics(
+    const perf::RunBreakdown& breakdown,
+    const std::vector<perf::RankRecorder>& recorders,
+    const net::ClusterNetwork& network) {
+  perf::RunMetrics m;
+  m.breakdown = breakdown;
+  for (const auto& rec : recorders) {
+    m.makespan = std::max(m.makespan, rec.total_breakdown().total());
+  }
+  for (const sim::Resource* res : network.resources()) {
+    perf::ResourceMetrics rm;
+    rm.name = res->name();
+    rm.busy_time = res->busy_time();
+    rm.queue_wait = res->queue_wait_time();
+    rm.max_queue_wait = res->max_queue_wait();
+    rm.acquisitions = res->acquisitions();
+    rm.utilization = res->utilization(m.makespan);
+    m.resources.push_back(std::move(rm));
+  }
+  const int p = network.nranks();
+  for (int src = 0; src < p; ++src) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (src == dst) continue;
+      const net::ChannelStats& ch = network.channel(src, dst);
+      if (ch.messages == 0) continue;
+      perf::ChannelMetrics cm;
+      cm.src = src;
+      cm.dst = dst;
+      cm.messages = ch.messages;
+      cm.bytes = ch.bytes;
+      cm.stall_time = ch.stall_time;
+      cm.wire_time = ch.wire_time;
+      m.channels.push_back(cm);
+    }
+  }
+  return m;
+}
+
+}  // namespace
 
 std::vector<Platform> full_factorial() {
   std::vector<Platform> cells;
@@ -45,6 +93,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   if (spec.record_timelines) {
     timelines.resize(static_cast<std::size_t>(spec.nprocs));
     for (int r = 0; r < spec.nprocs; ++r) {
+      timelines[static_cast<std::size_t>(r)].set_rank(r);
       recorders[static_cast<std::size_t>(r)].attach_timeline(
           &timelines[static_cast<std::size_t>(r)]);
     }
@@ -62,6 +111,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   ExperimentResult result;
   result.breakdown =
       perf::aggregate(recorders, spec.platform.cpus_per_node);
+  result.metrics = collect_metrics(result.breakdown, recorders, network);
   result.timelines = std::move(timelines);
   result.energy = rank_results.front().last_energy;
   result.position_checksum = rank_results.front().position_checksum;

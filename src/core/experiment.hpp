@@ -12,6 +12,7 @@
 #include "charmm/app.hpp"
 #include "middleware/middleware.hpp"
 #include "net/cluster.hpp"
+#include "perf/metrics.hpp"
 #include "perf/report.hpp"
 #include "perf/timeline.hpp"
 
@@ -42,6 +43,10 @@ struct ExperimentSpec {
 
 struct ExperimentResult {
   perf::RunBreakdown breakdown;
+  // Resource-utilization metrics (NIC tx/rx links, interrupt CPUs, per
+  // src→dst channel counters) of the same run; metrics.breakdown mirrors
+  // `breakdown`. Always populated — the counters cost nothing to collect.
+  perf::RunMetrics metrics;
   std::vector<perf::Timeline> timelines;  // empty unless requested
   md::EnergyTerms energy;       // final-step energy (identical on ranks)
   double position_checksum = 0.0;

@@ -32,8 +32,10 @@ void Comm::send_control(int dst, int tag, const RendezvousToken& body) {
   const double sent_at = ctx_.now();
   const net::MessageTiming t =
       net_.message(rank(), dst, sizeof(body), ctx_.now(), false);
-  const perf::Kind kind = transfer_kind();
-  rec_.record(kind, t.sender_busy + t.sender_stall);
+  rec_.record(transfer_kind(), t.sender_busy);
+  // Back-pressure on the control channel is control transfer, like any
+  // other stall (see perf/recorder.hpp's taxonomy).
+  rec_.record_stall(t.sender_stall);
   ctx_.advance(t.sender_busy + t.sender_stall);
   ctx_.post(t.arrival, dst,
             Packet{rank(), tag, std::move(payload), t.recv_copy, sent_at});
@@ -61,6 +63,11 @@ void Comm::await_clear_to_send(int dst, unsigned token) {
     for (auto it = inbox.begin(); it != inbox.end(); ++it) {
       const auto* pkt = std::any_cast<Packet>(&it->payload);
       if (pkt == nullptr || pkt->src != dst || pkt->tag != kCtsTag) continue;
+      // A CTS carries exactly one RendezvousToken; anything else on the
+      // control tag is a protocol violation — reject it before reading
+      // (the payload pointer may be null or short).
+      REPRO_REQUIRE(pkt->data && pkt->data->size() == sizeof(RendezvousToken),
+                    "malformed clear-to-send packet");
       RendezvousToken body;
       std::memcpy(&body, pkt->data->data(), sizeof(body));
       if (body.token != token) continue;
@@ -97,6 +104,10 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
         static_cast<double>(bytes) / net_.params().copy_bandwidth;
     rec_.record(kind, copy);
     ctx_.advance(copy);
+    if (rec_.timeline() != nullptr) {
+      rec_.timeline()->add(sent_at, ctx_.now(), rec_.component(), kind,
+                           "copy", rec_.step_index());
+    }
     ctx_.post(ctx_.now(), dst,
               Packet{rank(), tag, std::move(payload), copy, sent_at});
     return;
@@ -105,12 +116,17 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
   const net::MessageTiming t =
       net_.message(rank(), dst, bytes, ctx_.now(), exchange);
   rec_.record(kind, t.sender_busy);
-  // Back-pressure stalls happen inside the send call: data transfer.
-  rec_.record(kind, t.sender_stall);
+  // Back-pressure stalls are control transfer (the sender blocks until the
+  // NIC queue drains): synchronization, per perf/recorder.hpp's taxonomy.
+  rec_.record_stall(t.sender_stall);
   if (!sync_mode_) rec_.record_bytes(static_cast<double>(bytes));
   ctx_.advance(t.sender_busy + t.sender_stall);
   if (rec_.timeline() != nullptr) {
-    rec_.timeline()->add(sent_at, ctx_.now(), rec_.component(), kind);
+    const double busy_end = sent_at + t.sender_busy;
+    rec_.timeline()->add(sent_at, busy_end, rec_.component(), kind, "send",
+                         rec_.step_index());
+    rec_.timeline()->add(busy_end, ctx_.now(), rec_.component(),
+                         perf::Kind::kSync, "stall", rec_.step_index());
   }
   ctx_.post(t.arrival, dst,
             Packet{rank(), tag, std::move(payload), t.recv_copy, sent_at});
@@ -143,7 +159,8 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t max_bytes) {
   }
   ctx_.advance(pkt.recv_copy);
   if (rec_.timeline() != nullptr) {
-    rec_.timeline()->add(t0, ctx_.now(), rec_.component(), kind);
+    rec_.timeline()->add(t0, ctx_.now(), rec_.component(), kind, "recv",
+                         rec_.step_index());
   }
 
   const std::size_t n = pkt.data ? pkt.data->size() : 0;

@@ -9,10 +9,12 @@
 // all-to-all), so their cost structure emerges from the network model
 // rather than being modeled directly.
 //
-// Time accounting: data-transfer time is recorded as communication; waits
-// (blocked receives, back-pressure stalls) and everything inside barrier()
-// as synchronization — matching the paper's split of "general communication
-// overhead" into data transfer and control transfer.
+// Time accounting: time inside data-transfer calls (host protocol work,
+// copies, blocked receive waits) is recorded as communication; control
+// transfer — everything inside barrier() and sender back-pressure stalls
+// — as synchronization. This matches the paper's split of "general
+// communication overhead" into data transfer and control transfer (see
+// perf/recorder.hpp for the full taxonomy).
 #pragma once
 
 #include <cstddef>
@@ -93,7 +95,7 @@ class Comm {
     ctx_.advance(t);
     if (rec_.timeline() != nullptr) {
       rec_.timeline()->add(t0, ctx_.now(), rec_.component(),
-                           perf::Kind::kComp);
+                           perf::Kind::kComp, "compute", rec_.step_index());
     }
   }
 
@@ -173,9 +175,14 @@ class Comm {
   void allreduce_ring(double* data, std::size_t n);
 
   static constexpr int kCollectiveTagBase = 1 << 20;
-  // Rendezvous control channel (never visible to user matching).
+
+ public:
+  // Rendezvous control channel (never visible to user matching). Public so
+  // protocol-robustness tests can forge control packets.
   static constexpr int kRtsTag = 1 << 22;
   static constexpr int kCtsTag = (1 << 22) + 1;
+
+ private:
 
   struct RendezvousToken {
     int orig_tag = 0;

@@ -17,6 +17,19 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
                 "CoPs nodes are uni- or dual-processor");
   nnodes_ = (config.nranks + config.cpus_per_node - 1) / config.cpus_per_node;
   nodes_.resize(static_cast<std::size_t>(nnodes_));
+  for (int n = 0; n < nnodes_; ++n) {
+    auto& node = nodes_[static_cast<std::size_t>(n)];
+    const std::string prefix = "node" + std::to_string(n) + "/";
+    node.nic_tx = sim::Resource(prefix + "nic_tx");
+    node.nic_rx = sim::Resource(prefix + "nic_rx");
+    node.irq_cpu = sim::Resource(prefix + "irq_cpu");
+    registry_.push_back(&node.nic_tx);
+    registry_.push_back(&node.nic_rx);
+    registry_.push_back(&node.irq_cpu);
+  }
+  channels_.assign(static_cast<std::size_t>(config.nranks) *
+                       static_cast<std::size_t>(config.nranks),
+                   ChannelStats{});
   last_arrival_.assign(
       static_cast<std::size_t>(config.nranks) *
           static_cast<std::size_t>(config.nranks),
@@ -104,10 +117,13 @@ MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
       std::max(0.0, tx.begin - cpu_done - params_.send_buffer_time);
 
   // Inbound link occupancy at the destination models incast contention:
-  // concurrent senders serialize on the receiver's link.
+  // concurrent senders serialize on the receiver's link. The occupancy
+  // request is the first-bit arrival; clamp it so inbound occupancy can
+  // never begin before the first bit left the sender (tx.begin), whatever
+  // the latency/jitter arithmetic produced.
   const double rx_wire_start = tx.end + params_.latency + extra_latency;
-  const sim::Interval rx_wire = dres.nic_rx.acquire(rx_wire_start - wire,
-                                                    wire);
+  const sim::Interval rx_wire =
+      dres.nic_rx.acquire(std::max(rx_wire_start - wire, tx.begin), wire);
   // rx_wire.end >= tx.end + latency; equality when the inbound link is idle.
 
   // Receiver-side protocol work. For TCP this serializes on the node's
@@ -123,6 +139,7 @@ MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
     t.arrival = rx_wire.end + rx_cost;
   }
   t.recv_copy = static_cast<double>(bytes) / params_.copy_bandwidth;
+  t.wire_time = wire;
   return t;
 }
 
@@ -137,9 +154,15 @@ MessageTiming ClusterNetwork::message(int src, int dst, std::size_t bytes,
                         ? intra_node(src, dst, bytes, t_send)
                         : cross_node(src, dst, bytes, t_send, exchange);
   REPRO_REQUIRE(t.arrival >= t_send, "message arrival precedes send");
-  double& last = last_arrival_[static_cast<std::size_t>(src) *
-                                   static_cast<std::size_t>(config_.nranks) +
-                               static_cast<std::size_t>(dst)];
+  const std::size_t pair = static_cast<std::size_t>(src) *
+                               static_cast<std::size_t>(config_.nranks) +
+                           static_cast<std::size_t>(dst);
+  ChannelStats& ch = channels_[pair];
+  ++ch.messages;
+  ch.bytes += static_cast<double>(bytes);
+  ch.stall_time += t.sender_stall;
+  ch.wire_time += t.wire_time;
+  double& last = last_arrival_[pair];
   if (t.arrival <= last) t.arrival = last + 1e-12;
   last = t.arrival;
   return t;

@@ -35,6 +35,15 @@ struct MessageTiming {
   double sender_stall = 0.0;  // back-pressure wait (synchronization)
   double arrival = 0.0;       // when the message becomes matchable at dst
   double recv_copy = 0.0;     // receiver CPU time on consume (communication)
+  double wire_time = 0.0;     // link occupancy (0 for intra-node messages)
+};
+
+// Cumulative traffic counters for one src→dst rank pair.
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  double stall_time = 0.0;  // sender back-pressure accumulated on this pair
+  double wire_time = 0.0;   // link occupancy accumulated on this pair
 };
 
 class ClusterNetwork {
@@ -73,6 +82,23 @@ class ClusterNetwork {
   std::uint64_t messages_sent() const { return messages_; }
   double bytes_sent() const { return bytes_; }
 
+  // Registry of the shared per-node resources ("nodeN/nic_tx",
+  // "nodeN/nic_rx", "nodeN/irq_cpu"), for utilization reporting. Pointers
+  // stay valid for the network's lifetime.
+  const std::vector<const sim::Resource*>& resources() const {
+    return registry_;
+  }
+
+  // Cumulative per-channel traffic counters (messages, bytes, stall and
+  // wire time accumulated on the src→dst pair).
+  const ChannelStats& channel(int src, int dst) const {
+    REPRO_REQUIRE(src >= 0 && src < config_.nranks, "channel: bad src rank");
+    REPRO_REQUIRE(dst >= 0 && dst < config_.nranks, "channel: bad dst rank");
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(config_.nranks) +
+                     static_cast<std::size_t>(dst)];
+  }
+
  private:
   std::size_t packets_for(std::size_t bytes) const {
     return bytes == 0 ? 1 : (bytes + params_.mtu - 1) / params_.mtu;
@@ -96,6 +122,8 @@ class ClusterNetwork {
   std::vector<NodeResources> nodes_;
 
   util::Rng jitter_rng_;
+  std::vector<const sim::Resource*> registry_;
+  std::vector<ChannelStats> channels_;
   std::uint64_t messages_ = 0;
   double bytes_ = 0.0;
   // Last arrival per (src,dst) channel: every real stack here (TCP, PM,

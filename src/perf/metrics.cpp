@@ -1,0 +1,148 @@
+#include "perf/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace repro::perf {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void emit_breakdown(std::ostringstream& os, const char* key,
+                    const Breakdown& b) {
+  os << "\"" << key << "\":{\"comp\":" << num(b.comp)
+     << ",\"comm\":" << num(b.comm) << ",\"sync\":" << num(b.sync)
+     << ",\"total\":" << num(b.total()) << "}";
+}
+
+}  // namespace
+
+double RunMetrics::mean_queue_wait() const {
+  double wait = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& r : resources) {
+    wait += r.queue_wait;
+    n += r.acquisitions;
+  }
+  return n > 0 ? wait / static_cast<double>(n) : 0.0;
+}
+
+double RunMetrics::max_queue_wait() const {
+  double m = 0.0;
+  for (const auto& r : resources) m = std::max(m, r.max_queue_wait);
+  return m;
+}
+
+double RunMetrics::total_stall_time() const {
+  double s = 0.0;
+  for (const auto& c : channels) s += c.stall_time;
+  return s;
+}
+
+const ResourceMetrics* RunMetrics::incast_hot_spot() const {
+  const ResourceMetrics* hot = nullptr;
+  for (const auto& r : resources) {
+    if (r.name.find("nic_rx") == std::string::npos) continue;
+    if (r.acquisitions == 0) continue;
+    if (hot == nullptr || r.queue_wait > hot->queue_wait) hot = &r;
+  }
+  return hot;
+}
+
+std::string metrics_json(const RunMetrics& metrics) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "\"nranks\":" << metrics.breakdown.nranks << ",\n";
+  os << "\"makespan_s\":" << num(metrics.makespan) << ",\n";
+
+  os << "\"breakdown\":{";
+  emit_breakdown(os, "classic_wall", metrics.breakdown.classic_wall);
+  os << ",";
+  emit_breakdown(os, "pme_wall", metrics.breakdown.pme_wall);
+  os << ",";
+  emit_breakdown(os, "classic_mean", metrics.breakdown.classic_mean);
+  os << ",";
+  emit_breakdown(os, "pme_mean", metrics.breakdown.pme_mean);
+  os << ",";
+  emit_breakdown(os, "total_wall", metrics.breakdown.total_wall());
+  os << "},\n";
+
+  os << "\"comm_speed_mb_per_s\":{\"avg\":"
+     << num(metrics.breakdown.comm_speed.avg_mb_per_s)
+     << ",\"min\":" << num(metrics.breakdown.comm_speed.min_mb_per_s)
+     << ",\"max\":" << num(metrics.breakdown.comm_speed.max_mb_per_s)
+     << ",\"samples\":" << metrics.breakdown.comm_speed.samples << "},\n";
+  os << "\"total_bytes\":" << num(metrics.breakdown.total_bytes) << ",\n";
+
+  os << "\"resources\":[";
+  for (std::size_t i = 0; i < metrics.resources.size(); ++i) {
+    const auto& r = metrics.resources[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":\"" << json_escape(r.name) << "\""
+       << ",\"busy_s\":" << num(r.busy_time)
+       << ",\"utilization\":" << num(r.utilization)
+       << ",\"queue_wait_s\":" << num(r.queue_wait)
+       << ",\"max_queue_wait_s\":" << num(r.max_queue_wait)
+       << ",\"acquisitions\":" << r.acquisitions << "}";
+  }
+  os << "\n],\n";
+
+  os << "\"channels\":[";
+  for (std::size_t i = 0; i < metrics.channels.size(); ++i) {
+    const auto& c = metrics.channels[i];
+    if (i > 0) os << ",";
+    os << "\n{\"src\":" << c.src << ",\"dst\":" << c.dst
+       << ",\"messages\":" << c.messages << ",\"bytes\":" << num(c.bytes)
+       << ",\"stall_s\":" << num(c.stall_time)
+       << ",\"wire_s\":" << num(c.wire_time) << "}";
+  }
+  os << "\n],\n";
+
+  os << "\"summary\":{"
+     << "\"mean_queue_wait_s\":" << num(metrics.mean_queue_wait())
+     << ",\"max_queue_wait_s\":" << num(metrics.max_queue_wait())
+     << ",\"total_stall_s\":" << num(metrics.total_stall_time());
+  if (const ResourceMetrics* hot = metrics.incast_hot_spot()) {
+    os << ",\"incast_hot_spot\":{\"name\":\"" << json_escape(hot->name)
+       << "\",\"queue_wait_s\":" << num(hot->queue_wait)
+       << ",\"utilization\":" << num(hot->utilization) << "}";
+  }
+  os << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_metrics(const std::string& path, const RunMetrics& metrics) {
+  std::ofstream out(path);
+  REPRO_REQUIRE(out.good(), "cannot open metrics output file: " + path);
+  out << metrics_json(metrics);
+  REPRO_REQUIRE(out.good(), "failed writing metrics output file: " + path);
+}
+
+}  // namespace repro::perf

@@ -1,0 +1,65 @@
+// Run-level resource-utilization metrics and their JSON report.
+//
+// RunMetrics extends the paper's comp/comm/sync decomposition
+// (perf::RunBreakdown) with the machine's view of the same run: how busy
+// each simulated resource (NIC tx/rx links, interrupt CPUs) was, how long
+// acquirers queued behind each other (incast hot-spots show up as inbound
+// links with long queue waits), and per src→dst channel traffic counters.
+// The JSON form is what `charmm_cluster_cli run --metrics-out=FILE` emits,
+// so ablation benches can diff utilization profiles instead of just wall
+// clocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/report.hpp"
+
+namespace repro::perf {
+
+// Snapshot of one sim::Resource at the end of a run.
+struct ResourceMetrics {
+  std::string name;
+  double busy_time = 0.0;
+  double queue_wait = 0.0;      // total time acquirers spent queued
+  double max_queue_wait = 0.0;  // worst single wait
+  std::uint64_t acquisitions = 0;
+  double utilization = 0.0;  // busy_time / run makespan, in [0, 1]
+};
+
+// Traffic counters for one src→dst rank pair (only pairs that carried
+// messages are reported).
+struct ChannelMetrics {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  double stall_time = 0.0;  // sender back-pressure (synchronization)
+  double wire_time = 0.0;   // link occupancy
+};
+
+struct RunMetrics {
+  RunBreakdown breakdown;
+  double makespan = 0.0;  // slowest rank's total virtual time
+  std::vector<ResourceMetrics> resources;
+  std::vector<ChannelMetrics> channels;
+
+  // --- derived summaries ------------------------------------------------
+  double mean_queue_wait() const;
+  double max_queue_wait() const;
+  double total_stall_time() const;
+  // The most contended inbound link (largest queue wait among resources
+  // whose name contains "nic_rx") — the incast hot-spot. nullptr when no
+  // inbound link saw traffic.
+  const ResourceMetrics* incast_hot_spot() const;
+};
+
+// Serializes the metrics (breakdown, comm speed, resources, channels and
+// the derived summaries) as a JSON object.
+std::string metrics_json(const RunMetrics& metrics);
+
+// Writes metrics_json() to `path`. Throws util::Error on I/O failure.
+void write_metrics(const std::string& path, const RunMetrics& metrics);
+
+}  // namespace repro::perf

@@ -86,6 +86,16 @@ class RankRecorder {
     if (kind == Kind::kComm) step_.comm_time += dt;
   }
 
+  // Books a back-pressure stall. Taxonomically the stall is control
+  // transfer (the sender is blocked on the NIC queue draining), so it
+  // lands in the synchronization column; but it still elapses *inside*
+  // the data-transfer call, so it stays part of the step's transfer time
+  // — Figure 7 measures per-node speed over time spent in transfer calls.
+  void record_stall(double dt) {
+    record(Kind::kSync, dt);
+    step_.comm_time += dt;
+  }
+
   void record_bytes(double bytes) {
     step_.bytes += bytes;
     total_bytes_ += bytes;
@@ -96,6 +106,10 @@ class RankRecorder {
     steps_.push_back(step_);
     step_ = StepComm{};
   }
+
+  // Index of the MD step currently being recorded (number of closed
+  // steps); used to stamp timeline events with their step.
+  int step_index() const { return static_cast<int>(steps_.size()); }
 
   double time(Component c, Kind k) const {
     return times_[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];

@@ -21,19 +21,33 @@ struct TimelineEvent {
   double end = 0.0;
   Component component = Component::kOther;
   Kind kind = Kind::kComp;
+  // Metadata for structured export (see perf/trace_export.hpp): the MD
+  // step the interval belongs to (-1 when unknown) and a short static
+  // label naming the operation ("compute", "send", "stall", "recv").
+  int step = -1;
+  const char* label = "";
 };
 
 class Timeline {
  public:
-  void add(double begin, double end, Component c, Kind k) {
-    if (end > begin) events_.push_back(TimelineEvent{begin, end, c, k});
+  void add(double begin, double end, Component c, Kind k,
+           const char* label = "", int step = -1) {
+    if (end > begin) {
+      events_.push_back(TimelineEvent{begin, end, c, k, step, label});
+    }
   }
   const std::vector<TimelineEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   double span_end() const;
 
+  // The rank this timeline belongs to (set by whoever owns the per-rank
+  // timeline vector; -1 when unassigned).
+  void set_rank(int rank) { rank_ = rank; }
+  int rank() const { return rank_; }
+
  private:
   std::vector<TimelineEvent> events_;
+  int rank_ = -1;
 };
 
 struct RenderOptions {

@@ -1,0 +1,130 @@
+#include "perf/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace repro::perf {
+
+namespace {
+
+// Escapes a string for inclusion in a JSON string literal. Labels are
+// static identifiers today, but the exporter must stay valid JSON for any
+// input.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Numeric JSON field (%.9g keeps full useful precision and stays a valid
+// JSON number).
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// chrome://tracing reserved color names; Perfetto ignores them but still
+// loads the file. Chosen so overheads stand out: computation green,
+// communication orange, synchronization red.
+const char* color_for(Kind k) {
+  switch (k) {
+    case Kind::kComp:
+      return "thread_state_running";
+    case Kind::kComm:
+      return "thread_state_iowait";
+    case Kind::kSync:
+      return "terrible";
+  }
+  return "generic_work";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Timeline>& timelines) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << event;
+  };
+
+  emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+       "\"args\":{\"name\":\"simulated cluster\"}}");
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    const int rank = timelines[i].rank() >= 0 ? timelines[i].rank()
+                                              : static_cast<int>(i);
+    std::ostringstream ev;
+    ev << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << rank
+       << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+    emit(ev.str());
+    ev.str("");
+    ev << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":"
+       << rank << ",\"args\":{\"sort_index\":" << rank << "}}";
+    emit(ev.str());
+  }
+
+  constexpr double kToMicros = 1e6;  // virtual seconds -> trace microseconds
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    const int rank = timelines[i].rank() >= 0 ? timelines[i].rank()
+                                              : static_cast<int>(i);
+    for (const auto& e : timelines[i].events()) {
+      std::ostringstream ev;
+      const char* label = (e.label != nullptr && e.label[0] != '\0')
+                              ? e.label
+                              : to_string(e.kind);
+      ev << "{\"ph\":\"X\",\"name\":\"" << json_escape(label) << "\""
+         << ",\"cat\":\"" << to_string(e.component) << ","
+         << to_string(e.kind) << "\""
+         << ",\"ts\":" << num(e.begin * kToMicros)
+         << ",\"dur\":" << num((e.end - e.begin) * kToMicros)
+         << ",\"pid\":0,\"tid\":" << rank
+         << ",\"cname\":\"" << color_for(e.kind) << "\""
+         << ",\"args\":{\"component\":\"" << to_string(e.component) << "\""
+         << ",\"kind\":\"" << to_string(e.kind) << "\""
+         << ",\"step\":" << e.step << "}}";
+      emit(ev.str());
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Timeline>& timelines) {
+  std::ofstream out(path);
+  REPRO_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  out << chrome_trace_json(timelines);
+  REPRO_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace repro::perf

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON export of per-rank timelines.
+//
+// Serializes the virtual-time timelines into the Trace Event Format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) load directly: one track
+// (tid) per rank, one complete ("ph":"X") slice per recorded interval,
+// color-coded by kind (computation / communication / synchronization) and
+// carrying component, kind, MD step and operation label in the slice args.
+// Virtual seconds are exported as trace microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/timeline.hpp"
+
+namespace repro::perf {
+
+// Renders the whole trace as one JSON object ({"traceEvents": [...], ...}).
+// Timeline index is used as the rank when a timeline has no rank assigned.
+std::string chrome_trace_json(const std::vector<Timeline>& timelines);
+
+// Writes chrome_trace_json() to `path`. Throws util::Error on I/O failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Timeline>& timelines);
+
+}  // namespace repro::perf

@@ -36,6 +36,9 @@ class Resource {
     free_at_ = begin + duration;
     busy_ += duration;
     ++acquisitions_;
+    const double wait = begin - at;
+    queue_wait_ += wait;
+    max_queue_wait_ = std::max(max_queue_wait_, wait);
     return Interval{begin, free_at_};
   }
 
@@ -44,10 +47,30 @@ class Resource {
   std::size_t acquisitions() const { return acquisitions_; }
   const std::string& name() const { return name_; }
 
+  // --- utilization counters -------------------------------------------
+  // Total time acquirers spent queued behind earlier users (sum over
+  // acquisitions of service begin minus request time), and the worst
+  // single wait. Together with busy_time() these describe how contended
+  // the resource was over a run.
+  double queue_wait_time() const { return queue_wait_; }
+  double max_queue_wait() const { return max_queue_wait_; }
+  double mean_queue_wait() const {
+    return acquisitions_ > 0
+               ? queue_wait_ / static_cast<double>(acquisitions_)
+               : 0.0;
+  }
+  // Fraction of `makespan` the resource spent serving. Callers supply the
+  // observation window (the resource does not know when the run ended).
+  double utilization(double makespan) const {
+    return makespan > 0.0 ? busy_ / makespan : 0.0;
+  }
+
   void reset() {
     free_at_ = 0.0;
     busy_ = 0.0;
     acquisitions_ = 0;
+    queue_wait_ = 0.0;
+    max_queue_wait_ = 0.0;
   }
 
  private:
@@ -55,6 +78,8 @@ class Resource {
   double free_at_ = 0.0;
   double busy_ = 0.0;
   std::size_t acquisitions_ = 0;
+  double queue_wait_ = 0.0;
+  double max_queue_wait_ = 0.0;
 };
 
 }  // namespace repro::sim

@@ -381,6 +381,30 @@ TEST(ConclusionTest, SoftwareMattersMoreThanHardware) {
   EXPECT_GT(software_gain, hardware_gain);
 }
 
+TEST(ObservabilityTest, RunMetricsPopulatedEndToEnd) {
+  // The resource-utilization metrics ride along on every experiment: the
+  // reference 8-process run must report every node's resources, nonzero
+  // cross-node traffic, and a makespan consistent with the breakdown.
+  const auto& r = cached_run(plat(), 8);
+  const perf::RunMetrics& m = r.metrics;
+  EXPECT_EQ(m.resources.size(), 8u * 3u);  // nic_tx, nic_rx, irq_cpu per node
+  // The slowest rank bounds each per-component wall time.
+  EXPECT_GE(m.makespan, r.breakdown.classic_wall.total() - 1e-9);
+  EXPECT_GE(m.makespan, r.breakdown.pme_wall.total() - 1e-9);
+  EXPECT_FALSE(m.channels.empty());
+  double bytes = 0.0;
+  for (const auto& ch : m.channels) bytes += ch.bytes;
+  EXPECT_GT(bytes, 0.0);
+  // With 8 ranks the inbound links see incast queueing.
+  const perf::ResourceMetrics* hot = m.incast_hot_spot();
+  ASSERT_NE(hot, nullptr);
+  EXPECT_GT(hot->queue_wait, 0.0);
+  for (const auto& res : m.resources) {
+    EXPECT_GE(res.utilization, 0.0);
+    EXPECT_LE(res.utilization, 1.0 + 1e-9) << res.name;
+  }
+}
+
 TEST(ConclusionTest, ReplicatedStateIdenticalOnAllRanks) {
   // run_experiment asserts per-rank checksum equality internally; verify a
   // couple of configurations execute without tripping it.

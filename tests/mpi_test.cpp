@@ -457,6 +457,50 @@ TEST(RendezvousTest, SmallMessagesStayEager) {
   (void)recs;
 }
 
+TEST(RendezvousTest, MalformedClearToSendRejected) {
+  // Regression: a corrupt packet on the CTS control tag (null payload)
+  // used to be memcpy'd without validation. The protocol layer must
+  // reject it instead of dereferencing it.
+  run_rendezvous_cluster(2, 1024, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.ctx().checkpoint();
+      // Forge a corrupt CTS from rank 1 into our own inbox; the
+      // rendezvous send below scans the control channel and must reject
+      // it before reading the payload.
+      comm.ctx().post(comm.now(), 0,
+                      Packet{1, Comm::kCtsTag, nullptr, 0.0, 0.0});
+      std::vector<double> data(1000);
+      EXPECT_THROW(
+          comm.send(1, 5, data.data(), data.size() * sizeof(double)),
+          util::Error);
+    }
+  });
+}
+
+TEST(AccountingTest, SenderBackPressureStallIsSynchronization) {
+  // Regression: back-to-back eager 1 MB sends overrun the socket-buffer
+  // window, so the sender blocks while the NIC queue drains. That blocked
+  // time is control transfer and must land in the sync column — but it
+  // elapses inside the send call, so it still counts toward the step's
+  // transfer time (the denominator of Figure 7's per-node speed).
+  auto recs = run_rendezvous_cluster(2, /*eager=*/0, [](Comm& comm) {
+    std::vector<char> big(1 << 20);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 6; ++i) comm.send(1, 1, big.data(), big.size());
+      comm.recorder().end_step();
+    } else {
+      for (int i = 0; i < 6; ++i) comm.recv(0, 1, big.data(), big.size());
+    }
+  });
+  const double sync =
+      recs[0].time(perf::Component::kOther, perf::Kind::kSync);
+  const double comm_t =
+      recs[0].time(perf::Component::kOther, perf::Kind::kComm);
+  EXPECT_GT(sync, 0.0);  // pre-fix, stalls were booked as communication
+  ASSERT_EQ(recs[0].steps().size(), 1u);
+  EXPECT_NEAR(recs[0].steps()[0].comm_time, comm_t + sync, 1e-12);
+}
+
 TEST(AccountingTest, BytesCountedOnDataOpsOnly) {
   auto recs = run_cluster(2, [](Comm& comm) {
     std::vector<double> d(1000, 1.0);

@@ -265,6 +265,70 @@ TEST(FastEthernetTest, SlowerWireSameProtocolPath) {
   EXPECT_GT(fe.jitter_prob_per_rank, 0.0);
 }
 
+TEST(ClusterTest, ResourceRegistryCoversEveryNode) {
+  ClusterNetwork net(config(4, 2, Network::kTcpGigE));
+  const auto& reg = net.resources();
+  ASSERT_EQ(reg.size(), 6u);  // 2 nodes x {nic_tx, nic_rx, irq_cpu}
+  EXPECT_EQ(reg[0]->name(), "node0/nic_tx");
+  EXPECT_EQ(reg[1]->name(), "node0/nic_rx");
+  EXPECT_EQ(reg[2]->name(), "node0/irq_cpu");
+  EXPECT_EQ(reg[3]->name(), "node1/nic_tx");
+  EXPECT_EQ(reg[4]->name(), "node1/nic_rx");
+  EXPECT_EQ(reg[5]->name(), "node1/irq_cpu");
+  for (const sim::Resource* r : reg) EXPECT_EQ(r->acquisitions(), 0u);
+}
+
+TEST(ClusterTest, ChannelCountersAccumulate) {
+  // SCore: no jitter, uni nodes, no exchange — wire time is exactly
+  // bytes / bandwidth, so the channel counters are exact.
+  ClusterNetwork net(config(3, 1, Network::kScoreGigE));
+  net.message(0, 1, 1000, 0.0);
+  net.message(0, 1, 2000, 10.0);
+  const ChannelStats& ch = net.channel(0, 1);
+  EXPECT_EQ(ch.messages, 2u);
+  EXPECT_DOUBLE_EQ(ch.bytes, 3000.0);
+  EXPECT_DOUBLE_EQ(ch.wire_time,
+                   3000.0 / params_for(Network::kScoreGigE).bandwidth);
+  EXPECT_GE(ch.stall_time, 0.0);
+  // Directional: the reverse channel and unrelated pairs stay empty.
+  EXPECT_EQ(net.channel(1, 0).messages, 0u);
+  EXPECT_EQ(net.channel(0, 2).messages, 0u);
+  EXPECT_THROW(net.channel(0, 3), util::Error);
+  EXPECT_THROW(net.channel(-1, 1), util::Error);
+}
+
+TEST(ClusterTest, IntraNodeMessagesCarryNoWireTime) {
+  // Shared-memory driver: the wire (and the NICs) are never touched.
+  ClusterNetwork net(config(2, 2, Network::kMyrinetGM));
+  net.message(0, 1, 50000, 0.0);
+  EXPECT_EQ(net.channel(0, 1).messages, 1u);
+  EXPECT_DOUBLE_EQ(net.channel(0, 1).wire_time, 0.0);
+  for (const sim::Resource* r : net.resources()) {
+    EXPECT_EQ(r->acquisitions(), 0u) << r->name();
+  }
+}
+
+TEST(ClusterTest, IdleInboundLinkOccupiedForExactlyOneWireTime) {
+  // Regression for the inbound-link occupancy clamp: a single cross-node
+  // message on an otherwise idle network must occupy the receiver's link
+  // for exactly one wire time, with no queueing, starting one latency
+  // after the outbound link started — never before the first bit left the
+  // sender.
+  ClusterNetwork net(config(2, 1, Network::kScoreGigE));
+  const NetworkParams& p = params_for(Network::kScoreGigE);
+  const double wire = 100000.0 / p.bandwidth;
+  net.message(0, 1, 100000, 0.0);
+  const sim::Resource* tx = net.resources()[0];
+  const sim::Resource* rx = net.resources()[4];
+  ASSERT_EQ(tx->name(), "node0/nic_tx");
+  ASSERT_EQ(rx->name(), "node1/nic_rx");
+  EXPECT_DOUBLE_EQ(tx->busy_time(), wire);
+  EXPECT_DOUBLE_EQ(rx->busy_time(), wire);
+  EXPECT_DOUBLE_EQ(rx->queue_wait_time(), 0.0);
+  // Occupancy windows are offset by exactly the propagation latency.
+  EXPECT_DOUBLE_EQ(rx->free_at(), tx->free_at() + p.latency);
+}
+
 TEST(ClusterTest, ArrivalNeverPrecedesSend) {
   ClusterNetwork net(config(16, 2, Network::kTcpGigE, 77));
   util::Rng rng(3);

@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "perf/metrics.hpp"
 #include "perf/recorder.hpp"
 #include "perf/report.hpp"
 #include "perf/timeline.hpp"
+#include "perf/trace_export.hpp"
 
 namespace repro::perf {
 namespace {
@@ -172,6 +179,193 @@ TEST(TimelineTest, RenderWindowClips) {
   const std::string rows_only = art.substr(art.find("rank"));
   EXPECT_NE(rows_only.find('#'), std::string::npos);
   EXPECT_EQ(rows_only.find('~'), std::string::npos);
+}
+
+TEST(RecorderTest, StallIsSyncButCountsInStepTransferTime) {
+  // Back-pressure stalls are control transfer (sync column), yet they
+  // elapse inside the transfer call, so Figure 7's per-step transfer time
+  // keeps them in its denominator.
+  RankRecorder rec;
+  rec.set_component(Component::kClassic);
+  rec.record(Kind::kComm, 1.0);
+  rec.record_stall(0.5);
+  rec.record_bytes(3.0e6);
+  rec.end_step();
+  EXPECT_DOUBLE_EQ(rec.time(Component::kClassic, Kind::kSync), 0.5);
+  EXPECT_DOUBLE_EQ(rec.time(Component::kClassic, Kind::kComm), 1.0);
+  ASSERT_EQ(rec.steps().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.steps()[0].comm_time, 1.5);
+  EXPECT_DOUBLE_EQ(rec.steps()[0].speed_mb_per_s(), 2.0);
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+// Minimal structural JSON validation: braces/brackets must balance outside
+// string literals, strings must terminate, escapes must be consumed.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // consume the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TraceExportTest, BalancedJsonWithOneTrackPerRank) {
+  std::vector<Timeline> rows(3);
+  rows[0].add(0.0, 1.0, Component::kClassic, Kind::kComp, "compute", 0);
+  rows[1].add(0.5, 2.0, Component::kPme, Kind::kComm, "send", 1);
+  rows[2].add(1.0, 3.0, Component::kOther, Kind::kSync, "stall", 2);
+  const std::string json = chrome_trace_json(rows);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata record per rank, using the index as the rank
+  // when none was assigned.
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NE(json.find("\"rank " + std::to_string(r) + "\""),
+              std::string::npos);
+  }
+  // Kind-coded colors: comp green, comm orange, sync red.
+  EXPECT_NE(json.find("\"thread_state_running\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_state_iowait\""), std::string::npos);
+  EXPECT_NE(json.find("\"terrible\""), std::string::npos);
+}
+
+TEST(TraceExportTest, SlicesUseMicrosecondsAndAssignedRank) {
+  std::vector<Timeline> rows(1);
+  rows[0].set_rank(7);
+  rows[0].add(0.5, 2.0, Component::kPme, Kind::kComm, "send", 3);
+  const std::string json = chrome_trace_json(rows);
+  // 0.5 s -> 500000 us, 1.5 s -> 1500000 us, on the assigned rank's track.
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rank 7\""), std::string::npos);
+  EXPECT_NE(json.find("\"step\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"pme,comm\""), std::string::npos);
+}
+
+TEST(TraceExportTest, SlicesAreMonotonicWithNonnegativeDurations) {
+  std::vector<Timeline> rows(1);
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double dt = 0.1 + 0.01 * i;
+    rows[0].add(t, t + dt, Component::kClassic,
+                static_cast<Kind>(i % kNumKinds));
+    t += dt;
+  }
+  const std::string json = chrome_trace_json(rows);
+  // Extract the ts series in emission order; it must be nondecreasing (one
+  // track, recorded in virtual-time order) with nonnegative durations.
+  std::vector<double> ts;
+  std::vector<double> dur;
+  for (std::size_t at = json.find("\"ts\":"); at != std::string::npos;
+       at = json.find("\"ts\":", at + 1)) {
+    ts.push_back(std::strtod(json.c_str() + at + 5, nullptr));
+  }
+  for (std::size_t at = json.find("\"dur\":"); at != std::string::npos;
+       at = json.find("\"dur\":", at + 1)) {
+    dur.push_back(std::strtod(json.c_str() + at + 6, nullptr));
+  }
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  for (double d : dur) EXPECT_GE(d, 0.0);
+}
+
+TEST(TraceExportTest, EscapesHostileLabels) {
+  std::vector<Timeline> rows(1);
+  rows[0].add(0.0, 1.0, Component::kOther, Kind::kComp, "a\"b\\c\nd");
+  const std::string json = chrome_trace_json(rows);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(TraceExportTest, EmptyTimelinesStillValid) {
+  const std::string none = chrome_trace_json({});
+  EXPECT_TRUE(json_balanced(none));
+  std::vector<Timeline> rows(2);  // ranks with no recorded events
+  const std::string empty_rows = chrome_trace_json(rows);
+  EXPECT_TRUE(json_balanced(empty_rows));
+  EXPECT_EQ(count_occurrences(empty_rows, "\"thread_name\""), 2u);
+  EXPECT_EQ(count_occurrences(empty_rows, "\"ph\":\"X\""), 0u);
+}
+
+// --- run metrics ------------------------------------------------------------
+
+RunMetrics sample_metrics() {
+  RunMetrics m;
+  m.breakdown.nranks = 2;
+  m.makespan = 10.0;
+  m.resources.push_back(
+      ResourceMetrics{"node0/nic_tx", 4.0, 1.0, 0.75, 4, 0.4});
+  m.resources.push_back(
+      ResourceMetrics{"node0/nic_rx", 2.0, 3.0, 2.0, 2, 0.2});
+  m.resources.push_back(
+      ResourceMetrics{"node1/nic_rx", 1.0, 0.5, 0.5, 2, 0.1});
+  m.resources.push_back(ResourceMetrics{"node1/irq_cpu", 0.0, 0.0, 0.0, 0, 0.0});
+  m.channels.push_back(ChannelMetrics{0, 1, 5, 5.0e6, 0.25, 1.5});
+  m.channels.push_back(ChannelMetrics{1, 0, 3, 1.0e6, 0.5, 0.3});
+  return m;
+}
+
+TEST(MetricsTest, DerivedSummaries) {
+  const RunMetrics m = sample_metrics();
+  // 4.5 s of queue wait over 8 acquisitions.
+  EXPECT_DOUBLE_EQ(m.mean_queue_wait(), 4.5 / 8.0);
+  EXPECT_DOUBLE_EQ(m.max_queue_wait(), 2.0);
+  EXPECT_DOUBLE_EQ(m.total_stall_time(), 0.75);
+  const ResourceMetrics* hot = m.incast_hot_spot();
+  ASSERT_NE(hot, nullptr);
+  // The most-queued inbound link wins; tx links never qualify.
+  EXPECT_EQ(hot->name, "node0/nic_rx");
+}
+
+TEST(MetricsTest, HotSpotRequiresInboundTraffic) {
+  RunMetrics m;
+  m.resources.push_back(
+      ResourceMetrics{"node0/nic_tx", 4.0, 9.0, 9.0, 4, 0.4});
+  m.resources.push_back(
+      ResourceMetrics{"node0/nic_rx", 0.0, 0.0, 0.0, 0, 0.0});
+  EXPECT_EQ(m.incast_hot_spot(), nullptr);
+  EXPECT_DOUBLE_EQ(m.total_stall_time(), 0.0);
+}
+
+TEST(MetricsTest, JsonCarriesResourcesChannelsAndSummary) {
+  const std::string json = metrics_json(sample_metrics());
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"nranks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"makespan_s\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"node0/nic_rx\""), std::string::npos);
+  EXPECT_NE(json.find("\"src\":0,\"dst\":1,\"messages\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_stall_s\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"incast_hot_spot\""), std::string::npos);
+  // Every resource appears exactly once.
+  EXPECT_EQ(count_occurrences(json, "\"name\":"), 5u);  // 4 + hot-spot
 }
 
 TEST(BreakdownTest, Addition) {

@@ -33,6 +33,34 @@ TEST(ResourceTest, RejectsNegativeDuration) {
   EXPECT_THROW(r.acquire(0.0, -1.0), util::Error);
 }
 
+TEST(ResourceTest, UtilizationCounters) {
+  Resource r("nic");
+  r.acquire(0.0, 1.0);  // idle: no wait
+  r.acquire(0.5, 1.0);  // queued until 1.0: waits 0.5
+  r.acquire(1.0, 2.0);  // queued until 2.0: waits 1.0
+  EXPECT_DOUBLE_EQ(r.busy_time(), 4.0);
+  EXPECT_EQ(r.acquisitions(), 3u);
+  EXPECT_DOUBLE_EQ(r.queue_wait_time(), 1.5);
+  EXPECT_DOUBLE_EQ(r.max_queue_wait(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_queue_wait(), 0.5);
+  // 4 busy seconds over an 8-second run: half utilized.
+  EXPECT_DOUBLE_EQ(r.utilization(8.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization(0.0), 0.0);
+}
+
+TEST(ResourceTest, ResetClearsUtilizationCounters) {
+  Resource r("nic");
+  r.acquire(0.0, 2.0);
+  r.acquire(0.0, 1.0);
+  ASSERT_GT(r.queue_wait_time(), 0.0);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 0.0);
+  EXPECT_EQ(r.acquisitions(), 0u);
+  EXPECT_DOUBLE_EQ(r.queue_wait_time(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_queue_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_queue_wait(), 0.0);
+}
+
 TEST(EngineTest, SingleRankRunsToCompletion) {
   Engine engine(1);
   double end_time = -1.0;
