@@ -23,13 +23,12 @@ struct Sweep {
   bool use_pme;
 };
 
-double total_at(const Sweep& sweep, int p) {
+core::ExperimentSpec sweep_spec(const Sweep& sweep, int p) {
   core::ExperimentSpec spec;
   spec.platform.network = sweep.network;
   spec.nprocs = p;
   spec.charmm.use_pme = sweep.use_pme;
-  return core::run_experiment(bench::prepared_system(), spec)
-      .total_seconds();
+  return spec;
 }
 
 }  // namespace
@@ -49,13 +48,23 @@ int main() {
   };
   const int counts[] = {1, 2, 4, 8, 16, 32};
 
+  std::vector<core::ExperimentSpec> specs;
+  for (const Sweep& sweep : sweeps) {
+    for (int p : counts) {
+      specs.push_back(sweep_spec(sweep, p));
+    }
+  }
+  const std::vector<core::ExperimentResult> results = core::run_experiments(
+      bench::prepared_system(), specs, bench::default_jobs());
+
   Table table({"configuration", "procs", "total (s)", "speedup",
                "efficiency"});
   std::map<std::string, int> limit;  // last p with efficiency >= 50%
+  std::size_t idx = 0;
   for (const Sweep& sweep : sweeps) {
     double seq = 0.0;
     for (int p : counts) {
-      const double total = total_at(sweep, p);
+      const double total = results[idx++].total_seconds();
       if (p == 1) seq = total;
       const double eff = seq / total / p;
       if (eff >= 0.5) limit[sweep.label] = p;

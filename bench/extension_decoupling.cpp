@@ -18,12 +18,13 @@ using repro::util::Table;
 
 namespace {
 
-core::ExperimentResult run_with(net::Network network, int p, bool barriers) {
+core::ExperimentSpec barrier_spec(net::Network network, int p,
+                                  bool barriers) {
   core::ExperimentSpec spec;
   spec.platform.network = network;
   spec.nprocs = p;
   spec.charmm.coherency_barriers = barriers;
-  return core::run_experiment(bench::prepared_system(), spec);
+  return spec;
 }
 
 }  // namespace
@@ -32,25 +33,34 @@ int main() {
   bench::print_header("Extension (§2.3)",
                       "coherency barriers vs decoupled execution");
 
-  Table table({"network", "barriers", "procs", "total (s)", "comm (s)",
-               "sync (s)"});
+  std::vector<core::ExperimentSpec> specs;
   for (net::Network network :
        {net::Network::kTcpGigE, net::Network::kScoreGigE}) {
     for (bool barriers : {true, false}) {
       for (int p : {4, 8}) {
-        const auto r = run_with(network, p, barriers);
-        const perf::Breakdown total = r.breakdown.total_wall();
-        table.add_row({net::to_string(network), barriers ? "on" : "off",
-                       std::to_string(p), Table::num(r.total_seconds(), 2),
-                       Table::num(total.comm, 2),
-                       Table::num(total.sync, 2)});
+        specs.push_back(barrier_spec(network, p, barriers));
       }
     }
   }
+  const std::vector<core::ExperimentResult> results = core::run_experiments(
+      bench::prepared_system(), specs, bench::default_jobs());
+
+  Table table({"network", "barriers", "procs", "total (s)", "comm (s)",
+               "sync (s)"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    const perf::Breakdown total = r.breakdown.total_wall();
+    table.add_row({net::to_string(specs[i].platform.network),
+                   specs[i].charmm.coherency_barriers ? "on" : "off",
+                   std::to_string(specs[i].nprocs),
+                   Table::num(r.total_seconds(), 2),
+                   Table::num(total.comm, 2), Table::num(total.sync, 2)});
+  }
   std::printf("%s\n", table.to_string().c_str());
 
-  const auto on = run_with(net::Network::kTcpGigE, 8, true);
-  const auto off = run_with(net::Network::kTcpGigE, 8, false);
+  // TCP at 8 procs with barriers on/off: rows 1 and 3 of the TCP block.
+  const auto& on = results[1];
+  const auto& off = results[3];
   std::printf("paper check: removing the barriers reclassifies skew from\n"
               "synchronization (%.2f -> %.2f s) into the data operations\n"
               "(comm %.2f -> %.2f s) without a dramatic wall-clock change\n"

@@ -19,8 +19,8 @@ struct SizeCase {
   std::size_t grid;  // cubic PME grid dimension
 };
 
-double total_at(const sysbuild::BuiltSystem& sys, const SizeCase& size,
-                net::Network network, int p) {
+core::ExperimentSpec size_spec(const SizeCase& size, net::Network network,
+                               int p) {
   core::ExperimentSpec spec;
   spec.platform.network = network;
   spec.nprocs = p;
@@ -28,7 +28,7 @@ double total_at(const sysbuild::BuiltSystem& sys, const SizeCase& size,
   spec.charmm.pme = pme::PmeParams{size.grid, size.grid, size.grid, 4, 0.4};
   spec.charmm.cutoff = 9.0;
   spec.charmm.switch_on = 7.5;
-  return core::run_experiment(sys, spec).total_seconds();
+  return spec;
 }
 
 }  // namespace
@@ -43,12 +43,23 @@ int main() {
   Table table({"atoms", "box (A)", "network", "total @1 (s)", "total @8 (s)",
                "efficiency @8"});
   for (const SizeCase& size : sizes) {
+    // Each size needs its own BuiltSystem; the four cells sharing it
+    // (2 networks x {1, 8} procs) run as one concurrent sweep.
     const sysbuild::BuiltSystem sys =
         sysbuild::build_water_box(size.waters_per_side);
+    std::vector<core::ExperimentSpec> specs;
     for (net::Network network :
          {net::Network::kTcpGigE, net::Network::kScoreGigE}) {
-      const double seq = total_at(sys, size, network, 1);
-      const double par = total_at(sys, size, network, 8);
+      specs.push_back(size_spec(size, network, 1));
+      specs.push_back(size_spec(size, network, 8));
+    }
+    const std::vector<core::ExperimentResult> results =
+        core::run_experiments(sys, specs, bench::default_jobs());
+    std::size_t idx = 0;
+    for (net::Network network :
+         {net::Network::kTcpGigE, net::Network::kScoreGigE}) {
+      const double seq = results[idx++].total_seconds();
+      const double par = results[idx++].total_seconds();
       table.add_row({std::to_string(sys.topo.natoms()),
                      Table::num(sys.box.lx(), 1), net::to_string(network),
                      Table::num(seq, 2), Table::num(par, 2),

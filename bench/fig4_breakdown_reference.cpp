@@ -12,6 +12,12 @@ int main() {
       "percent computation / communication / synchronization, reference "
       "case");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (int p : core::paper_processor_counts()) {
+    cells.emplace_back(core::reference_platform(), p);
+  }
+  bench::prewarm(cells);
+
   Table table({"procs", "classic comp/comm/sync", "pme comp/comm/sync"});
   for (int p : core::paper_processor_counts()) {
     const auto& r = bench::run_cached(core::reference_platform(), p);

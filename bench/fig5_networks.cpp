@@ -11,6 +11,18 @@ int main() {
                       "execution time of the total energy calculation for "
                       "different networks (MPI middleware, uni-processor)");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : core::paper_processor_counts()) {
+      cells.emplace_back(platform, p);
+    }
+  }
+  bench::prewarm(cells);
+
   Table table({"network", "procs", "classic (s)", "pme (s)", "total (s)",
                "speedup"});
   for (net::Network network :

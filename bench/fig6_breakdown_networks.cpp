@@ -11,6 +11,18 @@ int main() {
                       "percent computation / communication / "
                       "synchronization per network (MPI, uni-processor)");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : core::paper_processor_counts()) {
+      cells.emplace_back(platform, p);
+    }
+  }
+  bench::prewarm(cells);
+
   Table table({"network", "procs", "classic comp/comm/sync",
                "pme comp/comm/sync"});
   for (net::Network network :

@@ -11,6 +11,18 @@ int main() {
                       "average and variability of the communication speed "
                       "per node (MPI middleware, uni-processor)");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kScoreGigE,
+        net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : {2, 4, 8}) {
+      cells.emplace_back(platform, p);
+    }
+  }
+  bench::prewarm(cells);
+
   Table table({"network", "procs", "avg (MB/s)", "min (MB/s)", "max (MB/s)",
                "spread"});
   for (net::Network network :

@@ -11,6 +11,17 @@ int main() {
                       "execution time and breakdown for different "
                       "middlewares (TCP/IP on Ethernet, uni-processor)");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (middleware::Kind kind :
+       {middleware::Kind::kMpi, middleware::Kind::kCmpi}) {
+    core::Platform platform;
+    platform.middleware = kind;
+    for (int p : core::paper_processor_counts()) {
+      cells.emplace_back(platform, p);
+    }
+  }
+  bench::prewarm(cells);
+
   Table table({"middleware", "procs", "classic (s)", "pme (s)", "total (s)",
                "total comp/comm/sync"});
   for (middleware::Kind kind :

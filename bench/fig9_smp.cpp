@@ -11,6 +11,20 @@ int main() {
                       "uni-processor vs dual-processor nodes on TCP/IP (a) "
                       "and Myrinet (b), MPI middleware");
 
+  std::vector<std::pair<core::Platform, int>> cells;
+  for (net::Network network :
+       {net::Network::kTcpGigE, net::Network::kMyrinetGM}) {
+    for (int cpus : {1, 2}) {
+      core::Platform platform;
+      platform.network = network;
+      platform.cpus_per_node = cpus;
+      for (int p : core::paper_processor_counts()) {
+        cells.emplace_back(platform, p);
+      }
+    }
+  }
+  bench::prewarm(cells);
+
   Table table({"network", "cpus/node", "procs", "classic (s)", "pme (s)",
                "total (s)"});
   for (net::Network network :

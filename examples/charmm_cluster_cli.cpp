@@ -8,6 +8,7 @@
 //                          [--metrics-out=FILE]
 //   charmm_cluster_cli predict --procs P [--network N]
 //   charmm_cluster_cli sweep [--network N] [--middleware M] [--cpus C]
+//                            [--jobs N]
 //
 // `run` and `sweep` build+relax the paper's system when --system is not
 // given. `predict` uses the closed-form LogGP model (no simulation).
@@ -16,10 +17,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "charmm/simulation.hpp"
 #include "core/experiment.hpp"
 #include "core/model.hpp"
+#include "core/sweep.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace_export.hpp"
 #include "sysbuild/builder.hpp"
@@ -181,26 +184,48 @@ int cmd_predict(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   const sysbuild::BuiltSystem sys = obtain_system(args);
-  core::ExperimentSpec spec;
-  spec.platform.network = parse_network(args.get("network", "tcp"));
-  spec.platform.middleware = args.get("middleware", "mpi") == "cmpi"
+  core::ExperimentSpec base;
+  base.platform.network = parse_network(args.get("network", "tcp"));
+  base.platform.middleware = args.get("middleware", "mpi") == "cmpi"
                                  ? middleware::Kind::kCmpi
                                  : middleware::Kind::kMpi;
-  spec.platform.cpus_per_node = args.get_int("cpus", 1);
+  base.platform.cpus_per_node = args.get_int("cpus", 1);
+
+  std::vector<core::ExperimentSpec> specs;
+  for (int p : {1, 2, 4, 8, 16}) {
+    core::ExperimentSpec spec = base;
+    spec.nprocs = p;
+    specs.push_back(spec);
+  }
+  // --jobs=1 preserves the old sequential behaviour; the default (0) uses
+  // one worker per hardware thread. Results are identical either way.
+  const core::SweepRunner runner(args.get_int("jobs", 0));
+  const auto outcomes = runner.run(
+      sys, specs,
+      [](std::size_t done, std::size_t total, const core::SweepOutcome& cell) {
+        std::fprintf(stderr, "[sweep %zu/%zu] %s%s\n", done, total,
+                     core::spec_label(cell.spec).c_str(),
+                     cell.ok() ? "" : (" FAILED: " + cell.error).c_str());
+      });
+
   util::Table table({"procs", "classic (s)", "pme (s)", "total (s)",
                      "speedup"});
   double seq = 0.0;
-  for (int p : {1, 2, 4, 8, 16}) {
-    spec.nprocs = p;
-    const core::ExperimentResult r = core::run_experiment(sys, spec);
-    if (p == 1) seq = r.total_seconds();
-    table.add_row({std::to_string(p),
+  for (const core::SweepOutcome& out : outcomes) {
+    if (!out.ok()) {
+      std::fprintf(stderr, "error: %s failed: %s\n",
+                   core::spec_label(out.spec).c_str(), out.error.c_str());
+      return 1;
+    }
+    const core::ExperimentResult& r = out.result;
+    if (out.spec.nprocs == 1) seq = r.total_seconds();
+    table.add_row({std::to_string(out.spec.nprocs),
                    util::Table::num(r.classic_seconds(), 2),
                    util::Table::num(r.pme_seconds(), 2),
                    util::Table::num(r.total_seconds(), 2),
                    util::Table::num(seq / r.total_seconds(), 2)});
   }
-  std::printf("\n%s on %s:\n%s", spec.platform.to_string().c_str(),
+  std::printf("\n%s on %s:\n%s", base.platform.to_string().c_str(),
               "the paper's workload", table.to_string().c_str());
   return 0;
 }
@@ -218,7 +243,9 @@ void usage() {
       "                [--metrics-out=F.json]  resource-utilization report\n"
       "  predict       [--procs P] [--network ...]   (closed-form model)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
-      " [--cpus C]\n");
+      " [--cpus C]\n"
+      "                [--jobs N]  concurrent cells (default: hardware "
+      "threads; 1 = sequential)\n");
 }
 
 }  // namespace

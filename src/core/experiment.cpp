@@ -83,7 +83,10 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   cluster_config.cpus_per_node = spec.platform.cpus_per_node;
   cluster_config.network = spec.platform.network;
   cluster_config.seed = spec.seed;
-  net::ClusterNetwork network(cluster_config);
+  net::ClusterNetwork network(
+      cluster_config, spec.network_params
+                          ? *spec.network_params
+                          : net::params_for(cluster_config.network));
 
   std::vector<perf::RankRecorder> recorders(
       static_cast<std::size_t>(spec.nprocs));
@@ -102,7 +105,8 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   sim::Engine engine(spec.nprocs);
   engine.run([&](sim::RankCtx& ctx) {
     mpi::Comm comm(ctx, network,
-                   recorders[static_cast<std::size_t>(ctx.rank())]);
+                   recorders[static_cast<std::size_t>(ctx.rank())],
+                   spec.collectives);
     auto mw = middleware::make_middleware(spec.platform.middleware, comm);
     rank_results[static_cast<std::size_t>(ctx.rank())] =
         charmm::run_charmm_rank(sys, spec.charmm, *mw);

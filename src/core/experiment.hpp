@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "charmm/app.hpp"
 #include "middleware/middleware.hpp"
+#include "mpi/comm.hpp"
 #include "net/cluster.hpp"
 #include "perf/metrics.hpp"
 #include "perf/report.hpp"
@@ -39,6 +41,12 @@ struct ExperimentSpec {
   // When set, per-rank virtual-time timelines are captured (see
   // perf/timeline.hpp) and returned in ExperimentResult::timelines.
   bool record_timelines = false;
+  // Collective algorithm selection for the simulated MPI layer (the
+  // ablation dimension of bench/ablation_collectives).
+  mpi::CollectiveConfig collectives;
+  // When set, overrides params_for(platform.network) — lets ablation
+  // studies run modified network models through the normal sweep path.
+  std::optional<net::NetworkParams> network_params;
 };
 
 struct ExperimentResult {

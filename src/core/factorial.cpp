@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/sweep.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -10,16 +11,24 @@ namespace repro::core {
 
 std::vector<FactorialCell> run_full_factorial(
     const sysbuild::BuiltSystem& sys, const std::vector<int>& nprocs_list,
-    const charmm::CharmmConfig& config) {
-  std::vector<FactorialCell> cells;
+    const charmm::CharmmConfig& config, int jobs) {
+  std::vector<ExperimentSpec> specs;
   for (const Platform& platform : full_factorial()) {
     for (int p : nprocs_list) {
       ExperimentSpec spec;
       spec.platform = platform;
       spec.nprocs = p;
       spec.charmm = config;
-      cells.push_back(FactorialCell{platform, p, run_experiment(sys, spec)});
+      specs.push_back(spec);
     }
+  }
+  const std::vector<ExperimentResult> results =
+      run_experiments(sys, specs, jobs);
+  std::vector<FactorialCell> cells;
+  cells.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    cells.push_back(
+        FactorialCell{specs[i].platform, specs[i].nprocs, results[i]});
   }
   return cells;
 }

@@ -22,9 +22,12 @@ struct FactorialCell {
 };
 
 // Runs every cell of the full factorial design for each processor count.
+// Cells are independent DES runs and execute concurrently on a SweepRunner
+// (`jobs` worker threads; <= 0 selects the hardware concurrency, 1 runs
+// sequentially). Results are deterministic and identical for any `jobs`.
 std::vector<FactorialCell> run_full_factorial(
     const sysbuild::BuiltSystem& sys, const std::vector<int>& nprocs_list,
-    const charmm::CharmmConfig& config = {});
+    const charmm::CharmmConfig& config = {}, int jobs = 0);
 
 // Main effect of each factor on the total energy-calculation time at a
 // given processor count: the mean total over the cells at the "better"

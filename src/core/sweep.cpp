@@ -1,0 +1,94 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace repro::core {
+
+namespace {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+std::string spec_label(const ExperimentSpec& spec) {
+  return spec.platform.to_string() + " p=" + std::to_string(spec.nprocs);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(resolve_jobs(jobs)) {}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const sysbuild::BuiltSystem& sys, const std::vector<ExperimentSpec>& specs,
+    const SweepProgress& progress) const {
+  std::vector<SweepOutcome> outcomes(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+  }
+
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+  // Each worker writes only its own outcome slot; the per-cell simulation
+  // (network, recorders, engine, RNG) is constructed inside
+  // run_experiment, so cells share nothing but the read-only system.
+  auto run_cell = [&](std::size_t i) {
+    SweepOutcome& out = outcomes[i];
+    try {
+      out.result = run_experiment(sys, out.spec);
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      if (out.error.empty()) out.error = "unknown error";
+    } catch (...) {
+      out.error = "unknown error";
+    }
+    if (progress) {
+      std::lock_guard<std::mutex> lk(progress_mu);
+      progress(done.fetch_add(1) + 1, specs.size(), out);
+    }
+  };
+
+  const auto nworkers = std::min<std::size_t>(
+      static_cast<std::size_t>(jobs_), specs.size());
+  if (nworkers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) run_cell(i);
+    return outcomes;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        run_cell(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return outcomes;
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const sysbuild::BuiltSystem& sys, const std::vector<ExperimentSpec>& specs,
+    int jobs, const SweepProgress& progress) {
+  std::vector<SweepOutcome> outcomes =
+      SweepRunner(jobs).run(sys, specs, progress);
+  std::vector<ExperimentResult> results;
+  results.reserve(outcomes.size());
+  for (SweepOutcome& out : outcomes) {
+    REPRO_REQUIRE(out.ok(), "sweep cell failed (" + spec_label(out.spec) +
+                                "): " + out.error);
+    results.push_back(std::move(out.result));
+  }
+  return results;
+}
+
+}  // namespace repro::core

@@ -154,7 +154,9 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t max_bytes) {
   const perf::Kind kind = transfer_kind();
   rec_.record(kind, waited);
   rec_.record(kind, pkt.recv_copy);
-  if (!sync_mode_) {
+  // Byte accounting must mirror the send side: self-sends are local copies,
+  // not network traffic, so they book no Figure-7 bytes on either end.
+  if (!sync_mode_ && pkt.src != rank()) {
     rec_.record_bytes(static_cast<double>(pkt.data ? pkt.data->size() : 0));
   }
   ctx_.advance(pkt.recv_copy);

@@ -26,6 +26,7 @@
 #include "perf/recorder.hpp"
 #include "perf/timeline.hpp"
 #include "sim/engine.hpp"
+#include "util/error.hpp"
 
 namespace repro::mpi {
 
@@ -160,8 +161,17 @@ class Comm {
     return sync_mode_ ? perf::Kind::kSync : perf::Kind::kComm;
   }
   // Fresh tag for one collective operation; all ranks call collectives in
-  // the same order, so counters stay aligned.
-  int next_collective_tag() { return kCollectiveTagBase + (coll_seq_++ & 0xffff); }
+  // the same order, so counters stay aligned. Tags must never repeat within
+  // a run: a wrapped sequence would let a slow rank's round-k packet match
+  // a fast rank's round-(k + window) receive and silently corrupt the
+  // collective. The window is far beyond any realistic run (the CHARMM
+  // workload issues a handful of collectives per step), so instead of
+  // wrapping we fail loudly if it is ever exhausted.
+  int next_collective_tag() {
+    REPRO_REQUIRE(coll_seq_ < kCollectiveTagWindow,
+                  "collective tag space exhausted; tags would alias");
+    return kCollectiveTagBase + static_cast<int>(coll_seq_++);
+  }
 
   bool matches(const Packet& p, int src, int tag) const {
     return (src == kAnySource || p.src == src) && p.tag == tag;
@@ -175,6 +185,12 @@ class Comm {
   void allreduce_ring(double* data, std::size_t n);
 
   static constexpr int kCollectiveTagBase = 1 << 20;
+  // One unique tag per collective for the lifetime of a Comm. The window
+  // must stay clear of the rendezvous control tags above it.
+  static constexpr unsigned kCollectiveTagWindow = 1u << 21;
+  static_assert(kCollectiveTagBase + static_cast<int>(kCollectiveTagWindow) <=
+                    (1 << 22),
+                "collective tag window overlaps the control-channel tags");
 
  public:
   // Rendezvous control channel (never visible to user matching). Public so

@@ -188,6 +188,18 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   TurnSlot sched_slot;
   sched_slot_ = &sched_slot;
 
+  // All run-scoped state is reset here, not just the per-rank fields
+  // below: a reused engine (retry paths, engine pooling) must not inherit
+  // undelivered events, a sticky abort flag, or a stale error from an
+  // earlier run — stale events would leak into the new run's inboxes, and
+  // a sticky abort would kill every rank at its first yield.
+  event_heap_.clear();
+  next_seq_ = 0;
+  events_processed_ = 0;
+  context_switches_ = 0;
+  aborting_ = false;
+  first_error_ = nullptr;
+
   for (auto& r : ranks_) {
     r->state = State::Ready;
     r->clock = 0.0;

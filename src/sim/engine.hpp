@@ -92,10 +92,12 @@ class Engine {
 
   // Runs `rank_main` once per rank to completion. Throws util::Error on
   // deadlock (every live rank blocked with no pending events) and rethrows
-  // the first exception escaping a rank main.
+  // the first exception escaping a rank main. An engine may be run
+  // repeatedly; every run starts from a clean slate (no events, clocks and
+  // counters at zero), even after a previous run aborted.
   void run(const std::function<void(RankCtx&)>& rank_main);
 
-  // --- introspection / statistics ------------------------------------
+  // --- introspection / statistics (reset at each run() entry) ---------
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t context_switches() const { return context_switches_; }
 

@@ -9,6 +9,8 @@
 #include "core/experiment.hpp"
 #include "core/factorial.hpp"
 #include "core/model.hpp"
+#include "core/sweep.hpp"
+#include "perf/metrics.hpp"
 #include "sysbuild/builder.hpp"
 
 namespace repro::core {
@@ -204,6 +206,38 @@ TEST(Figure7Test, ScoreIsStable) {
   const double tcp_spread =
       (tcp.max_mb_per_s - tcp.min_mb_per_s) / tcp.avg_mb_per_s;
   EXPECT_LT(spread, tcp_spread);
+}
+
+TEST(Figure7Test, ByteAccountingPinnedAtTwoProcs) {
+  // Closed-form pin of the Figure-7 byte totals. On the jitter-free SCore
+  // stack with PME off, the only data traffic is the per-step pair of
+  // global sums: the force reduction (3N doubles) and the energy
+  // reduction (EnergyTerms::kCount doubles). With the MPICH-1
+  // reduce+bcast at p=2, each rank moves each vector twice (reduce leg +
+  // bcast leg), and each transfer is booked on both endpoints. Barriers
+  // are synchronization traffic and must not contribute; neither may
+  // self-sends (the receive-side symmetry this pins down).
+  ExperimentSpec spec;
+  spec.platform.network = net::Network::kScoreGigE;
+  spec.nprocs = 2;
+  spec.charmm.use_pme = false;
+  spec.charmm.nsteps = 4;
+  // Barrier packets never book recorder bytes but do cross the wire; turn
+  // them off so the channel counters carry data transfers only.
+  spec.charmm.coherency_barriers = false;
+  const ExperimentResult r = run_experiment(system_fixture(), spec);
+
+  const double vector_bytes =
+      (3.0 * sysbuild::kTotalAtoms + md::EnergyTerms::kCount) * 8.0;
+  const double per_rank_per_step = 2.0 * vector_bytes;
+  EXPECT_DOUBLE_EQ(r.breakdown.total_bytes,
+                   2.0 * spec.charmm.nsteps * per_rank_per_step);
+
+  // The network's channel counters see each transfer once (the recorders
+  // book it on both endpoints), so they must sum to exactly half.
+  double channel_bytes = 0.0;
+  for (const auto& ch : r.metrics.channels) channel_bytes += ch.bytes;
+  EXPECT_DOUBLE_EQ(channel_bytes, r.breakdown.total_bytes / 2.0);
 }
 
 // --- Figure 8: middleware factor -----------------------------------------------
@@ -404,6 +438,56 @@ TEST(ObservabilityTest, RunMetricsPopulatedEndToEnd) {
     EXPECT_LE(res.utilization, 1.0 + 1e-9) << res.name;
   }
 }
+
+// --- Determinism: reruns and concurrent sweeps -------------------------------
+
+TEST(DeterminismTest, SameSpecTwiceIsBitIdentical) {
+  // Two runs of the same spec — including the jittery TCP stack, whose
+  // RNG must be reseeded per run — agree bit-for-bit on energies, times,
+  // and the full metrics export.
+  ExperimentSpec spec;
+  spec.platform.network = net::Network::kTcpGigE;
+  spec.nprocs = 4;
+  spec.charmm.nsteps = 3;
+  const ExperimentResult a = run_experiment(system_fixture(), spec);
+  const ExperimentResult b = run_experiment(system_fixture(), spec);
+  EXPECT_EQ(a.energy.potential(), b.energy.potential());
+  EXPECT_EQ(a.position_checksum, b.position_checksum);
+  EXPECT_EQ(a.total_seconds(), b.total_seconds());
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(perf::metrics_json(a.metrics), perf::metrics_json(b.metrics));
+}
+
+class SweepJobsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepJobsTest, MatchesSequentialBitwise) {
+  // The tentpole guarantee: a sweep is bit-identical for any worker count.
+  std::vector<ExperimentSpec> specs;
+  for (int p : {1, 2, 4}) {
+    ExperimentSpec spec;
+    spec.platform.network = net::Network::kTcpGigE;  // jitter on
+    spec.nprocs = p;
+    spec.charmm.nsteps = 2;
+    specs.push_back(spec);
+  }
+  const std::vector<ExperimentResult> seq =
+      run_experiments(system_fixture(), specs, 1);
+  const std::vector<ExperimentResult> par =
+      run_experiments(system_fixture(), specs, GetParam());
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].energy.potential(), par[i].energy.potential())
+        << "cell " << i;
+    EXPECT_EQ(seq[i].position_checksum, par[i].position_checksum)
+        << "cell " << i;
+    EXPECT_EQ(seq[i].total_seconds(), par[i].total_seconds()) << "cell " << i;
+    EXPECT_EQ(perf::metrics_json(seq[i].metrics),
+              perf::metrics_json(par[i].metrics))
+        << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, SweepJobsTest, ::testing::Values(2, 4));
 
 TEST(ConclusionTest, ReplicatedStateIdenticalOnAllRanks) {
   // run_experiment asserts per-rank checksum equality internally; verify a

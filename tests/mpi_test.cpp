@@ -512,6 +512,35 @@ TEST(AccountingTest, BytesCountedOnDataOpsOnly) {
   EXPECT_LT(recs[0].total_bytes(), 1e6);
 }
 
+TEST(AccountingTest, SelfSendBooksNoFigure7Bytes) {
+  // A self-send is a local copy, not network traffic: neither the send nor
+  // the matching receive may contribute to the Figure-7 byte totals.
+  auto recs = run_cluster(1, [](Comm& comm) {
+    std::vector<double> d(64, 1.0);
+    comm.send(0, 3, d.data(), d.size() * sizeof(double));
+    std::vector<double> got(64);
+    const std::size_t n =
+        comm.recv(0, 3, got.data(), got.size() * sizeof(double));
+    EXPECT_EQ(n, 64 * sizeof(double));
+    EXPECT_EQ(got, d);
+  });
+  EXPECT_DOUBLE_EQ(recs[0].total_bytes(), 0.0);
+}
+
+TEST(AccountingTest, CrossRankBytesSymmetric) {
+  // Send and receive sides of a cross-rank transfer book the same bytes.
+  auto recs = run_cluster(2, [](Comm& comm) {
+    std::vector<unsigned char> buf(128, 7);
+    if (comm.rank() == 0) {
+      comm.send(1, 9, buf.data(), buf.size());
+    } else {
+      comm.recv(0, 9, buf.data(), buf.size());
+    }
+  });
+  EXPECT_DOUBLE_EQ(recs[0].total_bytes(), 128.0);
+  EXPECT_DOUBLE_EQ(recs[1].total_bytes(), 128.0);
+}
+
 TEST(AccountingTest, ComputeChargesActiveComponent) {
   auto recs = run_cluster(1, [](Comm& comm) {
     comm.recorder().set_component(perf::Component::kPme);

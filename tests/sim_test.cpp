@@ -291,5 +291,49 @@ TEST(EngineTest, ContextSwitchesAreCounted) {
   EXPECT_GE(engine.context_switches(), 4u);
 }
 
+TEST(EngineTest, RerunAfterAbortStartsClean) {
+  Engine engine(2);
+  // First run dies in rank 0 while rank 1 has a message in flight.
+  EXPECT_THROW(engine.run([&](RankCtx& ctx) {
+                 if (ctx.rank() == 0) {
+                   ctx.post(ctx.now() + 100.0, 1, 42);
+                   throw util::Error("boom");
+                 }
+                 ctx.advance(1.0);
+                 ctx.checkpoint();
+               }),
+               util::Error);
+
+  // The rerun must not see the aborted run's event, abort flag, or error,
+  // and the statistics must be this run's alone.
+  std::vector<int> ran(2, 0);
+  std::vector<std::size_t> leftovers(2, 0);
+  engine.run([&](RankCtx& ctx) {
+    ctx.advance(200.0);  // past the stale event's delivery time
+    ctx.checkpoint();
+    ran[static_cast<std::size_t>(ctx.rank())] = 1;
+    leftovers[static_cast<std::size_t>(ctx.rank())] = ctx.inbox().size();
+    EXPECT_DOUBLE_EQ(ctx.now(), 200.0);  // clocks restarted at zero
+  });
+  EXPECT_EQ(ran, (std::vector<int>{1, 1}));
+  EXPECT_EQ(leftovers, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(EngineTest, RerunResetsStatistics) {
+  Engine engine(2);
+  engine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) ctx.post(ctx.now(), 1, 1);
+    ctx.checkpoint();
+  });
+  const std::uint64_t events_first = engine.events_processed();
+  EXPECT_GE(events_first, 1u);
+
+  // A rerun that posts nothing must report zero events, not a cumulative
+  // count across runs.
+  engine.run([&](RankCtx& ctx) { ctx.advance(1.0); });
+  EXPECT_EQ(engine.events_processed(), 0u);
+  EXPECT_LT(engine.context_switches(), 100u);
+}
+
 }  // namespace
 }  // namespace repro::sim
