@@ -38,7 +38,8 @@ core::ExperimentSpec cell_spec(net::Network network,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Ablation",
                       "allreduce algorithm vs classic-calculation time "
                       "(the force reduction is the classic part's "

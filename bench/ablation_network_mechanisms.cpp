@@ -39,7 +39,8 @@ double spread_of(const core::ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Ablation",
                       "network-model mechanisms vs the paper's effects "
                       "(reference platform unless noted)");

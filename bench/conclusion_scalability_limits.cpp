@@ -33,7 +33,8 @@ core::ExperimentSpec sweep_spec(const Sweep& sweep, int p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Conclusion (§5)",
                       "scalability limits of the classic and PME "
                       "calculations (50% efficiency threshold)");

@@ -29,7 +29,8 @@ core::ExperimentSpec barrier_spec(net::Network network, int p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Extension (§2.3)",
                       "coherency barriers vs decoupled execution");
 

@@ -1,0 +1,157 @@
+// Extension: fault-tolerance sweep — where does Figure 7's TCP
+// variability come from?
+//
+// The base model reproduces the paper's wide TCP min/max communication
+// band with a calibrated stochastic jitter knob (NetworkParams::jitter_*).
+// This bench replaces that knob with the *mechanism* the knob stands in
+// for: per-packet loss recovered by the stack's own discipline. Every run
+// below has the hand-tuned jitter DISABLED; the only nondeterminism is
+// packet loss injected by the fault layer.
+//
+//   - TCP recovers a lost packet with the Linux 2.4 coarse retransmission
+//     timeout (~200 ms, exponential backoff): a fraction of a percent of
+//     loss is enough to reopen the Figure-7 min/max band.
+//   - SCore/Myrinet-style link-level flow control resends after one link
+//     round trip (~2 x latency): the same loss rate is invisible.
+//
+// A second table perturbs single nodes (straggler slowdown, OS-noise
+// bursts, a transient stall) and reports which component of the energy
+// calculation — classic or PME — absorbed the injected delay.
+#include "figure_common.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+namespace {
+
+core::ExperimentSpec spec_without_jitter(net::Network network, int nprocs) {
+  core::ExperimentSpec spec;
+  spec.platform = core::reference_platform();
+  spec.platform.network = network;
+  spec.nprocs = nprocs;
+  spec.charmm.nsteps = bench::options().steps;
+  net::NetworkParams params = net::params_for(network);
+  params.jitter_prob_per_rank = 0.0;  // isolate the loss-recovery mechanism
+  spec.network_params = params;
+  return spec;
+}
+
+net::FaultSpec loss_spec(double prob, net::PacketLossFault::Recovery rec) {
+  net::FaultSpec faults;
+  if (prob > 0.0) {
+    net::PacketLossFault loss;
+    loss.loss_prob = prob;
+    loss.recovery = rec;
+    faults.packet_loss.push_back(loss);
+  }
+  return faults;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
+  bench::print_header(
+      "Extension: fault tolerance",
+      "packet loss x recovery discipline, hand-tuned jitter disabled "
+      "(8 processes)");
+
+  const int nprocs = 8;
+  const std::vector<double> loss_levels{0.0, 0.002, 0.005, 0.01};
+  struct Stack {
+    net::Network network;
+    net::PacketLossFault::Recovery recovery;
+  };
+  const std::vector<Stack> stacks{
+      {net::Network::kTcpGigE, net::PacketLossFault::Recovery::kTimeoutRetransmit},
+      {net::Network::kScoreGigE, net::PacketLossFault::Recovery::kLinkLevel},
+      {net::Network::kMyrinetGM, net::PacketLossFault::Recovery::kLinkLevel},
+  };
+
+  std::vector<core::ExperimentSpec> specs;
+  for (const Stack& stack : stacks) {
+    for (double loss : loss_levels) {
+      core::ExperimentSpec spec = spec_without_jitter(stack.network, nprocs);
+      spec.faults = loss_spec(loss, stack.recovery);
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<core::ExperimentResult> results = core::run_experiments(
+      bench::prepared_system(), specs, bench::default_jobs());
+
+  Table table({"network", "loss", "recovery", "total (s)",
+               "comm MB/s [min..max]", "retrans", "injected (s)"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Stack& stack = stacks[i / loss_levels.size()];
+    const double loss = loss_levels[i % loss_levels.size()];
+    const core::ExperimentResult& r = results[i];
+    char loss_buf[32];
+    std::snprintf(loss_buf, sizeof(loss_buf), "%.1f%%", 100.0 * loss);
+    char speed_buf[64];
+    std::snprintf(speed_buf, sizeof(speed_buf), "%5.2f [%5.2f .. %5.2f]",
+                  r.breakdown.comm_speed.avg_mb_per_s,
+                  r.breakdown.comm_speed.min_mb_per_s,
+                  r.breakdown.comm_speed.max_mb_per_s);
+    const perf::FaultMetrics& f = r.metrics.faults;
+    table.add_row({net::to_string(stack.network), loss_buf,
+                   loss == 0.0 ? "-"
+                   : stack.recovery ==
+                           net::PacketLossFault::Recovery::kTimeoutRetransmit
+                       ? "timeout"
+                       : "linklevel",
+                   Table::num(r.total_seconds(), 2), speed_buf,
+                   std::to_string(f.retransmits),
+                   Table::num(f.total_delay(), 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: with jitter off, the loss-free rows are flat for every\n"
+      "stack. Under identical loss rates the timeout-recovery (TCP) rows\n"
+      "stretch and their min/max band opens, while link-level recovery\n"
+      "absorbs the same loss in microseconds — Figure 7's TCP variability\n"
+      "reproduced from retransmission dynamics, not a tuned constant.\n");
+
+  // --- which component absorbs a node-level perturbation? ---------------
+  std::printf("\nNode perturbations on the reference platform "
+              "(TCP/IP on GigE, 8 processes, jitter off):\n");
+  struct Perturbation {
+    const char* label;
+    const char* spec_text;
+  };
+  const std::vector<Perturbation> perturbations{
+      {"none", ""},
+      {"straggler node 0 (1.5x)", "straggler=0,x=1.5"},
+      {"OS noise node 0 (5ms/50ms)", "straggler=0,period=0.05,dur=0.005"},
+      {"stall node 1 (200ms at t=0.5s)", "stall=1,at=0.5,dur=0.2"},
+  };
+  std::vector<core::ExperimentSpec> pspecs;
+  for (const Perturbation& p : perturbations) {
+    core::ExperimentSpec spec =
+        spec_without_jitter(net::Network::kTcpGigE, nprocs);
+    if (p.spec_text[0] != '\0') {
+      spec.faults = net::parse_fault_spec(p.spec_text);
+    }
+    pspecs.push_back(spec);
+  }
+  const std::vector<core::ExperimentResult> presults = core::run_experiments(
+      bench::prepared_system(), pspecs, bench::default_jobs());
+
+  Table ptable({"perturbation", "total (s)", "injected (s)",
+                "absorbed classic (s)", "absorbed pme (s)"});
+  for (std::size_t i = 0; i < perturbations.size(); ++i) {
+    const core::ExperimentResult& r = presults[i];
+    const perf::FaultMetrics& f = r.metrics.faults;
+    ptable.add_row({perturbations[i].label,
+                    Table::num(r.total_seconds(), 2),
+                    Table::num(f.total_delay(), 3),
+                    Table::num(f.absorbed_classic, 3),
+                    Table::num(f.absorbed_pme, 3)});
+  }
+  std::printf("%s", ptable.to_string().c_str());
+  std::printf(
+      "\nReading: the absorbed-by split shows which half of the energy\n"
+      "calculation a perturbation lands in — compute-side faults spread\n"
+      "roughly like the compute split, while stalls land on whichever\n"
+      "phase the frozen node was blocking.\n");
+  return 0;
+}

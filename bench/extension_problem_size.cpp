@@ -33,7 +33,8 @@ core::ExperimentSpec size_spec(const SizeCase& size, net::Network network,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Extension",
                       "parallel efficiency vs problem size (5 MD steps, "
                       "water boxes, PME grid scaled with the box)");

@@ -34,7 +34,8 @@ void show(bool use_pme, const core::ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Figure 2",
                       "structure of the energy calculation without and "
                       "with the PME model (timeline rendering)");

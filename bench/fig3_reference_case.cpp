@@ -7,7 +7,8 @@
 using namespace repro;
 using repro::util::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header(
       "Figure 3",
       "execution time of the total energy calculation, reference case "

@@ -6,7 +6,8 @@
 using namespace repro;
 using repro::util::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
   bench::print_header("Figure 8",
                       "execution time and breakdown for different "
                       "middlewares (TCP/IP on Ethernet, uni-processor)");

@@ -22,6 +22,41 @@
 
 namespace repro::bench {
 
+// Figure-wide knobs, settable from the command line (parse_figure_args).
+// The defaults reproduce the paper's figures exactly; the golden-file
+// regression harness shortens runs with --steps to keep CI fast.
+struct BenchOptions {
+  int steps = 10;  // MD steps per cell (the paper's measurement runs)
+  int jobs = -1;   // sweep concurrency; -1 = REPRO_JOBS / hardware default
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opts;
+  return opts;
+}
+
+// Accepts --steps=N and --jobs=N; anything else exits with an error so a
+// typo cannot silently produce a full-length run in CI.
+inline void parse_figure_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--steps=", 0) == 0) {
+      options().steps = std::atoi(arg.c_str() + 8);
+      if (options().steps < 1) {
+        std::fprintf(stderr, "bad --steps value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options().jobs = std::atoi(arg.c_str() + 7);
+    } else {
+      std::fprintf(stderr,
+                   "unknown option: %s (supported: --steps=N --jobs=N)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
 inline const sysbuild::BuiltSystem& prepared_system() {
   static const sysbuild::BuiltSystem sys = [] {
     std::fprintf(stderr,
@@ -33,9 +68,11 @@ inline const sysbuild::BuiltSystem& prepared_system() {
   return sys;
 }
 
-// Worker count for the bench sweeps: REPRO_JOBS if set, otherwise the
-// hardware concurrency (SweepRunner's own default for jobs <= 0).
+// Worker count for the bench sweeps: --jobs if given, else REPRO_JOBS if
+// set, otherwise the hardware concurrency (SweepRunner's default for
+// jobs <= 0).
 inline int default_jobs() {
+  if (options().jobs >= 0) return options().jobs;
   if (const char* env = std::getenv("REPRO_JOBS")) {
     return std::atoi(env);
   }
@@ -67,6 +104,7 @@ inline void prewarm(const std::vector<std::pair<core::Platform, int>>& cells) {
     core::ExperimentSpec spec;
     spec.platform = platform;
     spec.nprocs = nprocs;
+    spec.charmm.nsteps = options().steps;
     specs.push_back(spec);
   }
   if (specs.empty()) return;
@@ -86,6 +124,7 @@ inline const core::ExperimentResult& run_cached(const core::Platform& p,
     core::ExperimentSpec spec;
     spec.platform = p;
     spec.nprocs = nprocs;
+    spec.charmm.nsteps = options().steps;
     it = cache.emplace(detail::cell_key(p, nprocs),
                        core::run_experiment(prepared_system(), spec))
              .first;
@@ -97,8 +136,9 @@ inline void print_header(const std::string& figure,
                          const std::string& caption) {
   std::printf("================================================================\n");
   std::printf("%s — %s\n", figure.c_str(), caption.c_str());
-  std::printf("(10 MD steps of the 3552-atom myoglobin-like system, PME grid"
-              " 80x36x48)\n");
+  std::printf("(%d MD steps of the 3552-atom myoglobin-like system, PME grid"
+              " 80x36x48)\n",
+              options().steps);
   std::printf("================================================================\n");
 }
 

@@ -1,0 +1,50 @@
+# Golden-file test driver: runs a figure binary and compares its stdout
+# byte-for-byte against the checked-in reference output.
+#
+# Usage (what tests/CMakeLists.txt generates):
+#   cmake -DBINARY=<path> -DGOLDEN=<path> [-DARGS="--steps=4"]
+#         -P cmake/golden_diff.cmake
+#
+# On mismatch the actual output is left next to the golden as
+# <golden>.actual and a unified diff is printed when a diff tool exists.
+# Regenerate goldens with tests/golden/regen.sh after an intentional
+# model change.
+if(NOT DEFINED BINARY OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "golden_diff.cmake needs -DBINARY=... and -DGOLDEN=...")
+endif()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${BINARY}" ${arg_list}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_out
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${BINARY} ${ARGS} exited with ${rc}\nstderr:\n${stderr_out}")
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR "golden file missing: ${GOLDEN}\n"
+    "regenerate with tests/golden/regen.sh")
+endif()
+file(READ "${GOLDEN}" expected)
+
+if(NOT actual STREQUAL expected)
+  set(actual_path "${GOLDEN}.actual")
+  file(WRITE "${actual_path}" "${actual}")
+  find_program(DIFF_TOOL diff)
+  set(diff_text "")
+  if(DIFF_TOOL)
+    execute_process(
+      COMMAND "${DIFF_TOOL}" -u "${GOLDEN}" "${actual_path}"
+      OUTPUT_VARIABLE diff_text
+    )
+  endif()
+  message(FATAL_ERROR
+    "golden mismatch for ${BINARY} ${ARGS}\n"
+    "expected: ${GOLDEN}\n"
+    "actual:   ${actual_path}\n"
+    "${diff_text}")
+endif()

@@ -5,10 +5,10 @@
 //   charmm_cluster_cli run [--system sys.rsys] [--procs P] [--network N]
 //                          [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]
 //                          [--timeline] [--trace-out=FILE]
-//                          [--metrics-out=FILE]
+//                          [--metrics-out=FILE] [--faults=SPEC]
 //   charmm_cluster_cli predict --procs P [--network N]
 //   charmm_cluster_cli sweep [--network N] [--middleware M] [--cpus C]
-//                            [--jobs N]
+//                            [--jobs N] [--faults=SPEC]
 //
 // `run` and `sweep` build+relax the paper's system when --system is not
 // given. `predict` uses the closed-form LogGP model (no simulation).
@@ -110,6 +110,18 @@ void print_result(const core::ExperimentResult& r,
                 r.breakdown.comm_speed.max_mb_per_s);
   }
   std::printf("  potential energy %.2f kcal/mol\n", r.energy.potential());
+  if (r.metrics.faults.enabled) {
+    const perf::FaultMetrics& f = r.metrics.faults;
+    std::printf(
+        "  faults: %llu packets lost, %llu retransmits (%.0f bytes), "
+        "%.3f s injected\n",
+        static_cast<unsigned long long>(f.packets_lost),
+        static_cast<unsigned long long>(f.retransmits),
+        f.retransmitted_bytes, f.total_delay());
+    std::printf(
+        "          absorbed by classic %.3f s, pme %.3f s, other %.3f s\n",
+        f.absorbed_classic, f.absorbed_pme, f.absorbed_other);
+  }
 }
 
 int cmd_build_system(const Args& args) {
@@ -142,6 +154,9 @@ int cmd_run(const Args& args) {
   spec.nprocs = args.get_int("procs", 8);
   spec.charmm.nsteps = args.get_int("steps", 10);
   spec.charmm.use_pme = args.get("pme", "on") != "off";
+  if (args.has("faults")) {
+    spec.faults = net::parse_fault_spec(args.get("faults", ""));
+  }
   // The Chrome trace needs the per-rank timelines recorded.
   spec.record_timelines = args.has("timeline") || args.has("trace-out");
   const core::ExperimentResult r = core::run_experiment(sys, spec);
@@ -151,7 +166,9 @@ int cmd_run(const Args& args) {
   }
   if (args.has("trace-out")) {
     const std::string path = args.get("trace-out", "trace.json");
-    perf::write_chrome_trace(path, r.timelines);
+    perf::write_chrome_trace(path, r.timelines,
+                             r.metrics.faults.enabled ? &r.metrics.faults
+                                                      : nullptr);
     std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
                 path.c_str());
   }
@@ -190,6 +207,9 @@ int cmd_sweep(const Args& args) {
                                  ? middleware::Kind::kCmpi
                                  : middleware::Kind::kMpi;
   base.platform.cpus_per_node = args.get_int("cpus", 1);
+  if (args.has("faults")) {
+    base.faults = net::parse_fault_spec(args.get("faults", ""));
+  }
 
   std::vector<core::ExperimentSpec> specs;
   for (int p : {1, 2, 4, 8, 16}) {
@@ -241,11 +261,17 @@ void usage() {
       "                [--pme on|off] [--timeline]\n"
       "                [--trace-out=F.json]    Chrome trace (Perfetto)\n"
       "                [--metrics-out=F.json]  resource-utilization report\n"
+      "                [--faults=SPEC]         fault injection "
+      "(docs/FAULTS.md), e.g.\n"
+      "                    "
+      "'loss=0.01,recovery=timeout;straggler=0,x=1.5;stall=1,at=0.5,dur=0.2'"
+      "\n"
       "  predict       [--procs P] [--network ...]   (closed-form model)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n"
       "                [--jobs N]  concurrent cells (default: hardware "
-      "threads; 1 = sequential)\n");
+      "threads; 1 = sequential)\n"
+      "                [--faults=SPEC]  fault injection for every cell\n");
 }
 
 }  // namespace

@@ -56,6 +56,24 @@ perf::RunMetrics collect_metrics(
       m.channels.push_back(cm);
     }
   }
+  if (const net::FaultCounters* fc = network.fault_counters()) {
+    perf::FaultMetrics& f = m.faults;
+    f.enabled = true;
+    f.packets_lost = fc->packets_lost;
+    f.retransmits = fc->retransmits;
+    f.retransmitted_bytes = fc->retransmitted_bytes;
+    f.retransmit_delay = fc->retransmit_delay;
+    f.degraded_messages = fc->degraded_messages;
+    f.degradation_delay = fc->degradation_delay;
+    f.noise_bursts = fc->noise_bursts;
+    f.noise_delay = fc->noise_delay;
+    f.straggler_delay = fc->straggler_delay;
+    f.stall_events = fc->stall_events;
+    f.stall_delay = fc->stall_delay;
+    f.absorbed_classic = fc->absorbed[0];
+    f.absorbed_pme = fc->absorbed[1];
+    f.absorbed_other = fc->absorbed[2];
+  }
   return m;
 }
 
@@ -84,9 +102,10 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   cluster_config.network = spec.platform.network;
   cluster_config.seed = spec.seed;
   net::ClusterNetwork network(
-      cluster_config, spec.network_params
-                          ? *spec.network_params
-                          : net::params_for(cluster_config.network));
+      cluster_config,
+      spec.network_params ? *spec.network_params
+                          : net::params_for(cluster_config.network),
+      spec.faults ? *spec.faults : net::FaultSpec{});
 
   std::vector<perf::RankRecorder> recorders(
       static_cast<std::size_t>(spec.nprocs));

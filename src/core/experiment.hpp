@@ -47,6 +47,10 @@ struct ExperimentSpec {
   // When set, overrides params_for(platform.network) — lets ablation
   // studies run modified network models through the normal sweep path.
   std::optional<net::NetworkParams> network_params;
+  // When set (and non-empty), arms the fault-injection layer (packet loss,
+  // link degradation, stragglers, node stalls; see net/faults.hpp). Absent
+  // or empty specs leave every run byte-identical to the fault-free model.
+  std::optional<net::FaultSpec> faults;
 };
 
 struct ExperimentResult {

@@ -19,7 +19,12 @@ int resolve_jobs(int jobs) {
 }  // namespace
 
 std::string spec_label(const ExperimentSpec& spec) {
-  return spec.platform.to_string() + " p=" + std::to_string(spec.nprocs);
+  std::string label =
+      spec.platform.to_string() + " p=" + std::to_string(spec.nprocs);
+  if (spec.faults && spec.faults->any()) {
+    label += " faults[" + net::to_string(*spec.faults) + "]";
+  }
+  return label;
 }
 
 SweepRunner::SweepRunner(int jobs) : jobs_(resolve_jobs(jobs)) {}

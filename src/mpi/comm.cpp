@@ -32,6 +32,10 @@ void Comm::send_control(int dst, int tag, const RendezvousToken& body) {
   const double sent_at = ctx_.now();
   const net::MessageTiming t =
       net_.message(rank(), dst, sizeof(body), ctx_.now(), false);
+  if (t.fault_delay > 0.0) {
+    net_.attribute_fault_delay(static_cast<int>(rec_.component()),
+                               t.fault_delay);
+  }
   rec_.record(transfer_kind(), t.sender_busy);
   // Back-pressure on the control channel is control transfer, like any
   // other stall (see perf/recorder.hpp's taxonomy).
@@ -115,6 +119,12 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
 
   const net::MessageTiming t =
       net_.message(rank(), dst, bytes, ctx_.now(), exchange);
+  // Injected-fault delay is attributed to the component issuing the send:
+  // that is the code path stretched by the perturbation.
+  if (t.fault_delay > 0.0) {
+    net_.attribute_fault_delay(static_cast<int>(rec_.component()),
+                               t.fault_delay);
+  }
   rec_.record(kind, t.sender_busy);
   // Back-pressure stalls are control transfer (the sender blocks until the
   // NIC queue drains): synchronization, per perf/recorder.hpp's taxonomy.

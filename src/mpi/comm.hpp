@@ -88,15 +88,25 @@ class Comm {
   sim::RankCtx& ctx() { return ctx_; }
 
   // Charges modeled computation time to the active component (scaled by
-  // the node's SMP contention factor on dual-CPU nodes).
+  // the node's SMP contention factor on dual-CPU nodes; stretched further
+  // by injected stragglers / OS noise / stalls when faults are armed).
   void compute(double seconds) {
     const double t = seconds * net_.compute_factor(rank());
     const double t0 = ctx_.now();
-    rec_.record(perf::Kind::kComp, t);
-    ctx_.advance(t);
+    const double perturb = net_.compute_perturbation(rank(), t0, t);
+    if (perturb > 0.0) {
+      net_.attribute_fault_delay(static_cast<int>(rec_.component()), perturb);
+    }
+    rec_.record(perf::Kind::kComp, t + perturb);
+    ctx_.advance(t + perturb);
     if (rec_.timeline() != nullptr) {
-      rec_.timeline()->add(t0, ctx_.now(), rec_.component(),
-                           perf::Kind::kComp, "compute", rec_.step_index());
+      rec_.timeline()->add(t0, t0 + t, rec_.component(), perf::Kind::kComp,
+                           "compute", rec_.step_index());
+      if (perturb > 0.0) {
+        rec_.timeline()->add(t0 + t, ctx_.now(), rec_.component(),
+                             perf::Kind::kComp, "os_noise",
+                             rec_.step_index());
+      }
     }
   }
 

@@ -15,6 +15,7 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
   REPRO_REQUIRE(config.nranks >= 1, "cluster needs at least one rank");
   REPRO_REQUIRE(config.cpus_per_node >= 1 && config.cpus_per_node <= 2,
                 "CoPs nodes are uni- or dual-processor");
+  validate_params(params_);
   nnodes_ = (config.nranks + config.cpus_per_node - 1) / config.cpus_per_node;
   nodes_.resize(static_cast<std::size_t>(nnodes_));
   for (int n = 0; n < nnodes_; ++n) {
@@ -34,6 +35,17 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
       static_cast<std::size_t>(config.nranks) *
           static_cast<std::size_t>(config.nranks),
       0.0);
+}
+
+ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
+                               const NetworkParams& params,
+                               const FaultSpec& faults)
+    : ClusterNetwork(config, params) {
+  // An empty spec leaves faults_ null: the no-fault path draws nothing
+  // from the fault RNG and stays byte-identical to the two-argument form.
+  if (faults.any()) {
+    faults_ = std::make_unique<FaultInjector>(faults, config.seed, nnodes_);
+  }
 }
 
 double ClusterNetwork::host_packet_factor(int node) const {
@@ -108,6 +120,19 @@ MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
       extra_latency = jitter_rng_.exponential(params_.jitter_latency_mean);
     }
   }
+  if (faults_) {
+    // Loss recovery and link degradation: retransmitted copies re-occupy
+    // the wire (extra_wire), recovery waits and added latency delay the
+    // arrival without holding the link (extra_latency).
+    const FaultInjector::LinkEffect fx = faults_->perturb_link(
+        src_node, dst_node, bytes, packets_for(bytes), params_.mtu,
+        params_.bandwidth, params_.latency, wire);
+    wire += fx.extra_wire;
+    extra_latency += fx.extra_latency;
+    t.fault_delay += fx.total_delay();
+    t.retrans_bytes = fx.retrans_bytes;
+    t.retransmits = fx.retransmits;
+  }
 
   const double cpu_done = t_send + t.sender_busy;
   const sim::Interval tx = sres.nic_tx.acquire(cpu_done, wire);
@@ -150,9 +175,28 @@ MessageTiming ClusterNetwork::message(int src, int dst, std::size_t bytes,
   REPRO_REQUIRE(src != dst, "message: src == dst (self-sends are local)");
   ++messages_;
   bytes_ += static_cast<double>(bytes);
+  // A stalled sender cannot issue the send until its node unfreezes; the
+  // wait is back-pressure-like from the caller's point of view.
+  double t_start = t_send;
+  if (faults_) {
+    t_start = faults_->stall_release(node_of(src), t_send);
+  }
   MessageTiming t = same_node(src, dst)
-                        ? intra_node(src, dst, bytes, t_send)
-                        : cross_node(src, dst, bytes, t_send, exchange);
+                        ? intra_node(src, dst, bytes, t_start)
+                        : cross_node(src, dst, bytes, t_start, exchange);
+  if (t_start > t_send) {
+    t.sender_stall += t_start - t_send;
+    t.fault_delay += t_start - t_send;
+  }
+  if (faults_) {
+    // A stalled receiver does not drain its NIC: the message only becomes
+    // matchable once the destination node unfreezes.
+    const double released = faults_->stall_release(node_of(dst), t.arrival);
+    if (released > t.arrival) {
+      t.fault_delay += released - t.arrival;
+      t.arrival = released;
+    }
+  }
   REPRO_REQUIRE(t.arrival >= t_send, "message arrival precedes send");
   const std::size_t pair = static_cast<std::size_t>(src) *
                                static_cast<std::size_t>(config_.nranks) +

@@ -11,8 +11,10 @@
 #include <cstddef>
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/params.hpp"
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
@@ -36,6 +38,12 @@ struct MessageTiming {
   double arrival = 0.0;       // when the message becomes matchable at dst
   double recv_copy = 0.0;     // receiver CPU time on consume (communication)
   double wire_time = 0.0;     // link occupancy (0 for intra-node messages)
+  // Injected-fault footprint of this message (all zero without faults):
+  // total delay added by loss recovery / degradation / stalls, and the
+  // retransmission traffic it triggered.
+  double fault_delay = 0.0;
+  double retrans_bytes = 0.0;
+  std::uint32_t retransmits = 0;
 };
 
 // Cumulative traffic counters for one src→dst rank pair.
@@ -51,6 +59,11 @@ class ClusterNetwork {
   ClusterNetwork(const ClusterConfig& config, const NetworkParams& params);
   explicit ClusterNetwork(const ClusterConfig& config)
       : ClusterNetwork(config, params_for(config.network)) {}
+  // With perturbations: faults.any() arms a seed-deterministic
+  // FaultInjector (seeded from config.seed, independent of the jitter
+  // stream). An empty spec behaves exactly like the two-argument form.
+  ClusterNetwork(const ClusterConfig& config, const NetworkParams& params,
+                 const FaultSpec& faults);
 
   int nranks() const { return config_.nranks; }
   int nnodes() const { return nnodes_; }
@@ -69,13 +82,35 @@ class ClusterNetwork {
                         bool exchange = false);
 
   // Compute-time multiplier for a rank (memory-bus contention on dual-CPU
-  // nodes; 1.0 on uni-processor nodes).
+  // nodes; 1.0 on uni-processor nodes). Fault perturbations are separate:
+  // see compute_perturbation().
   double compute_factor(int rank) const {
     const int node = node_of(rank);
     const int first = node * config_.cpus_per_node;
     const int on_node = std::min(config_.cpus_per_node,
                                  config_.nranks - first);
     return on_node >= 2 ? params_.smp_compute_penalty : 1.0;
+  }
+
+  // --- fault injection -------------------------------------------------
+  bool faults_enabled() const { return faults_ != nullptr; }
+  // Cumulative injected-fault counters; nullptr when no faults are armed.
+  const FaultCounters* fault_counters() const {
+    return faults_ ? &faults_->counters() : nullptr;
+  }
+  // Extra virtual time a compute region of `duration` seconds starting at
+  // `t_start` on `rank`'s node absorbs (straggler slowdown, OS-noise
+  // bursts, stall overlap). 0 without faults. Mutates fault counters;
+  // call once per region, on the serialized engine path.
+  double compute_perturbation(int rank, double t_start, double duration) {
+    return faults_ ? faults_->perturb_compute(node_of(rank), t_start,
+                                              duration)
+                   : 0.0;
+  }
+  // Attributes injected delay to the perf component (as int) that
+  // absorbed it; no-op without faults.
+  void attribute_fault_delay(int component_class, double delay) {
+    if (faults_ && delay > 0.0) faults_->attribute(component_class, delay);
   }
 
   // Diagnostics.
@@ -122,6 +157,7 @@ class ClusterNetwork {
   std::vector<NodeResources> nodes_;
 
   util::Rng jitter_rng_;
+  std::unique_ptr<FaultInjector> faults_;  // null unless a FaultSpec is set
   std::vector<const sim::Resource*> registry_;
   std::vector<ChannelStats> channels_;
   std::uint64_t messages_ = 0;

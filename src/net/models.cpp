@@ -128,18 +128,61 @@ NetworkParams tcp_fast_ethernet() {
 
 }  // namespace
 
+void validate_params(const NetworkParams& params) {
+  const std::string who =
+      params.name.empty() ? std::string("<unnamed>") : params.name;
+  REPRO_REQUIRE(params.mtu > 0, "network params '" + who + "': mtu == 0");
+  REPRO_REQUIRE(params.bandwidth > 0.0,
+                "network params '" + who + "': non-positive bandwidth");
+  REPRO_REQUIRE(params.copy_bandwidth > 0.0,
+                "network params '" + who + "': non-positive copy_bandwidth");
+  REPRO_REQUIRE(params.shm_bandwidth > 0.0,
+                "network params '" + who + "': non-positive shm_bandwidth");
+  REPRO_REQUIRE(params.latency >= 0.0 && params.send_overhead >= 0.0 &&
+                    params.recv_overhead >= 0.0 &&
+                    params.packet_cost_send >= 0.0 &&
+                    params.packet_cost_recv >= 0.0 &&
+                    params.shm_overhead >= 0.0 &&
+                    params.send_buffer_time >= 0.0,
+                "network params '" + who + "': negative cost");
+  REPRO_REQUIRE(params.duplex_exchange_factor >= 1.0,
+                "network params '" + who + "': duplex factor < 1");
+  REPRO_REQUIRE(params.smp_host_penalty >= 1.0 &&
+                    params.smp_compute_penalty >= 1.0,
+                "network params '" + who + "': SMP penalty < 1");
+  REPRO_REQUIRE(params.smp_bandwidth_factor > 0.0 &&
+                    params.smp_bandwidth_factor <= 1.0,
+                "network params '" + who +
+                    "': smp_bandwidth_factor outside (0, 1]");
+  REPRO_REQUIRE(params.jitter_prob_per_rank >= 0.0 &&
+                    params.jitter_prob_per_rank <= 1.0,
+                "network params '" + who + "': jitter probability outside "
+                "[0, 1]");
+  REPRO_REQUIRE(params.jitter_latency_mean >= 0.0 &&
+                    params.jitter_slowdown_mean >= 0.0,
+                "network params '" + who + "': negative jitter mean");
+}
+
 NetworkParams params_for(Network net) {
+  NetworkParams p;
   switch (net) {
     case Network::kTcpGigE:
-      return tcp_gige();
+      p = tcp_gige();
+      break;
     case Network::kScoreGigE:
-      return score_gige();
+      p = score_gige();
+      break;
     case Network::kMyrinetGM:
-      return myrinet_gm();
+      p = myrinet_gm();
+      break;
     case Network::kTcpFastEthernet:
-      return tcp_fast_ethernet();
+      p = tcp_fast_ethernet();
+      break;
+    default:
+      REPRO_UNREACHABLE("bad Network enum value");
   }
-  REPRO_UNREACHABLE("bad Network enum value");
+  validate_params(p);
+  return p;
 }
 
 }  // namespace repro::net

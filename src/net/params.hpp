@@ -100,7 +100,13 @@ struct NetworkParams {
   double copy_bandwidth = 1.0;
 };
 
-// Calibrated parameter sets for the three stacks of the paper.
+// Sanity-checks a parameter set: rejects mtu == 0 (packet math would
+// divide by zero), non-positive bandwidth / copy_bandwidth / shm_bandwidth
+// and negative costs, so future calibration edits fail loudly instead of
+// silently producing nonsense timings. Throws util::Error.
+void validate_params(const NetworkParams& params);
+
+// Calibrated parameter sets for the three stacks of the paper (validated).
 NetworkParams params_for(Network net);
 
 }  // namespace repro::net

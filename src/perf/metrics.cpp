@@ -124,6 +124,26 @@ std::string metrics_json(const RunMetrics& metrics) {
   }
   os << "\n],\n";
 
+  if (metrics.faults.enabled) {
+    const FaultMetrics& f = metrics.faults;
+    os << "\"faults\":{"
+       << "\"packets_lost\":" << f.packets_lost
+       << ",\"retransmits\":" << f.retransmits
+       << ",\"retransmitted_bytes\":" << num(f.retransmitted_bytes)
+       << ",\"retransmit_delay_s\":" << num(f.retransmit_delay)
+       << ",\"degraded_messages\":" << f.degraded_messages
+       << ",\"degradation_delay_s\":" << num(f.degradation_delay)
+       << ",\"noise_bursts\":" << f.noise_bursts
+       << ",\"noise_delay_s\":" << num(f.noise_delay)
+       << ",\"straggler_delay_s\":" << num(f.straggler_delay)
+       << ",\"stall_events\":" << f.stall_events
+       << ",\"stall_delay_s\":" << num(f.stall_delay)
+       << ",\"total_delay_s\":" << num(f.total_delay())
+       << ",\"absorbed_delay_s\":{\"classic\":" << num(f.absorbed_classic)
+       << ",\"pme\":" << num(f.absorbed_pme)
+       << ",\"other\":" << num(f.absorbed_other) << "}},\n";
+  }
+
   os << "\"summary\":{"
      << "\"mean_queue_wait_s\":" << num(metrics.mean_queue_wait())
      << ",\"max_queue_wait_s\":" << num(metrics.max_queue_wait())

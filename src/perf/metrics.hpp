@@ -39,11 +39,41 @@ struct ChannelMetrics {
   double wire_time = 0.0;   // link occupancy
 };
 
+// Injected-fault counters of one run, mirroring net::FaultCounters
+// without a dependency on the net layer. Only meaningful when the
+// experiment armed a fault spec (enabled == true); disabled runs
+// serialize without a "faults" key, so fault-free metrics JSON stays
+// byte-identical to pre-fault-subsystem output.
+struct FaultMetrics {
+  bool enabled = false;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t retransmits = 0;
+  double retransmitted_bytes = 0.0;
+  double retransmit_delay = 0.0;
+  std::uint64_t degraded_messages = 0;
+  double degradation_delay = 0.0;
+  std::uint64_t noise_bursts = 0;
+  double noise_delay = 0.0;
+  double straggler_delay = 0.0;
+  std::uint64_t stall_events = 0;
+  double stall_delay = 0.0;
+  // Injected delay attributed to the component that absorbed it.
+  double absorbed_classic = 0.0;
+  double absorbed_pme = 0.0;
+  double absorbed_other = 0.0;
+
+  double total_delay() const {
+    return retransmit_delay + degradation_delay + noise_delay +
+           straggler_delay + stall_delay;
+  }
+};
+
 struct RunMetrics {
   RunBreakdown breakdown;
   double makespan = 0.0;  // slowest rank's total virtual time
   std::vector<ResourceMetrics> resources;
   std::vector<ChannelMetrics> channels;
+  FaultMetrics faults;  // enabled only when a FaultSpec was armed
 
   // --- derived summaries ------------------------------------------------
   double mean_queue_wait() const;

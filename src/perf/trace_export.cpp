@@ -68,7 +68,8 @@ const char* color_for(Kind k) {
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<Timeline>& timelines) {
+std::string chrome_trace_json(const std::vector<Timeline>& timelines,
+                              const FaultMetrics* faults) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -80,6 +81,19 @@ std::string chrome_trace_json(const std::vector<Timeline>& timelines) {
 
   emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
        "\"args\":{\"name\":\"simulated cluster\"}}");
+  if (faults != nullptr && faults->enabled) {
+    std::ostringstream ev;
+    ev << "{\"ph\":\"i\",\"name\":\"injected faults\",\"s\":\"g\""
+       << ",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{"
+       << "\"packets_lost\":" << faults->packets_lost
+       << ",\"retransmits\":" << faults->retransmits
+       << ",\"retransmitted_bytes\":" << num(faults->retransmitted_bytes)
+       << ",\"total_delay_s\":" << num(faults->total_delay())
+       << ",\"absorbed_classic_s\":" << num(faults->absorbed_classic)
+       << ",\"absorbed_pme_s\":" << num(faults->absorbed_pme)
+       << ",\"absorbed_other_s\":" << num(faults->absorbed_other) << "}}";
+    emit(ev.str());
+  }
   for (std::size_t i = 0; i < timelines.size(); ++i) {
     const int rank = timelines[i].rank() >= 0 ? timelines[i].rank()
                                               : static_cast<int>(i);
@@ -120,10 +134,11 @@ std::string chrome_trace_json(const std::vector<Timeline>& timelines) {
 }
 
 void write_chrome_trace(const std::string& path,
-                        const std::vector<Timeline>& timelines) {
+                        const std::vector<Timeline>& timelines,
+                        const FaultMetrics* faults) {
   std::ofstream out(path);
   REPRO_REQUIRE(out.good(), "cannot open trace output file: " + path);
-  out << chrome_trace_json(timelines);
+  out << chrome_trace_json(timelines, faults);
   REPRO_REQUIRE(out.good(), "failed writing trace output file: " + path);
 }
 

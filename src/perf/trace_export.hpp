@@ -11,16 +11,22 @@
 #include <string>
 #include <vector>
 
+#include "perf/metrics.hpp"
 #include "perf/timeline.hpp"
 
 namespace repro::perf {
 
 // Renders the whole trace as one JSON object ({"traceEvents": [...], ...}).
 // Timeline index is used as the rank when a timeline has no rank assigned.
-std::string chrome_trace_json(const std::vector<Timeline>& timelines);
+// When `faults` is non-null and enabled, a global instant event carrying
+// the injected-fault counters is added at t=0 so the perturbation context
+// is visible alongside the slices.
+std::string chrome_trace_json(const std::vector<Timeline>& timelines,
+                              const FaultMetrics* faults = nullptr);
 
 // Writes chrome_trace_json() to `path`. Throws util::Error on I/O failure.
 void write_chrome_trace(const std::string& path,
-                        const std::vector<Timeline>& timelines);
+                        const std::vector<Timeline>& timelines,
+                        const FaultMetrics* faults = nullptr);
 
 }  // namespace repro::perf

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerates the golden figure outputs from a built tree.
+#
+#   tests/golden/regen.sh [build-dir]
+#
+# Run this ONLY after an intentional model/calibration change, and review
+# the resulting diffs — the goldens pin the exact simulator output (fixed
+# seeds, --steps=4 short mode) so accidental behaviour changes fail CI.
+set -eu
+build="${1:-build}"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+for fig in fig2_structure fig3_reference_case fig4_breakdown_reference \
+           fig5_networks fig6_breakdown_networks fig7_comm_speed \
+           fig8_middleware fig9_smp; do
+  bin="$build/bench/$fig"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build first)" >&2
+    exit 1
+  fi
+  echo "regenerating $fig.txt..."
+  "$bin" --steps=4 > "$here/$fig.txt" 2>/dev/null
+done
+echo "done; review with: git diff tests/golden/"

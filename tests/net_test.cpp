@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <set>
+#include <string>
 
 #include "net/cluster.hpp"
 #include "net/params.hpp"
@@ -20,14 +22,70 @@ ClusterConfig config(int nranks, int cpus, Network network,
 }
 
 TEST(ParamsTest, AllNetworksDefined) {
-  for (Network n :
-       {Network::kTcpGigE, Network::kScoreGigE, Network::kMyrinetGM}) {
+  for (Network n : {Network::kTcpGigE, Network::kScoreGigE,
+                    Network::kMyrinetGM, Network::kTcpFastEthernet}) {
     const NetworkParams p = params_for(n);
     EXPECT_FALSE(p.name.empty());
     EXPECT_GT(p.bandwidth, 0.0);
     EXPECT_GT(p.latency, 0.0);
     EXPECT_GT(p.mtu, 0u);
     EXPECT_FALSE(to_string(n).empty());
+  }
+}
+
+TEST(ParamsTest, ToStringNamesAreDistinct) {
+  std::set<std::string> display;
+  std::set<std::string> internal;
+  for (Network n : {Network::kTcpGigE, Network::kScoreGigE,
+                    Network::kMyrinetGM, Network::kTcpFastEthernet}) {
+    display.insert(to_string(n));
+    internal.insert(params_for(n).name);
+  }
+  // Both the display names (figure legends) and the parameter-set slugs
+  // (sweep labels, JSON) must be unique per stack.
+  EXPECT_EQ(display.size(), 4u);
+  EXPECT_EQ(internal.size(), 4u);
+}
+
+TEST(ParamsTest, ValidateRejectsDegenerateParams) {
+  const NetworkParams good = params_for(Network::kScoreGigE);
+  EXPECT_NO_THROW(validate_params(good));
+
+  NetworkParams p = good;
+  p.mtu = 0;  // packet math would divide by zero
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.bandwidth = 0.0;
+  EXPECT_THROW(validate_params(p), util::Error);
+  p.bandwidth = -1e9;
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.copy_bandwidth = 0.0;
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.shm_bandwidth = -1.0;
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.send_overhead = -1e-6;  // negative host costs make no sense
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.jitter_prob_per_rank = 1.5;  // probabilities live in [0, 1]
+  EXPECT_THROW(validate_params(p), util::Error);
+
+  p = good;
+  p.duplex_exchange_factor = 0.5;  // an exchange cannot beat one-way
+  EXPECT_THROW(validate_params(p), util::Error);
+}
+
+TEST(ParamsTest, EveryBuiltinSetPassesValidation) {
+  for (Network n : {Network::kTcpGigE, Network::kScoreGigE,
+                    Network::kMyrinetGM, Network::kTcpFastEthernet}) {
+    EXPECT_NO_THROW(validate_params(params_for(n))) << to_string(n);
   }
 }
 
