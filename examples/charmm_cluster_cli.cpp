@@ -91,9 +91,10 @@ sysbuild::BuiltSystem obtain_system(const Args& args) {
 
 void print_result(const core::ExperimentResult& r,
                   const core::ExperimentSpec& spec) {
-  std::printf("\n%s, %d processes, %d steps\n",
+  std::printf("\n%s, %d processes, %d steps, %s decomposition\n",
               spec.platform.to_string().c_str(), spec.nprocs,
-              spec.charmm.nsteps);
+              spec.charmm.nsteps,
+              charmm::to_string(spec.charmm.decomp).c_str());
   auto line = [](const char* name, const perf::Breakdown& b) {
     std::printf("  %-10s %7.3f s   comp %5.1f%%  comm %5.1f%%  sync %5.1f%%\n",
                 name, b.total(), 100 * b.comp / std::max(b.total(), 1e-12),
@@ -154,6 +155,7 @@ int cmd_run(const Args& args) {
   spec.nprocs = args.get_int("procs", 8);
   spec.charmm.nsteps = args.get_int("steps", 10);
   spec.charmm.use_pme = args.get("pme", "on") != "off";
+  spec.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
   if (args.has("faults")) {
     spec.faults = net::parse_fault_spec(args.get("faults", ""));
   }
@@ -184,10 +186,15 @@ int cmd_predict(const Args& args) {
   const net::NetworkParams params =
       net::params_for(parse_network(args.get("network", "tcp")));
   const int procs = args.get_int("procs", 8);
+  const charmm::DecompSpec decomp =
+      charmm::parse_decomp_spec(args.get("decomp", "atom"));
   const core::OverheadPrediction pred = core::predict_step_overheads(
-      params, procs, sysbuild::kTotalAtoms, pme::PmeParams{80, 36, 48});
-  std::printf("analytic prediction for %s, %d processes (per MD step):\n",
-              params.name.c_str(), procs);
+      params, procs, sysbuild::kTotalAtoms, pme::PmeParams{80, 36, 48},
+      decomp);
+  std::printf(
+      "analytic prediction for %s, %d processes, %s decomposition "
+      "(per MD step):\n",
+      params.name.c_str(), procs, charmm::to_string(decomp).c_str());
   std::printf("  classic communication : %8.2f ms\n",
               pred.classic_comm_per_step * 1e3);
   std::printf("  pme communication     : %8.2f ms\n",
@@ -196,6 +203,10 @@ int cmd_predict(const Args& args) {
               pred.sync_per_step * 1e3);
   std::printf("  total overhead        : %8.2f ms\n",
               pred.total_per_step() * 1e3);
+  std::printf("  schedule: %.0f classic + %.0f pme messages/step, "
+              "%.0f + %.0f bytes/step\n",
+              pred.classic_messages_per_step, pred.pme_messages_per_step,
+              pred.classic_bytes_per_step, pred.pme_bytes_per_step);
   return 0;
 }
 
@@ -207,6 +218,7 @@ int cmd_sweep(const Args& args) {
                                  ? middleware::Kind::kCmpi
                                  : middleware::Kind::kMpi;
   base.platform.cpus_per_node = args.get_int("cpus", 1);
+  base.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
   if (args.has("faults")) {
     base.faults = net::parse_fault_spec(args.get("faults", ""));
   }
@@ -258,7 +270,8 @@ void usage() {
       "  run           [--system F.rsys] [--procs P] [--network "
       "tcp|score|myrinet|faste]\n"
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
-      "                [--pme on|off] [--timeline]\n"
+      "                [--pme on|off] [--decomp atom|force|task[:pme=N]]\n"
+      "                [--timeline]\n"
       "                [--trace-out=F.json]    Chrome trace (Perfetto)\n"
       "                [--metrics-out=F.json]  resource-utilization report\n"
       "                [--faults=SPEC]         fault injection "
@@ -266,9 +279,12 @@ void usage() {
       "                    "
       "'loss=0.01,recovery=timeout;straggler=0,x=1.5;stall=1,at=0.5,dur=0.2'"
       "\n"
-      "  predict       [--procs P] [--network ...]   (closed-form model)\n"
+      "  predict       [--procs P] [--network ...] [--decomp D]   "
+      "(closed-form model)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n"
+      "                [--decomp atom|force|task[:pme=N]]  which "
+      "parallelization\n"
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--faults=SPEC]  fault injection for every cell\n");

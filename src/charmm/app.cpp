@@ -1,147 +1,16 @@
 #include "charmm/app.hpp"
 
-#include <array>
-
-#include "md/bonded.hpp"
-#include "md/integrator.hpp"
-#include "md/neighbor.hpp"
-#include "util/units.hpp"
+#include "charmm/decomposition.hpp"
 
 namespace repro::charmm {
-
-namespace {
-
-using util::Vec3;
-
-// Flattens Vec3 forces for the global reduction and back.
-void flatten(const std::vector<Vec3>& v, std::vector<double>& out) {
-  out.resize(3 * v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    out[3 * i] = v[i].x;
-    out[3 * i + 1] = v[i].y;
-    out[3 * i + 2] = v[i].z;
-  }
-}
-
-void unflatten(const std::vector<double>& in, std::vector<Vec3>& v) {
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    v[i] = Vec3{in[3 * i], in[3 * i + 1], in[3 * i + 2]};
-  }
-}
-
-}  // namespace
 
 RankRunResult run_charmm_rank(const sysbuild::BuiltSystem& sys,
                               const CharmmConfig& config,
                               middleware::Middleware& mw) {
-  mpi::Comm& comm = mw.comm();
-  perf::RankRecorder& rec = comm.recorder();
-  const int p = comm.size();
-  const int shard = comm.rank();
-  const CostModel& cost = config.cost;
-  const md::Topology& topo = sys.topo;
-  const md::Box& box = sys.box;
-  const auto natoms = static_cast<std::size_t>(topo.natoms());
-
-  md::NonbondedOptions nb;
-  nb.cutoff = config.cutoff;
-  nb.switch_on = config.switch_on;
-  nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
-                           : md::NonbondedOptions::Elec::kShift;
-  nb.beta = config.pme.beta;
-
-  // Replicated state: identical on every rank (the global sum broadcasts
-  // bitwise-identical forces, so trajectories never diverge across ranks).
-  std::vector<Vec3> pos = sys.positions;
-  std::vector<Vec3> vel;
-  md::assign_velocities(topo, config.temperature_k, config.seed, vel);
-  std::vector<Vec3> forces(natoms);
-  std::vector<double> flat;
-  md::NeighborList nbl(config.cutoff, config.skin);
-
-  // PME machinery: compute cost flows through the middleware's component
-  // recorder, so FFT/spreading time lands in whatever component is active.
-  pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
-    comm.compute(flops * cost.seconds_per_flop);
-  });
-
-  RankRunResult result;
-  for (int step = 0; step < config.nsteps; ++step) {
-    // ------------------------------------------------ classic routine --
-    rec.set_component(perf::Component::kClassic);
-    // Coherency barrier at energy entry (CHARMM synchronizes its parallel
-    // energy call).
-    if (config.coherency_barriers) mw.synchronize();
-
-    if (step % config.list_rebuild_interval == 0) {
-      nbl.build(topo, box, pos);
-      comm.compute(cost.seconds_per_list_pair *
-                   static_cast<double>(nbl.npairs()) * 2.0);
-    }
-    result.pairs_in_list = nbl.npairs();
-
-    std::fill(forces.begin(), forces.end(), Vec3{});
-    md::EnergyTerms energy;
-
-    const md::BondedWork bw =
-        md::bonded_energy(topo, box, pos, forces, energy, shard, p);
-    comm.compute(cost.seconds_per_bonded_term *
-                 static_cast<double>(bw.total()));
-
-    const md::NonbondedWork nw = md::nonbonded_energy(
-        topo, box, pos, nbl, nb, forces, energy, shard, p);
-    comm.compute(cost.seconds_per_pair *
-                 static_cast<double>(nw.pairs_listed));
-
-    if (config.use_pme) {
-      // Real-space corrections stay in the classic (time-domain) part.
-      energy.ewald_excl += pme::ewald_exclusion_correction(
-          topo, box, pos, config.pme.beta, forces, shard, p);
-      comm.compute(cost.seconds_per_bonded_term *
-                   static_cast<double>(topo.excluded_pairs().size()) /
-                   static_cast<double>(p));
-      if (shard == 0) {
-        energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
-      }
-
-      // --------------------------------------------------- PME routine --
-      rec.set_component(perf::Component::kPme);
-      // Coherency point before entering the frequency-domain phase.
-      if (config.coherency_barriers) mw.synchronize();
-      energy.ewald_recip += ppme.reciprocal(topo, pos, forces);
-      rec.set_component(perf::Component::kClassic);
-    }
-
-    // The all-to-all collective that ends the classic energy calculation:
-    // global force reduction plus the (small) energy reduction. CHARMM
-    // synchronizes before combining, which is where load imbalance lands.
-    if (config.coherency_barriers) mw.synchronize();
-    flatten(forces, flat);
-    mw.global_sum(flat.data(), flat.size());
-    unflatten(flat, forces);
-    std::array<double, md::EnergyTerms::kCount> earr = energy.to_array();
-    mw.global_sum(earr.data(), earr.size());
-    energy = md::EnergyTerms::from_array(earr);
-    result.last_energy = energy;
-
-    // ------------------------------------------------------ integration --
-    // Not part of the measured energy calculation (the paper times the
-    // energy routines); replicated on every rank.
-    rec.set_component(perf::Component::kOther);
-    comm.compute(cost.seconds_per_integration_atom *
-                 static_cast<double>(natoms));
-    const double kick = config.dt_ps * units::kForceToAccel;
-    for (std::size_t i = 0; i < natoms; ++i) {
-      vel[i] += forces[i] * (kick / topo.atom(static_cast<int>(i)).mass);
-      pos[i] += vel[i] * config.dt_ps;
-    }
-    rec.end_step();
-  }
-
-  for (const auto& r : pos) {
-    result.position_checksum += r.x + r.y + r.z;
-  }
-  return result;
+  // The step program (work partitioning + communication schedule) lives
+  // behind the Decomposition interface; the default spec reproduces the
+  // paper's replicated-data atom decomposition byte-for-byte.
+  return make_decomposition(config.decomp)->run(sys, config, mw);
 }
 
 }  // namespace repro::charmm

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "charmm/cost_model.hpp"
+#include "charmm/decomp_spec.hpp"
 #include "md/energy.hpp"
 #include "md/nonbonded.hpp"
 #include "middleware/middleware.hpp"
@@ -43,6 +44,11 @@ struct CharmmConfig {
   // operations instead — the decoupling question of the paper's §2.3
   // (their reference [21]); see bench/extension_decoupling.
   bool coherency_barriers = true;
+
+  // Which parallelization runs the step program (work partitioning + the
+  // per-step communication schedule); see charmm/decomposition.hpp. The
+  // default reproduces the paper's replicated-data atom decomposition.
+  DecompSpec decomp;
 };
 
 struct RankRunResult {
@@ -51,11 +57,17 @@ struct RankRunResult {
   std::size_t pairs_in_list = 0;
 };
 
-// Runs the energy-calculation workload on one simulated rank. `sys` is the
-// shared, read-only system; the middleware carries all communication. The
-// recorder (inside comm) must be fresh.
+// Runs the energy-calculation workload on one simulated rank under the
+// decomposition selected by config.decomp. `sys` is the shared, read-only
+// system; the middleware carries all communication. The recorder (inside
+// comm) must be fresh.
 RankRunResult run_charmm_rank(const sysbuild::BuiltSystem& sys,
                               const CharmmConfig& config,
                               middleware::Middleware& mw);
+
+// Rejects configurations the workload cannot meaningfully run (throws
+// util::Error): non-positive nsteps/dt/skin, switch_on >= cutoff,
+// degenerate PME grid or spline order, task decoupling without PME.
+void validate_config(const CharmmConfig& config);
 
 }  // namespace repro::charmm

@@ -1,0 +1,71 @@
+#include "charmm/decomp_spec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace repro::charmm {
+
+const char* to_string(DecompKind kind) {
+  switch (kind) {
+    case DecompKind::kAtomReplicated:
+      return "atom";
+    case DecompKind::kForce:
+      return "force";
+    case DecompKind::kTaskPme:
+      return "task";
+  }
+  return "?";
+}
+
+std::string to_string(const DecompSpec& spec) {
+  std::string out = to_string(spec.kind);
+  if (spec.kind == DecompKind::kTaskPme && spec.pme_ranks > 0) {
+    out += ":pme=" + std::to_string(spec.pme_ranks);
+  }
+  return out;
+}
+
+DecompSpec parse_decomp_spec(const std::string& text) {
+  DecompSpec spec;
+  if (text.empty() || text == "atom" || text == "replicated") {
+    return spec;
+  }
+  if (text == "force") {
+    spec.kind = DecompKind::kForce;
+    return spec;
+  }
+  if (text == "task" || text.rfind("task:", 0) == 0) {
+    spec.kind = DecompKind::kTaskPme;
+    if (text == "task") return spec;
+    const std::string opt = text.substr(5);
+    REPRO_REQUIRE(opt.rfind("pme=", 0) == 0,
+                  "bad decomposition option '" + opt +
+                      "' (expected task:pme=N): " + text);
+    const std::string value = opt.substr(4);
+    REPRO_REQUIRE(!value.empty() &&
+                      value.find_first_not_of("0123456789") == std::string::npos,
+                  "bad PME rank count in decomposition spec: " + text);
+    spec.pme_ranks = std::atoi(value.c_str());
+    REPRO_REQUIRE(spec.pme_ranks >= 1,
+                  "task decomposition needs at least one PME rank: " + text);
+    return spec;
+  }
+  util::fail("unknown decomposition '" + text +
+                 "' (expected atom, force, or task[:pme=N])",
+             __FILE__, __LINE__);
+}
+
+int resolved_pme_ranks(const DecompSpec& spec, int nprocs) {
+  REPRO_REQUIRE(nprocs >= 2,
+                "task decoupling needs at least two processes to split");
+  if (spec.pme_ranks > 0) {
+    REPRO_REQUIRE(spec.pme_ranks < nprocs,
+                  "task decomposition must leave at least one classic rank");
+    return spec.pme_ranks;
+  }
+  return std::max(1, nprocs / 4);
+}
+
+}  // namespace repro::charmm

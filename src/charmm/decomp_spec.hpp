@@ -1,0 +1,54 @@
+// Decomposition selection: *which* parallelism, as a swept factor.
+//
+// The paper characterizes one parallelization — CHARMM's replicated-data
+// atom decomposition — on many platforms. DecompSpec makes the
+// decomposition itself a factor next to network/middleware/CPUs, so the
+// title question ("is there any easy parallelism in CHARMM?") can be asked
+// of alternative strategies under identical cluster models. The spec is a
+// plain value (parsed from `--decomp=SPEC`, carried in CharmmConfig);
+// the strategies themselves live in charmm/decomposition.hpp.
+#pragma once
+
+#include <string>
+
+namespace repro::charmm {
+
+enum class DecompKind {
+  // Replicated data, atom decomposition: every rank holds all positions,
+  // computes an interleaved shard, allreduces the full force array. The
+  // paper's CHARMM parallelization and the default.
+  kAtomReplicated,
+  // Force decomposition (Plimpton-style): each rank owns a block of the
+  // pair-interaction matrix; the reduction shrinks from all-atoms to a
+  // fold (reduce-scatter of per-block partials) + expand (allgather of
+  // owned totals).
+  kForce,
+  // Task decoupling (the paper's §2.3 question taken to its end): a
+  // configurable subset of ranks runs only PME while the rest run only
+  // the classic routine, overlapping the two components that otherwise
+  // serialize through the coherency barriers.
+  kTaskPme,
+};
+
+struct DecompSpec {
+  DecompKind kind = DecompKind::kAtomReplicated;
+  // kTaskPme only: ranks dedicated to PME (0 = auto, max(1, p/4)).
+  int pme_ranks = 0;
+
+  bool operator==(const DecompSpec&) const = default;
+};
+
+const char* to_string(DecompKind kind);
+// "atom" | "force" | "task" | "task:pme=N" — round-trips parse_decomp_spec.
+std::string to_string(const DecompSpec& spec);
+
+// Parses "atom", "force", "task" or "task:pme=N" (N >= 1). Throws
+// util::Error on anything else.
+DecompSpec parse_decomp_spec(const std::string& text);
+
+// Number of PME-dedicated ranks a task-decoupled run on `nprocs` uses:
+// the explicit pme_ranks if set (must leave at least one classic rank),
+// else max(1, nprocs / 4). Meaningful only for nprocs >= 2.
+int resolved_pme_ranks(const DecompSpec& spec, int nprocs);
+
+}  // namespace repro::charmm

@@ -1,0 +1,726 @@
+#include "charmm/decomposition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <optional>
+
+#include "fft/parallel_fft.hpp"
+#include "md/bonded.hpp"
+#include "md/integrator.hpp"
+#include "md/neighbor.hpp"
+#include "util/flatpack.hpp"
+#include "util/units.hpp"
+
+namespace repro::charmm {
+
+namespace {
+
+using util::Vec3;
+
+// Point-to-point tag spaces of the decomposition schedules. They must stay
+// below mpi::Comm's collective tag base (1 << 20) and clear of the CMPI
+// middleware's fixed tags (9900..9902, 9990+step); tags are unique per
+// step and operation so a jitter-delayed packet from step k can never
+// match a receive posted in step k+1.
+constexpr int kScheduleTagBase = 1 << 18;
+constexpr int kScheduleTagsPerStep = 4;  // fold, expand / reduce, exchange
+// The PME group middleware draws its own fresh tag per operation from
+// here up to the collective base.
+constexpr int kGroupTagBase = 1 << 19;
+
+int schedule_tag(int step, int op) {
+  return kScheduleTagBase + kScheduleTagsPerStep * step + op;
+}
+
+void check_tag_budget(const CharmmConfig& config) {
+  REPRO_REQUIRE(
+      schedule_tag(config.nsteps, 0) <= kGroupTagBase,
+      "decomposition schedule tags would overflow into the group tag space");
+}
+
+// --------------------------------------------------------------------------
+// Replicated-data atom decomposition — the paper's CHARMM parallelization,
+// extracted verbatim from the original run_charmm_rank so the default
+// behaviour (and every golden file) is preserved to the byte.
+// --------------------------------------------------------------------------
+class AtomReplicatedDecomposition final : public Decomposition {
+ public:
+  const char* name() const override { return "atom"; }
+
+  RankRunResult run(const sysbuild::BuiltSystem& sys,
+                    const CharmmConfig& config,
+                    middleware::Middleware& mw) const override {
+    mpi::Comm& comm = mw.comm();
+    perf::RankRecorder& rec = comm.recorder();
+    const int p = comm.size();
+    const int shard = comm.rank();
+    const CostModel& cost = config.cost;
+    const md::Topology& topo = sys.topo;
+    const md::Box& box = sys.box;
+    const auto natoms = static_cast<std::size_t>(topo.natoms());
+
+    md::NonbondedOptions nb;
+    nb.cutoff = config.cutoff;
+    nb.switch_on = config.switch_on;
+    nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
+                             : md::NonbondedOptions::Elec::kShift;
+    nb.beta = config.pme.beta;
+
+    // Replicated state: identical on every rank (the global sum broadcasts
+    // bitwise-identical forces, so trajectories never diverge across
+    // ranks).
+    std::vector<Vec3> pos = sys.positions;
+    std::vector<Vec3> vel;
+    md::assign_velocities(topo, config.temperature_k, config.seed, vel);
+    std::vector<Vec3> forces(natoms);
+    std::vector<double> flat;
+    md::NeighborList nbl(config.cutoff, config.skin);
+
+    // PME machinery: compute cost flows through the middleware's component
+    // recorder, so FFT/spreading time lands in whatever component is
+    // active.
+    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
+      comm.compute(flops * cost.seconds_per_flop);
+    });
+
+    RankRunResult result;
+    for (int step = 0; step < config.nsteps; ++step) {
+      // ---------------------------------------------- classic routine --
+      rec.set_component(perf::Component::kClassic);
+      // Coherency barrier at energy entry (CHARMM synchronizes its
+      // parallel energy call).
+      if (config.coherency_barriers) mw.synchronize();
+
+      if (step % config.list_rebuild_interval == 0) {
+        perf::PhaseScope phase(rec, "list_build");
+        nbl.build(topo, box, pos);
+        comm.compute(cost.seconds_per_list_pair *
+                     static_cast<double>(nbl.npairs()) * 2.0);
+      }
+      result.pairs_in_list = nbl.npairs();
+
+      std::fill(forces.begin(), forces.end(), Vec3{});
+      md::EnergyTerms energy;
+
+      {
+        perf::PhaseScope phase(rec, "bonded");
+        const md::BondedWork bw =
+            md::bonded_energy(topo, box, pos, forces, energy, shard, p);
+        comm.compute(cost.seconds_per_bonded_term *
+                     static_cast<double>(bw.total()));
+      }
+
+      {
+        perf::PhaseScope phase(rec, "nonbonded");
+        const md::NonbondedWork nw = md::nonbonded_energy(
+            topo, box, pos, nbl, nb, forces, energy, shard, p);
+        comm.compute(cost.seconds_per_pair *
+                     static_cast<double>(nw.pairs_listed));
+      }
+
+      if (config.use_pme) {
+        // Real-space corrections stay in the classic (time-domain) part.
+        {
+          perf::PhaseScope phase(rec, "ewald_corr");
+          energy.ewald_excl += pme::ewald_exclusion_correction(
+              topo, box, pos, config.pme.beta, forces, shard, p);
+          comm.compute(cost.seconds_per_bonded_term *
+                       static_cast<double>(topo.excluded_pairs().size()) /
+                       static_cast<double>(p));
+        }
+        if (shard == 0) {
+          energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
+        }
+
+        // ------------------------------------------------ PME routine --
+        rec.set_component(perf::Component::kPme);
+        // Coherency point before entering the frequency-domain phase.
+        if (config.coherency_barriers) mw.synchronize();
+        {
+          perf::PhaseScope phase(rec, "pme_recip");
+          energy.ewald_recip += ppme.reciprocal(topo, pos, forces);
+        }
+        rec.set_component(perf::Component::kClassic);
+      }
+
+      // The all-to-all collective that ends the classic energy
+      // calculation: global force reduction plus the (small) energy
+      // reduction. CHARMM synchronizes before combining, which is where
+      // load imbalance lands.
+      if (config.coherency_barriers) mw.synchronize();
+      {
+        perf::PhaseScope phase(rec, "force_reduce");
+        util::flatten(forces, flat);
+        mw.global_sum(flat.data(), flat.size());
+        util::unflatten(flat, forces);
+        std::array<double, md::EnergyTerms::kCount> earr = energy.to_array();
+        mw.global_sum(earr.data(), earr.size());
+        energy = md::EnergyTerms::from_array(earr);
+      }
+      result.last_energy = energy;
+
+      // -------------------------------------------------- integration --
+      // Not part of the measured energy calculation (the paper times the
+      // energy routines); replicated on every rank.
+      rec.set_component(perf::Component::kOther);
+      {
+        perf::PhaseScope phase(rec, "integrate");
+        comm.compute(cost.seconds_per_integration_atom *
+                     static_cast<double>(natoms));
+      }
+      const double kick = config.dt_ps * units::kForceToAccel;
+      for (std::size_t i = 0; i < natoms; ++i) {
+        vel[i] += forces[i] * (kick / topo.atom(static_cast<int>(i)).mass);
+        pos[i] += vel[i] * config.dt_ps;
+      }
+      rec.end_step();
+    }
+
+    for (const auto& r : pos) {
+      result.position_checksum += r.x + r.y + r.z;
+    }
+    return result;
+  }
+};
+
+// --------------------------------------------------------------------------
+// Force decomposition (Plimpton-style fold/expand).
+//
+// Atoms are split into p contiguous blocks; pair (i, j) of the interaction
+// matrix belongs to rank (block(i) + block(j)) mod p. Each rank therefore
+// produces force partials scattered over the whole array, but the
+// reduction no longer needs a full-vector allreduce: a *fold* ships every
+// foreign block's partial to the block's owner (a reduce-scatter, 24·N/p
+// bytes per message) and an *expand* allgathers the owned totals. The
+// per-rank reduction volume shrinks from 2·log2(p)·24N (tree allreduce)
+// to 2·(p-1)·24N/p.
+// --------------------------------------------------------------------------
+class ForceDecomposition final : public Decomposition {
+ public:
+  const char* name() const override { return "force"; }
+
+  RankRunResult run(const sysbuild::BuiltSystem& sys,
+                    const CharmmConfig& config,
+                    middleware::Middleware& mw) const override {
+    check_tag_budget(config);
+    mpi::Comm& comm = mw.comm();
+    perf::RankRecorder& rec = comm.recorder();
+    const int p = comm.size();
+    const int me = comm.rank();
+    const CostModel& cost = config.cost;
+    const md::Topology& topo = sys.topo;
+    const md::Box& box = sys.box;
+    const auto natoms = static_cast<std::size_t>(topo.natoms());
+
+    md::NonbondedOptions nb;
+    nb.cutoff = config.cutoff;
+    nb.switch_on = config.switch_on;
+    nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
+                             : md::NonbondedOptions::Elec::kShift;
+    nb.beta = config.pme.beta;
+
+    // Contiguous atom blocks, one per rank (front-loaded remainder, the
+    // same partition shape the slab FFT uses).
+    const fft::SlabPartition blocks(natoms, p);
+    std::vector<int> block_of(natoms);
+    for (int b = 0; b < p; ++b) {
+      for (std::size_t i = blocks.begin(b); i < blocks.end(b); ++i) {
+        block_of[i] = b;
+      }
+    }
+
+    std::vector<Vec3> pos = sys.positions;
+    std::vector<Vec3> vel;
+    md::assign_velocities(topo, config.temperature_k, config.seed, vel);
+    std::vector<Vec3> forces(natoms);
+    std::vector<double> flat;
+    std::vector<double> scratch;
+    md::NeighborList nbl(config.cutoff, config.skin);
+
+    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
+      comm.compute(flops * cost.seconds_per_flop);
+    });
+
+    RankRunResult result;
+    for (int step = 0; step < config.nsteps; ++step) {
+      rec.set_component(perf::Component::kClassic);
+      if (config.coherency_barriers) mw.synchronize();
+
+      if (step % config.list_rebuild_interval == 0) {
+        perf::PhaseScope phase(rec, "list_build");
+        nbl.build(topo, box, pos);
+        comm.compute(cost.seconds_per_list_pair *
+                     static_cast<double>(nbl.npairs()) * 2.0);
+      }
+      result.pairs_in_list = nbl.npairs();
+
+      std::fill(forces.begin(), forces.end(), Vec3{});
+      md::EnergyTerms energy;
+
+      {
+        perf::PhaseScope phase(rec, "bonded");
+        const md::BondedWork bw =
+            md::bonded_energy(topo, box, pos, forces, energy, me, p);
+        comm.compute(cost.seconds_per_bonded_term *
+                     static_cast<double>(bw.total()));
+      }
+
+      {
+        perf::PhaseScope phase(rec, "nonbonded");
+        const md::NonbondedWork nw = md::nonbonded_energy_blocked(
+            topo, box, pos, nbl, nb, block_of, me, p, forces, energy);
+        comm.compute(cost.seconds_per_pair *
+                     static_cast<double>(nw.pairs_listed));
+      }
+
+      if (config.use_pme) {
+        {
+          perf::PhaseScope phase(rec, "ewald_corr");
+          energy.ewald_excl += pme::ewald_exclusion_correction(
+              topo, box, pos, config.pme.beta, forces, me, p);
+          comm.compute(cost.seconds_per_bonded_term *
+                       static_cast<double>(topo.excluded_pairs().size()) /
+                       static_cast<double>(p));
+        }
+        if (me == 0) {
+          energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
+        }
+
+        rec.set_component(perf::Component::kPme);
+        if (config.coherency_barriers) mw.synchronize();
+        {
+          perf::PhaseScope phase(rec, "pme_recip");
+          energy.ewald_recip += ppme.reciprocal(topo, pos, forces);
+        }
+        rec.set_component(perf::Component::kClassic);
+      }
+
+      if (config.coherency_barriers) mw.synchronize();
+      util::flatten(forces, flat);
+      fold_expand(comm, blocks, flat, scratch, step);
+      util::unflatten(flat, forces);
+      {
+        // The energy scalars still need a comm-wide reduction; every rank
+        // issues it, so the collective tag counters stay aligned.
+        perf::PhaseScope phase(rec, "energy_reduce");
+        std::array<double, md::EnergyTerms::kCount> earr = energy.to_array();
+        mw.global_sum(earr.data(), earr.size());
+        energy = md::EnergyTerms::from_array(earr);
+      }
+      result.last_energy = energy;
+
+      rec.set_component(perf::Component::kOther);
+      {
+        perf::PhaseScope phase(rec, "integrate");
+        comm.compute(cost.seconds_per_integration_atom *
+                     static_cast<double>(natoms));
+      }
+      const double kick = config.dt_ps * units::kForceToAccel;
+      for (std::size_t i = 0; i < natoms; ++i) {
+        vel[i] += forces[i] * (kick / topo.atom(static_cast<int>(i)).mass);
+        pos[i] += vel[i] * config.dt_ps;
+      }
+      rec.end_step();
+    }
+
+    for (const auto& r : pos) {
+      result.position_checksum += r.x + r.y + r.z;
+    }
+    return result;
+  }
+
+ private:
+  // Fold (reduce-scatter of per-block partials to their owners) followed
+  // by expand (allgather of the owned totals). Receives accumulate in a
+  // fixed source order, so the summed forces are bit-identical on every
+  // rerun and every rank ends with the same full array.
+  static void fold_expand(mpi::Comm& comm, const fft::SlabPartition& blocks,
+                          std::vector<double>& flat,
+                          std::vector<double>& scratch, int step) {
+    const int p = comm.size();
+    if (p == 1) return;
+    const int me = comm.rank();
+    const int fold_tag = schedule_tag(step, 0);
+    const int expand_tag = schedule_tag(step, 1);
+    const std::size_t my_begin = 3 * blocks.begin(me);
+    const std::size_t my_count = 3 * blocks.count(me);
+    perf::RankRecorder& rec = comm.recorder();
+    {
+      perf::PhaseScope phase(rec, "fold");
+      for (int k = 1; k < p; ++k) {
+        const int dst = (me + k) % p;
+        comm.send(dst, fold_tag, flat.data() + 3 * blocks.begin(dst),
+                  3 * blocks.count(dst) * sizeof(double), /*exchange=*/true);
+      }
+      scratch.resize(my_count);
+      for (int k = 1; k < p; ++k) {
+        const int src = (me - k + p) % p;
+        comm.recv(src, fold_tag, scratch.data(),
+                  my_count * sizeof(double));
+        for (std::size_t i = 0; i < my_count; ++i) {
+          flat[my_begin + i] += scratch[i];
+        }
+      }
+    }
+    {
+      perf::PhaseScope phase(rec, "expand");
+      for (int k = 1; k < p; ++k) {
+        const int dst = (me + k) % p;
+        comm.send(dst, expand_tag, flat.data() + my_begin,
+                  my_count * sizeof(double), /*exchange=*/true);
+      }
+      for (int k = 1; k < p; ++k) {
+        const int src = (me - k + p) % p;
+        comm.recv(src, expand_tag, flat.data() + 3 * blocks.begin(src),
+                  3 * blocks.count(src) * sizeof(double));
+      }
+    }
+  }
+};
+
+// --------------------------------------------------------------------------
+// Task decoupling: dedicated PME ranks.
+//
+// The last m ranks run only the reciprocal-space PME work (over their own
+// m-slab FFT decomposition, presented through a group-restricted
+// middleware); the first q = p - m ranks run only the classic routine,
+// sharded q ways. The two components — which the default schedule
+// serializes through coherency barriers — overlap in virtual time within
+// each step. A combine joins the halves: each group binomial-reduces its
+// packed forces+energies to its group root, the PME root ships its total
+// to rank 0, and a comm-wide broadcast replicates the sum so every rank
+// integrates identical forces.
+// --------------------------------------------------------------------------
+class TaskPmeDecomposition final : public Decomposition {
+ public:
+  explicit TaskPmeDecomposition(const DecompSpec& spec) : spec_(spec) {}
+
+  const char* name() const override { return "task"; }
+
+  RankRunResult run(const sysbuild::BuiltSystem& sys,
+                    const CharmmConfig& config,
+                    middleware::Middleware& mw) const override {
+    mpi::Comm& comm = mw.comm();
+    const int p = comm.size();
+    if (p == 1) {
+      // Degenerate split: nothing to decouple, run the reference program.
+      return AtomReplicatedDecomposition{}.run(sys, config, mw);
+    }
+    REPRO_REQUIRE(config.use_pme,
+                  "task decoupling dedicates ranks to PME; enable use_pme "
+                  "or pick another decomposition");
+    check_tag_budget(config);
+    const int m = resolved_pme_ranks(spec_, p);
+    const int q = p - m;
+    const int me = comm.rank();
+    const bool is_pme = me >= q;
+    perf::RankRecorder& rec = comm.recorder();
+    const CostModel& cost = config.cost;
+    const md::Topology& topo = sys.topo;
+    const md::Box& box = sys.box;
+    const auto natoms = static_cast<std::size_t>(topo.natoms());
+
+    md::NonbondedOptions nb;
+    nb.cutoff = config.cutoff;
+    nb.switch_on = config.switch_on;
+    nb.elec = md::NonbondedOptions::Elec::kEwaldDirect;
+    nb.beta = config.pme.beta;
+
+    std::vector<Vec3> pos = sys.positions;
+    std::vector<Vec3> vel;
+    md::assign_velocities(topo, config.temperature_k, config.seed, vel);
+    std::vector<Vec3> forces(natoms);
+    std::vector<double> flat;
+    std::vector<double> combined;
+    std::vector<double> scratch;
+    md::NeighborList nbl(config.cutoff, config.skin);
+
+    // The PME group's middleware presents ranks [q, p) as a communicator
+    // of size m; the slab FFT and spreading inside ParallelPme see only
+    // group coordinates. Classic ranks never construct PME machinery.
+    std::optional<GroupMiddleware> gmw;
+    std::optional<pme::ParallelPme> ppme;
+    if (is_pme) {
+      gmw.emplace(comm, q, m);
+      ppme.emplace(config.pme, box, *gmw, [&](double flops) {
+        comm.compute(flops * cost.seconds_per_flop);
+      });
+    }
+
+    const std::size_t nterms = md::EnergyTerms::kCount;
+    RankRunResult result;
+    for (int step = 0; step < config.nsteps; ++step) {
+      rec.set_component(is_pme ? perf::Component::kPme
+                               : perf::Component::kClassic);
+      // Coherency barrier at energy entry, as in the default schedule —
+      // the only synchronization until the two task groups join below.
+      if (config.coherency_barriers) mw.synchronize();
+
+      std::fill(forces.begin(), forces.end(), Vec3{});
+      md::EnergyTerms energy;
+
+      if (is_pme) {
+        perf::PhaseScope phase(rec, "pme_recip");
+        energy.ewald_recip += ppme->reciprocal(topo, pos, forces);
+      } else {
+        if (step % config.list_rebuild_interval == 0) {
+          perf::PhaseScope phase(rec, "list_build");
+          nbl.build(topo, box, pos);
+          comm.compute(cost.seconds_per_list_pair *
+                       static_cast<double>(nbl.npairs()) * 2.0);
+        }
+        result.pairs_in_list = nbl.npairs();
+
+        {
+          perf::PhaseScope phase(rec, "bonded");
+          const md::BondedWork bw =
+              md::bonded_energy(topo, box, pos, forces, energy, me, q);
+          comm.compute(cost.seconds_per_bonded_term *
+                       static_cast<double>(bw.total()));
+        }
+        {
+          perf::PhaseScope phase(rec, "nonbonded");
+          const md::NonbondedWork nw = md::nonbonded_energy(
+              topo, box, pos, nbl, nb, forces, energy, me, q);
+          comm.compute(cost.seconds_per_pair *
+                       static_cast<double>(nw.pairs_listed));
+        }
+        {
+          perf::PhaseScope phase(rec, "ewald_corr");
+          energy.ewald_excl += pme::ewald_exclusion_correction(
+              topo, box, pos, config.pme.beta, forces, me, q);
+          comm.compute(cost.seconds_per_bonded_term *
+                       static_cast<double>(topo.excluded_pairs().size()) /
+                       static_cast<double>(q));
+        }
+        if (me == 0) {
+          energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
+        }
+      }
+
+      // Join point: the groups must combine their halves anyway, so the
+      // coherency barrier here is where the classic/PME load imbalance
+      // lands (as synchronization), mirroring the default schedule's
+      // pre-reduction barrier.
+      if (config.coherency_barriers) mw.synchronize();
+
+      // Pack forces + energy terms into one buffer so the combine is a
+      // single message chain instead of two.
+      util::flatten(forces, flat);
+      combined.resize(flat.size() + nterms);
+      std::memcpy(combined.data(), flat.data(),
+                  flat.size() * sizeof(double));
+      const std::array<double, md::EnergyTerms::kCount> earr =
+          energy.to_array();
+      std::memcpy(combined.data() + flat.size(), earr.data(),
+                  nterms * sizeof(double));
+
+      // Group-internal binomial reduce to the group root (rank 0 for the
+      // classic group, rank q for the PME group) — point-to-point only,
+      // so the groups' different programs cannot misalign the comm-wide
+      // collective tag counters.
+      if (is_pme) {
+        perf::PhaseScope phase(rec, "pme_group_reduce");
+        group_reduce_sum(comm, q, m, combined, scratch,
+                         schedule_tag(step, 1));
+      } else {
+        perf::PhaseScope phase(rec, "classic_group_reduce");
+        group_reduce_sum(comm, 0, q, combined, scratch,
+                         schedule_tag(step, 0));
+      }
+
+      // The PME root ships its group's total to rank 0, which owns the
+      // grand total.
+      const std::size_t bytes = combined.size() * sizeof(double);
+      if (me == q) {
+        perf::PhaseScope phase(rec, "root_exchange");
+        comm.send(0, schedule_tag(step, 2), combined.data(), bytes);
+      } else if (me == 0) {
+        perf::PhaseScope phase(rec, "root_exchange");
+        scratch.resize(combined.size());
+        comm.recv(q, schedule_tag(step, 2), scratch.data(), bytes);
+        for (std::size_t i = 0; i < combined.size(); ++i) {
+          combined[i] += scratch[i];
+        }
+      }
+
+      // Comm-wide broadcast of the grand total — every rank participates,
+      // keeping collective tags aligned and forces bit-identical.
+      {
+        perf::PhaseScope phase(rec, "result_bcast");
+        mw.broadcast(combined.data(), bytes, 0);
+      }
+      std::memcpy(flat.data(), combined.data(),
+                  flat.size() * sizeof(double));
+      util::unflatten(flat, forces);
+      std::array<double, md::EnergyTerms::kCount> total_earr{};
+      std::memcpy(total_earr.data(), combined.data() + flat.size(),
+                  nterms * sizeof(double));
+      energy = md::EnergyTerms::from_array(total_earr);
+      result.last_energy = energy;
+
+      rec.set_component(perf::Component::kOther);
+      {
+        perf::PhaseScope phase(rec, "integrate");
+        comm.compute(cost.seconds_per_integration_atom *
+                     static_cast<double>(natoms));
+      }
+      const double kick = config.dt_ps * units::kForceToAccel;
+      for (std::size_t i = 0; i < natoms; ++i) {
+        vel[i] += forces[i] * (kick / topo.atom(static_cast<int>(i)).mass);
+        pos[i] += vel[i] * config.dt_ps;
+      }
+      rec.end_step();
+    }
+
+    for (const auto& r : pos) {
+      result.position_checksum += r.x + r.y + r.z;
+    }
+    return result;
+  }
+
+ private:
+  // Binomial-tree sum over the rank group [base, base + gsize) to the
+  // group root `base` (the same tree Comm::reduce_sum builds), using an
+  // explicit tag instead of the comm-wide collective counter.
+  static void group_reduce_sum(mpi::Comm& comm, int base, int gsize,
+                               std::vector<double>& data,
+                               std::vector<double>& scratch, int tag) {
+    if (gsize == 1) return;
+    const int gr = comm.rank() - base;
+    const std::size_t n = data.size();
+    scratch.resize(n);
+    int mask = 1;
+    while (mask < gsize) {
+      if ((gr & mask) == 0) {
+        const int peer = gr | mask;
+        if (peer < gsize) {
+          comm.recv(base + peer, tag, scratch.data(), n * sizeof(double));
+          for (std::size_t i = 0; i < n; ++i) data[i] += scratch[i];
+        }
+      } else {
+        comm.send(base + (gr & ~mask), tag, data.data(),
+                  n * sizeof(double));
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+
+  // Middleware over the contiguous rank group [base, base + size): rank()
+  // and size() report group coordinates; the operations mirror the MPI
+  // personality's algorithms but draw point-to-point tags from a private
+  // sequence (kGroupTagBase..) instead of the comm-wide collective
+  // counter, so the other group's program never has to participate.
+  class GroupMiddleware final : public middleware::Middleware {
+   public:
+    GroupMiddleware(mpi::Comm& comm, int base, int size)
+        : Middleware(comm), base_(base), size_(size) {}
+
+    int rank() const override { return comm_.rank() - base_; }
+    int size() const override { return size_; }
+
+    void global_sum(double* data, std::size_t n) override {
+      if (size_ == 1) return;
+      std::vector<double> scratch;
+      std::vector<double> vec(data, data + n);
+      group_reduce_sum(comm_, base_, size_, vec, scratch, next_tag());
+      std::memcpy(data, vec.data(), n * sizeof(double));
+      broadcast(data, n * sizeof(double), 0);
+    }
+
+    void synchronize() override {
+      if (size_ == 1) return;
+      mpi::Comm::SyncScope sync(comm_);
+      const int tag = next_tag();
+      const int gr = rank();
+      for (int k = 1; k < size_; k <<= 1) {
+        comm_.send(base_ + (gr + k) % size_, tag, nullptr, 0);
+        comm_.recv(base_ + (gr - k + size_) % size_, tag, nullptr, 0);
+      }
+    }
+
+    void transpose(const void* send,
+                   const std::vector<std::size_t>& send_counts,
+                   const std::vector<std::size_t>& send_displs, void* recv,
+                   const std::vector<std::size_t>& recv_counts,
+                   const std::vector<std::size_t>& recv_displs) override {
+      const int gp = size_;
+      const int gr = rank();
+      REPRO_REQUIRE(send_counts.size() == static_cast<std::size_t>(gp) &&
+                        recv_counts.size() == static_cast<std::size_t>(gp),
+                    "group transpose: counts must have one entry per rank");
+      const auto* in = static_cast<const unsigned char*>(send);
+      auto* out = static_cast<unsigned char*>(recv);
+      std::memcpy(out + recv_displs[static_cast<std::size_t>(gr)],
+                  in + send_displs[static_cast<std::size_t>(gr)],
+                  send_counts[static_cast<std::size_t>(gr)]);
+      if (gp == 1) return;
+      perf::PhaseScope phase(comm_.recorder(), "pme_transpose");
+      const int tag = next_tag();
+      for (int k = 1; k < gp; ++k) {
+        const auto dst = static_cast<std::size_t>((gr + k) % gp);
+        const auto src = static_cast<std::size_t>((gr - k + gp) % gp);
+        comm_.send(base_ + static_cast<int>(dst), tag,
+                   in + send_displs[dst], send_counts[dst],
+                   /*exchange=*/true);
+        comm_.recv(base_ + static_cast<int>(src), tag,
+                   out + recv_displs[src], recv_counts[src]);
+      }
+    }
+
+    void broadcast(void* data, std::size_t bytes, int root) override {
+      if (size_ == 1) return;
+      const int tag = next_tag();
+      const int vrank = (rank() - root + size_) % size_;
+      int mask = 1;
+      while (mask < size_) {
+        if (vrank & mask) {
+          comm_.recv(base_ + (vrank - mask + root) % size_, tag, data,
+                     bytes);
+          break;
+        }
+        mask <<= 1;
+      }
+      mask >>= 1;
+      while (mask > 0) {
+        if (vrank + mask < size_) {
+          comm_.send(base_ + (vrank + mask + root) % size_, tag, data,
+                     bytes);
+        }
+        mask >>= 1;
+      }
+    }
+
+   private:
+    int next_tag() {
+      REPRO_REQUIRE(kGroupTagBase + static_cast<int>(seq_) <
+                        mpi::Comm::kCollectiveTagBase,
+                    "group tag space exhausted; tags would alias");
+      return kGroupTagBase + static_cast<int>(seq_++);
+    }
+
+    int base_;
+    int size_;
+    unsigned seq_ = 0;
+  };
+
+  DecompSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<Decomposition> make_decomposition(const DecompSpec& spec) {
+  switch (spec.kind) {
+    case DecompKind::kAtomReplicated:
+      return std::make_unique<AtomReplicatedDecomposition>();
+    case DecompKind::kForce:
+      return std::make_unique<ForceDecomposition>();
+    case DecompKind::kTaskPme:
+      return std::make_unique<TaskPmeDecomposition>(spec);
+  }
+  REPRO_UNREACHABLE("bad decomposition kind");
+}
+
+}  // namespace repro::charmm

@@ -1,0 +1,53 @@
+// Decomposition strategies: the per-rank step program behind
+// run_charmm_rank.
+//
+// A Decomposition owns both halves of a parallelization: *work
+// partitioning* (which rank computes which interactions) and the *per-step
+// communication schedule* (how partial forces/energies become the
+// replicated total every rank integrates). Three strategies:
+//
+//   AtomReplicated — the paper's CHARMM parallelization, extracted
+//       verbatim from the original run_charmm_rank: interleaved shards,
+//       full-vector allreduce, replicated integration.
+//   Force — each rank owns a block of the pair-interaction matrix
+//       (pair (i, j) belongs to rank (block(i) + block(j)) mod p); the
+//       reduction shrinks to a fold (reduce-scatter of per-block force
+//       partials to their owners) + expand (allgather of owned totals).
+//   TaskPme — task decoupling: the last `pme_ranks` ranks run only the
+//       reciprocal-space PME work while the rest run only the classic
+//       routine, overlapping in virtual time the two components the
+//       default schedule serializes through coherency barriers; a
+//       combine/broadcast joins the halves at the end of each step.
+//
+// Every strategy ends each step with bit-identical replicated forces on
+// all ranks, so trajectories never diverge (run_experiment asserts this).
+//
+// Communication-schedule discipline: comm-wide collectives draw tags from
+// a per-Comm sequence counter, so *every* rank must issue them in the same
+// order. Strategies whose groups run different programs (TaskPme) may use
+// only point-to-point messages inside a group, with tags below the
+// collective tag space (mpi::Comm::kCollectiveTagBase); comm-wide
+// collectives are reserved for points where all ranks participate.
+#pragma once
+
+#include <memory>
+
+#include "charmm/app.hpp"
+
+namespace repro::charmm {
+
+class Decomposition {
+ public:
+  virtual ~Decomposition() = default;
+  virtual const char* name() const = 0;
+  // Runs the whole nsteps workload on this rank; see run_charmm_rank.
+  virtual RankRunResult run(const sysbuild::BuiltSystem& sys,
+                            const CharmmConfig& config,
+                            middleware::Middleware& mw) const = 0;
+};
+
+// Builds the strategy for `spec` (throws util::Error on specs the factory
+// cannot satisfy, e.g. task decoupling with use_pme off at run time).
+std::unique_ptr<Decomposition> make_decomposition(const DecompSpec& spec);
+
+}  // namespace repro::charmm

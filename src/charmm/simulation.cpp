@@ -26,6 +26,7 @@ Simulation::Simulation(const sysbuild::BuiltSystem& sys,
       pos_(sys.positions),
       vel_(sys.positions.size()),
       forces_(sys.positions.size()) {
+  validate_config(config);
   nb_.cutoff = config.cutoff;
   nb_.switch_on = config.switch_on;
   nb_.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect

@@ -50,6 +50,12 @@ struct SimulationConfig {
   std::uint64_t thermostat_seed = 11;
 };
 
+// Rejects configurations the engine cannot meaningfully run (throws
+// util::Error): non-positive dt/skin, switch_on >= cutoff, degenerate PME
+// grid or spline order. Called by the Simulation constructor; the
+// CharmmConfig overload lives in charmm/app.hpp.
+void validate_config(const SimulationConfig& config);
+
 class Simulation {
  public:
   Simulation(const sysbuild::BuiltSystem& sys, const SimulationConfig& config);

@@ -29,6 +29,9 @@ perf::RunMetrics collect_metrics(
   m.breakdown = breakdown;
   for (const auto& rec : recorders) {
     m.makespan = std::max(m.makespan, rec.total_breakdown().total());
+    for (const auto& [phase, seconds] : rec.phase_times()) {
+      m.phase_seconds[phase] += seconds;
+    }
   }
   for (const sim::Resource* res : network.resources()) {
     perf::ResourceMetrics rm;
@@ -95,6 +98,12 @@ std::vector<Platform> full_factorial() {
 ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
                                 const ExperimentSpec& spec) {
   REPRO_REQUIRE(spec.nprocs >= 1, "experiment needs at least one process");
+  charmm::validate_config(spec.charmm);
+  if (spec.charmm.decomp.kind == charmm::DecompKind::kTaskPme &&
+      spec.nprocs >= 2) {
+    // Fails fast on a pme_ranks/nprocs mismatch before spinning up ranks.
+    charmm::resolved_pme_ranks(spec.charmm.decomp, spec.nprocs);
+  }
 
   net::ClusterConfig cluster_config;
   cluster_config.nranks = spec.nprocs;

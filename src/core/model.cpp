@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fft/parallel_fft.hpp"
 #include "util/error.hpp"
 
 namespace repro::core {
@@ -20,42 +21,177 @@ double predict_message_seconds(const net::NetworkParams& params,
          static_cast<double>(bytes) / params.copy_bandwidth;
 }
 
-OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
-                                          int nprocs, int natoms,
-                                          const pme::PmeParams& grid) {
-  REPRO_REQUIRE(nprocs >= 1, "prediction needs at least one processor");
-  OverheadPrediction out;
-  if (nprocs == 1) return out;
+namespace {
 
-  const auto log2p = static_cast<double>(
-      static_cast<int>(std::ceil(std::log2(nprocs))));
+double ceil_log2(int p) {
+  return static_cast<double>(static_cast<int>(std::ceil(std::log2(p))));
+}
+
+// Exact payload bytes one slab transpose moves across the network among
+// `p` ranks: the whole grid minus the diagonal blocks that stay local,
+// using the same front-loaded partition the FFT builds.
+double transpose_bytes(const pme::PmeParams& grid, int p) {
+  const fft::SlabPartition xpart(grid.nx, p);
+  const fft::SlabPartition zpart(grid.nz, p);
+  double local = 0.0;
+  for (int r = 0; r < p; ++r) {
+    local += static_cast<double>(xpart.count(r)) *
+             static_cast<double>(zpart.count(r));
+  }
+  const double total = static_cast<double>(grid.nx * grid.nz);
+  return (total - local) * static_cast<double>(grid.ny) *
+         16.0;  // complex<double>
+}
+
+// The per-round block the existing atom model charges on the transpose
+// critical path (kept as-is: the base overload's times must not change).
+std::size_t transpose_round_block_bytes(const pme::PmeParams& grid, int p) {
+  const double block_elems = (static_cast<double>(grid.nx) / p) *
+                             static_cast<double>(grid.ny) *
+                             (static_cast<double>(grid.nz) / p);
+  return static_cast<std::size_t>(block_elems * 16.0);
+}
+
+void predict_atom(const net::NetworkParams& params, int p, int natoms,
+                  const pme::PmeParams& grid, OverheadPrediction& out) {
+  const double log2p = ceil_log2(p);
+  const std::size_t force_bytes = static_cast<std::size_t>(natoms) * 3 * 8;
+  const std::size_t energy_bytes = 9 * 8;
 
   // Classic: the force reduction (3N doubles) as MPICH-1 reduce+bcast —
   // 2 log2(p) sequential full-vector hops on the critical path — plus the
-  // small energy reduction.
-  const std::size_t force_bytes = static_cast<std::size_t>(natoms) * 3 * 8;
+  // small energy reduction. Cluster-wide, each binomial tree carries p-1
+  // full-vector messages, and the allreduce runs two trees.
   out.classic_comm_per_step =
       2.0 * log2p * predict_message_seconds(params, force_bytes) +
-      2.0 * log2p * predict_message_seconds(params, 9 * 8);
+      2.0 * log2p * predict_message_seconds(params, energy_bytes);
+  out.classic_messages_per_step = 4.0 * (p - 1);
+  out.classic_bytes_per_step =
+      2.0 * (p - 1) * static_cast<double>(force_bytes + energy_bytes);
 
   // PME: two all-to-all personalized transposes. Pairwise exchange runs
   // p-1 sequential rounds per transpose; each round moves one block of
   // roughly (nx/p) * ny * (nz/p) complex values in each direction
   // concurrently (exchange traffic).
-  const double block_elems =
-      (static_cast<double>(grid.nx) / nprocs) *
-      static_cast<double>(grid.ny) *
-      (static_cast<double>(grid.nz) / nprocs);
-  const auto block_bytes =
-      static_cast<std::size_t>(block_elems * 16.0);  // complex<double>
   out.pme_comm_per_step =
-      2.0 * (nprocs - 1) *
-      predict_message_seconds(params, block_bytes, /*exchange=*/true);
+      2.0 * (p - 1) *
+      predict_message_seconds(params, transpose_round_block_bytes(grid, p),
+                              /*exchange=*/true);
+  out.pme_messages_per_step = 2.0 * p * (p - 1);
+  out.pme_bytes_per_step = 2.0 * transpose_bytes(grid, p);
 
   // Three dissemination barriers per step, log2(p) zero-byte rounds each.
-  out.sync_per_step =
-      3.0 * log2p * predict_message_seconds(params, 0);
-  return out;
+  out.sync_per_step = 3.0 * log2p * predict_message_seconds(params, 0);
+}
+
+void predict_force(const net::NetworkParams& params, int p, int natoms,
+                   const pme::PmeParams& grid, OverheadPrediction& out) {
+  const double log2p = ceil_log2(p);
+  const std::size_t force_bytes = static_cast<std::size_t>(natoms) * 3 * 8;
+  const std::size_t energy_bytes = 9 * 8;
+
+  // Fold + expand: each rank issues p-1 block sends and p-1 block
+  // receives per half, all blocks ~24N/p bytes, rounds overlapping across
+  // ranks (exchange traffic) — so the critical path is 2 (p-1) block
+  // messages instead of the allreduce's 2 log2(p) full-vector hops. The
+  // energy scalars still ride a comm-wide allreduce.
+  const auto fold_block_bytes =
+      static_cast<std::size_t>(static_cast<double>(force_bytes) / p);
+  out.classic_comm_per_step =
+      2.0 * (p - 1) *
+          predict_message_seconds(params, fold_block_bytes,
+                                  /*exchange=*/true) +
+      2.0 * log2p * predict_message_seconds(params, energy_bytes);
+  // Cluster-wide: fold ships every non-owned block once (24N (p-1) bytes),
+  // expand ships every owned total to the p-1 others (same volume again).
+  out.classic_messages_per_step =
+      2.0 * p * (p - 1) + 2.0 * (p - 1);
+  out.classic_bytes_per_step =
+      2.0 * static_cast<double>(force_bytes) * (p - 1) +
+      2.0 * (p - 1) * static_cast<double>(energy_bytes);
+
+  // PME and the three coherency barriers are unchanged from the atom
+  // schedule.
+  out.pme_comm_per_step =
+      2.0 * (p - 1) *
+      predict_message_seconds(params, transpose_round_block_bytes(grid, p),
+                              /*exchange=*/true);
+  out.pme_messages_per_step = 2.0 * p * (p - 1);
+  out.pme_bytes_per_step = 2.0 * transpose_bytes(grid, p);
+  out.sync_per_step = 3.0 * log2p * predict_message_seconds(params, 0);
+}
+
+void predict_task(const net::NetworkParams& params, int p, int natoms,
+                  const pme::PmeParams& grid,
+                  const charmm::DecompSpec& decomp,
+                  OverheadPrediction& out) {
+  const int m = charmm::resolved_pme_ranks(decomp, p);
+  const int q = p - m;
+  // The combine ships forces and energy terms packed together.
+  const std::size_t combined_bytes =
+      (static_cast<std::size_t>(natoms) * 3 + 9) * 8;
+
+  // Classic group: binomial reduce over q ranks, the root exchange hop
+  // from the PME root, and the comm-wide result broadcast.
+  out.classic_comm_per_step =
+      (ceil_log2(q) + 1.0 + ceil_log2(p)) *
+      predict_message_seconds(params, combined_bytes);
+  out.classic_messages_per_step =
+      static_cast<double>((q - 1) + 1 + (p - 1));
+  out.classic_bytes_per_step =
+      static_cast<double>((q - 1) + 1 + (p - 1)) *
+      static_cast<double>(combined_bytes);
+
+  // PME group: the two transposes now run among m ranks (bigger blocks,
+  // fewer rounds), plus the group's own binomial reduce of the combined
+  // vector.
+  const double transpose_time =
+      m == 1 ? 0.0
+             : 2.0 * (m - 1) *
+                   predict_message_seconds(
+                       params, transpose_round_block_bytes(grid, m),
+                       /*exchange=*/true);
+  out.pme_comm_per_step =
+      transpose_time +
+      ceil_log2(m) * predict_message_seconds(params, combined_bytes);
+  out.pme_messages_per_step = 2.0 * m * (m - 1) + (m - 1);
+  out.pme_bytes_per_step =
+      2.0 * transpose_bytes(grid, m) +
+      static_cast<double>(m - 1) * static_cast<double>(combined_bytes);
+
+  // Two comm-wide barriers per step: energy entry and the group join.
+  out.sync_per_step = 2.0 * ceil_log2(p) * predict_message_seconds(params, 0);
+}
+
+}  // namespace
+
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs, int natoms,
+                                          const pme::PmeParams& grid) {
+  return predict_step_overheads(params, nprocs, natoms, grid,
+                                charmm::DecompSpec{});
+}
+
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs, int natoms,
+                                          const pme::PmeParams& grid,
+                                          const charmm::DecompSpec& decomp) {
+  REPRO_REQUIRE(nprocs >= 1, "prediction needs at least one processor");
+  OverheadPrediction out;
+  if (nprocs == 1) return out;
+
+  switch (decomp.kind) {
+    case charmm::DecompKind::kAtomReplicated:
+      predict_atom(params, nprocs, natoms, grid, out);
+      return out;
+    case charmm::DecompKind::kForce:
+      predict_force(params, nprocs, natoms, grid, out);
+      return out;
+    case charmm::DecompKind::kTaskPme:
+      predict_task(params, nprocs, natoms, grid, decomp, out);
+      return out;
+  }
+  REPRO_UNREACHABLE("bad decomposition kind");
 }
 
 }  // namespace repro::core

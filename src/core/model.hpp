@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "charmm/decomp_spec.hpp"
 #include "net/params.hpp"
 #include "pme/pme.hpp"
 
@@ -22,8 +23,25 @@ struct OverheadPrediction {
   double pme_comm_per_step = 0.0;      // seconds
   double sync_per_step = 0.0;          // barrier cost (latency-bound)
 
+  // Cluster-wide per-step schedule shape: how many point-to-point data
+  // messages the decomposition issues and how many payload bytes they
+  // carry (zero-byte barrier rounds excluded). These are exact counts of
+  // the simulated schedule — the byte volumes are pinned against channel
+  // counters in tests — while the *_per_step times above model only the
+  // critical path.
+  double classic_messages_per_step = 0.0;
+  double classic_bytes_per_step = 0.0;
+  double pme_messages_per_step = 0.0;
+  double pme_bytes_per_step = 0.0;
+
   double total_per_step() const {
     return classic_comm_per_step + pme_comm_per_step + sync_per_step;
+  }
+  double messages_per_step() const {
+    return classic_messages_per_step + pme_messages_per_step;
+  }
+  double bytes_per_step() const {
+    return classic_bytes_per_step + pme_bytes_per_step;
   }
 };
 
@@ -33,9 +51,17 @@ double predict_message_seconds(const net::NetworkParams& params,
                                std::size_t bytes, bool exchange = false);
 
 // Predicts the per-step communication overheads of the CHARMM energy
-// calculation on `nprocs` processors with the MPI middleware.
+// calculation on `nprocs` processors with the MPI middleware, under the
+// replicated-data atom decomposition.
 OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
                                           int nprocs, int natoms,
                                           const pme::PmeParams& grid);
+
+// Same, for an arbitrary decomposition (atom, force fold/expand, task
+// decoupling); assumes PME is on, matching the base overload.
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs, int natoms,
+                                          const pme::PmeParams& grid,
+                                          const charmm::DecompSpec& decomp);
 
 }  // namespace repro::core

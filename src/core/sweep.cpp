@@ -21,6 +21,9 @@ int resolve_jobs(int jobs) {
 std::string spec_label(const ExperimentSpec& spec) {
   std::string label =
       spec.platform.to_string() + " p=" + std::to_string(spec.nprocs);
+  if (spec.charmm.decomp.kind != charmm::DecompKind::kAtomReplicated) {
+    label += " decomp=" + charmm::to_string(spec.charmm.decomp);
+  }
   if (spec.faults && spec.faults->any()) {
     label += " faults[" + net::to_string(*spec.faults) + "]";
   }

@@ -115,6 +115,41 @@ NonbondedWork nonbonded_energy(const Topology& topo, const Box& box,
   return work;
 }
 
+NonbondedWork nonbonded_energy_blocked(const Topology& topo, const Box& box,
+                                       const std::vector<Vec3>& pos,
+                                       const NeighborList& nbl,
+                                       const NonbondedOptions& opts,
+                                       const std::vector<int>& block,
+                                       int owner, int nowners,
+                                       std::vector<Vec3>& forces,
+                                       EnergyTerms& energy) {
+  REPRO_REQUIRE(nowners >= 1 && owner >= 0 && owner < nowners,
+                "bad owner/nowners");
+  REPRO_REQUIRE(block.size() == static_cast<std::size_t>(topo.natoms()),
+                "block map must cover every atom");
+  REPRO_REQUIRE(nbl.cutoff() >= opts.cutoff,
+                "neighbor list built with a smaller cutoff");
+  NonbondedWork work;
+  const auto& offsets = nbl.offsets();
+  const auto& neigh = nbl.neighbors();
+  for (int i = 0; i < topo.natoms(); ++i) {
+    const int bi = block[static_cast<std::size_t>(i)];
+    const std::size_t b = offsets[static_cast<std::size_t>(i)];
+    const std::size_t e = offsets[static_cast<std::size_t>(i) + 1];
+    for (std::size_t t = b; t < e; ++t) {
+      const int j = neigh[t];
+      if ((bi + block[static_cast<std::size_t>(j)]) % nowners != owner) {
+        continue;
+      }
+      accumulate_pair(topo, box, pos, opts, i, j, forces, work);
+      ++work.pairs_listed;
+    }
+  }
+  energy.lj += work.lj;
+  energy.elec += work.elec;
+  return work;
+}
+
 NonbondedWork nonbonded_energy_reference(const Topology& topo, const Box& box,
                                          const std::vector<Vec3>& pos,
                                          const NonbondedOptions& opts,

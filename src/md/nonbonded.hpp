@@ -45,6 +45,20 @@ NonbondedWork nonbonded_energy(const Topology& topo, const Box& box,
                                EnergyTerms& energy, int shard = 0,
                                int stride = 1);
 
+// Force-decomposition variant: evaluates pair (i, j) of the list iff
+// (block[i] + block[j]) % nowners == owner, where block[] maps each atom
+// to its contiguous block (one block per rank). Every pair of the list
+// belongs to exactly one owner, so summing over owners reproduces
+// nonbonded_energy's totals. pairs_listed counts the owned pairs.
+NonbondedWork nonbonded_energy_blocked(const Topology& topo, const Box& box,
+                                       const std::vector<util::Vec3>& pos,
+                                       const NeighborList& nbl,
+                                       const NonbondedOptions& opts,
+                                       const std::vector<int>& block,
+                                       int owner, int nowners,
+                                       std::vector<util::Vec3>& forces,
+                                       EnergyTerms& energy);
+
 // Reference O(N^2) evaluation (tests): identical physics without a list.
 NonbondedWork nonbonded_energy_reference(const Topology& topo, const Box& box,
                                          const std::vector<util::Vec3>& pos,

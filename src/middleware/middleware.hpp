@@ -32,8 +32,11 @@ class Middleware {
   explicit Middleware(mpi::Comm& comm) : comm_(comm) {}
   virtual ~Middleware() = default;
 
-  int rank() const { return comm_.rank(); }
-  int size() const { return comm_.size(); }
+  // Virtual so group-restricted middlewares (e.g. the PME group of the
+  // task decomposition, see charmm/decomposition.cpp) can present a
+  // subset of the communicator to rank-oblivious code like the slab FFT.
+  virtual int rank() const { return comm_.rank(); }
+  virtual int size() const { return comm_.size(); }
   mpi::Comm& comm() { return comm_; }
 
   // Global sum of a double vector on every rank (the all-to-all collective

@@ -110,7 +110,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
     ctx_.advance(copy);
     if (rec_.timeline() != nullptr) {
       rec_.timeline()->add(sent_at, ctx_.now(), rec_.component(), kind,
-                           "copy", rec_.step_index());
+                           event_label("copy"), rec_.step_index());
     }
     ctx_.post(ctx_.now(), dst,
               Packet{rank(), tag, std::move(payload), copy, sent_at});
@@ -133,8 +133,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
   ctx_.advance(t.sender_busy + t.sender_stall);
   if (rec_.timeline() != nullptr) {
     const double busy_end = sent_at + t.sender_busy;
-    rec_.timeline()->add(sent_at, busy_end, rec_.component(), kind, "send",
-                         rec_.step_index());
+    rec_.timeline()->add(sent_at, busy_end, rec_.component(), kind,
+                         event_label("send"), rec_.step_index());
     rec_.timeline()->add(busy_end, ctx_.now(), rec_.component(),
                          perf::Kind::kSync, "stall", rec_.step_index());
   }
@@ -171,8 +171,8 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t max_bytes) {
   }
   ctx_.advance(pkt.recv_copy);
   if (rec_.timeline() != nullptr) {
-    rec_.timeline()->add(t0, ctx_.now(), rec_.component(), kind, "recv",
-                         rec_.step_index());
+    rec_.timeline()->add(t0, ctx_.now(), rec_.component(), kind,
+                         event_label("recv"), rec_.step_index());
   }
 
   const std::size_t n = pkt.data ? pkt.data->size() : 0;

@@ -101,7 +101,7 @@ class Comm {
     ctx_.advance(t + perturb);
     if (rec_.timeline() != nullptr) {
       rec_.timeline()->add(t0, t0 + t, rec_.component(), perf::Kind::kComp,
-                           "compute", rec_.step_index());
+                           event_label("compute"), rec_.step_index());
       if (perturb > 0.0) {
         rec_.timeline()->add(t0 + t, ctx_.now(), rec_.component(),
                              perf::Kind::kComp, "os_noise",
@@ -170,6 +170,12 @@ class Comm {
   perf::Kind transfer_kind() const {
     return sync_mode_ ? perf::Kind::kSync : perf::Kind::kComm;
   }
+  // Timeline event name: the decomposition's phase label when one is
+  // active (see perf::RankRecorder::set_phase), the generic operation
+  // name otherwise.
+  const char* event_label(const char* fallback) const {
+    return rec_.phase() != nullptr ? rec_.phase() : fallback;
+  }
   // Fresh tag for one collective operation; all ranks call collectives in
   // the same order, so counters stay aligned. Tags must never repeat within
   // a run: a wrapped sequence would let a slow rank's round-k packet match
@@ -194,7 +200,13 @@ class Comm {
   void allreduce_recursive_doubling(double* data, std::size_t n);
   void allreduce_ring(double* data, std::size_t n);
 
+ public:
+  // Base of the collective tag space. Application-level point-to-point
+  // schedules (e.g. the charmm decomposition layer) must keep their tags
+  // below this so they can never collide with a collective round.
   static constexpr int kCollectiveTagBase = 1 << 20;
+
+ private:
   // One unique tag per collective for the lifetime of a Comm. The window
   // must stay clear of the rendezvous control tags above it.
   static constexpr unsigned kCollectiveTagWindow = 1u << 21;

@@ -144,6 +144,17 @@ std::string metrics_json(const RunMetrics& metrics) {
        << ",\"other\":" << num(f.absorbed_other) << "}},\n";
   }
 
+  if (!metrics.phase_seconds.empty()) {
+    os << "\"phases\":{";
+    bool first = true;
+    for (const auto& [name, seconds] : metrics.phase_seconds) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(name) << "\":" << num(seconds);
+    }
+    os << "},\n";
+  }
+
   os << "\"summary\":{"
      << "\"mean_queue_wait_s\":" << num(metrics.mean_queue_wait())
      << ",\"max_queue_wait_s\":" << num(metrics.max_queue_wait())

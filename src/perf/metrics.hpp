@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,10 @@ struct RunMetrics {
   std::vector<ResourceMetrics> resources;
   std::vector<ChannelMetrics> channels;
   FaultMetrics faults;  // enabled only when a FaultSpec was armed
+  // Virtual time summed across ranks per schedule phase (the labels the
+  // decomposition sets via perf::RankRecorder::set_phase, e.g. "bonded",
+  // "fold", "pme_recip"). Empty when the workload sets no phases.
+  std::map<std::string, double> phase_seconds;
 
   // --- derived summaries ------------------------------------------------
   double mean_queue_wait() const;

@@ -15,6 +15,8 @@
 
 #include <array>
 #include <cstddef>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
@@ -73,6 +75,18 @@ class RankRecorder {
   void set_component(Component c) { current_ = c; }
   Component component() const { return current_; }
 
+  // Optional phase attribution: while a phase label is set (a static
+  // string naming a step of the decomposition's schedule, e.g. "fold",
+  // "pme_recip"), all recorded time is additionally accumulated under
+  // that name, and the communication layer tags timeline events with it
+  // instead of the generic operation name. nullptr (the default) turns
+  // attribution off, keeping pre-existing behaviour untouched.
+  void set_phase(const char* name) { phase_ = name; }
+  const char* phase() const { return phase_; }
+  const std::map<std::string, double>& phase_times() const {
+    return phase_times_;
+  }
+
   // Optional timeline sink (see perf/timeline.hpp): when attached, the
   // communication layer also records each charged interval with its
   // virtual start/end time.
@@ -84,6 +98,7 @@ class RankRecorder {
     times_[static_cast<std::size_t>(current_)]
           [static_cast<std::size_t>(kind)] += dt;
     if (kind == Kind::kComm) step_.comm_time += dt;
+    if (phase_ != nullptr) phase_times_[phase_] += dt;
   }
 
   // Books a back-pressure stall. Taxonomically the stall is control
@@ -131,11 +146,29 @@ class RankRecorder {
 
  private:
   Component current_ = Component::kOther;
+  const char* phase_ = nullptr;
   Timeline* timeline_ = nullptr;
   std::array<std::array<double, kNumKinds>, kNumComponents> times_{};
+  std::map<std::string, double> phase_times_;
   StepComm step_;
   std::vector<StepComm> steps_;
   double total_bytes_ = 0.0;
+};
+
+// RAII helper to scope a phase label (see RankRecorder::set_phase).
+class PhaseScope {
+ public:
+  PhaseScope(RankRecorder& rec, const char* name)
+      : rec_(rec), saved_(rec.phase()) {
+    rec_.set_phase(name);
+  }
+  ~PhaseScope() { rec_.set_phase(saved_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  RankRecorder& rec_;
+  const char* saved_;
 };
 
 // RAII helper to scope a component region.

@@ -1,0 +1,33 @@
+// Vec3 <-> flat double-array packing.
+//
+// Every decomposition's force reduction ships the per-atom Vec3 forces as
+// a contiguous double array (the shape the reduction collectives and the
+// fold/expand schedules operate on). Shared here so the layouts agree
+// byte-for-byte across the charmm decompositions and the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace repro::util {
+
+// [v0.x, v0.y, v0.z, v1.x, ...]; resizes `out` to 3*v.size().
+inline void flatten(const std::vector<Vec3>& v, std::vector<double>& out) {
+  out.resize(3 * v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[3 * i] = v[i].x;
+    out[3 * i + 1] = v[i].y;
+    out[3 * i + 2] = v[i].z;
+  }
+}
+
+// Inverse of flatten; `in` must hold at least 3*v.size() doubles.
+inline void unflatten(const std::vector<double>& in, std::vector<Vec3>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = Vec3{in[3 * i], in[3 * i + 1], in[3 * i + 2]};
+  }
+}
+
+}  // namespace repro::util

@@ -5,6 +5,7 @@
 #include "charmm/simulation.hpp"
 #include "core/experiment.hpp"
 #include "sysbuild/builder.hpp"
+#include "util/error.hpp"
 
 namespace repro::charmm {
 namespace {
@@ -101,6 +102,114 @@ TEST(SequentialTest, MinimizerReducesEnergy) {
   opts.max_steps = 30;
   const md::MinimizeResult res = sim.minimize(opts);
   EXPECT_LE(res.final_energy, res.initial_energy);
+}
+
+// --- configuration validation ------------------------------------------------
+
+TEST(ValidateConfigTest, AcceptsTheDefaults) {
+  EXPECT_NO_THROW(validate_config(CharmmConfig{}));
+  EXPECT_NO_THROW(validate_config(SimulationConfig{}));
+}
+
+TEST(ValidateConfigTest, RejectsBadCharmmConfigs) {
+  // Mirrors net_test's validate_params coverage: one bad field at a time.
+  {
+    CharmmConfig c;
+    c.nsteps = 0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.dt_ps = 0.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.switch_on = c.cutoff;  // switching must start inside the cutoff
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.skin = -1.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.list_rebuild_interval = 0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.temperature_k = -1.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.pme.order = 1;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.pme.ny = 2;  // smaller than the spline order: degenerate grid
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.pme.beta = 0.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.use_pme = false;
+    c.decomp.kind = DecompKind::kTaskPme;  // task decoupling needs PME
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    CharmmConfig c;
+    c.decomp.pme_ranks = -1;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    // A degenerate grid is fine when PME is off — nothing consumes it.
+    CharmmConfig c;
+    c.use_pme = false;
+    c.pme.order = 1;
+    EXPECT_NO_THROW(validate_config(c));
+  }
+}
+
+TEST(ValidateConfigTest, RejectsBadSimulationConfigs) {
+  {
+    SimulationConfig c;
+    c.cutoff = -2.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    SimulationConfig c;
+    c.switch_on = 0.0;
+    EXPECT_THROW(validate_config(c), util::Error);
+  }
+  {
+    SimulationConfig c;
+    c.skin = 0.0;
+    EXPECT_THROW(Simulation(system_fixture(), c), util::Error);
+  }
+}
+
+TEST(ValidateConfigTest, RunExperimentRejectsBadSpecs) {
+  core::ExperimentSpec spec;
+  spec.charmm.nsteps = -4;
+  EXPECT_THROW(core::run_experiment(system_fixture(), spec),
+               util::Error);
+  // A task spec whose explicit pme_ranks leaves no classic rank fails
+  // before any rank spins up.
+  core::ExperimentSpec task;
+  task.nprocs = 4;
+  task.charmm = short_config();
+  task.charmm.decomp.kind = DecompKind::kTaskPme;
+  task.charmm.decomp.pme_ranks = 4;
+  EXPECT_THROW(core::run_experiment(system_fixture(), task),
+               util::Error);
 }
 
 // --- parallel correctness across the factor space ---------------------------

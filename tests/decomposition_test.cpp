@@ -1,0 +1,271 @@
+// Tests for the decomposition-strategy layer: spec parsing, physics
+// invariance of every strategy across rank counts and networks, the
+// task-decoupling overlap, and the extended analytic predictor (times
+// within tolerance, message/byte counts exact against channel counters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charmm/decomp_spec.hpp"
+#include "charmm/simulation.hpp"
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "sysbuild/builder.hpp"
+#include "util/error.hpp"
+
+namespace repro::charmm {
+namespace {
+
+// Shared, relaxed full-size system (expensive: built once per binary).
+const sysbuild::BuiltSystem& system_fixture() {
+  static const sysbuild::BuiltSystem sys = [] {
+    sysbuild::BuiltSystem s = sysbuild::build_myoglobin_like();
+    relax_system(s, 60);
+    return s;
+  }();
+  return sys;
+}
+
+CharmmConfig short_config(DecompKind kind = DecompKind::kAtomReplicated) {
+  CharmmConfig config;
+  config.nsteps = 4;
+  config.decomp.kind = kind;
+  return config;
+}
+
+core::ExperimentResult run(const core::Platform& platform, int nprocs,
+                           const CharmmConfig& config) {
+  core::ExperimentSpec spec;
+  spec.platform = platform;
+  spec.nprocs = nprocs;
+  spec.charmm = config;
+  return core::run_experiment(system_fixture(), spec);
+}
+
+// The p=1 atom-decomposition reference everything is compared against.
+const core::ExperimentResult& reference_run() {
+  static const core::ExperimentResult ref =
+      run(core::reference_platform(), 1, short_config());
+  return ref;
+}
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(DecompSpecTest, ParsesEveryKind) {
+  EXPECT_EQ(parse_decomp_spec("").kind, DecompKind::kAtomReplicated);
+  EXPECT_EQ(parse_decomp_spec("atom").kind, DecompKind::kAtomReplicated);
+  EXPECT_EQ(parse_decomp_spec("replicated").kind,
+            DecompKind::kAtomReplicated);
+  EXPECT_EQ(parse_decomp_spec("force").kind, DecompKind::kForce);
+  EXPECT_EQ(parse_decomp_spec("task").kind, DecompKind::kTaskPme);
+  EXPECT_EQ(parse_decomp_spec("task").pme_ranks, 0);
+  const DecompSpec explicit_pme = parse_decomp_spec("task:pme=3");
+  EXPECT_EQ(explicit_pme.kind, DecompKind::kTaskPme);
+  EXPECT_EQ(explicit_pme.pme_ranks, 3);
+}
+
+TEST(DecompSpecTest, ToStringRoundTrips) {
+  for (const char* text : {"atom", "force", "task", "task:pme=2"}) {
+    EXPECT_EQ(to_string(parse_decomp_spec(text)), text);
+  }
+}
+
+TEST(DecompSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_decomp_spec("spatial"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme=0"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme=-1"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme=two"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme="), util::Error);
+  EXPECT_THROW(parse_decomp_spec("force:pme=2"), util::Error);
+}
+
+TEST(DecompSpecTest, ResolvesPmeRankCount) {
+  DecompSpec spec;
+  spec.kind = DecompKind::kTaskPme;
+  EXPECT_EQ(resolved_pme_ranks(spec, 2), 1);   // auto: max(1, p/4)
+  EXPECT_EQ(resolved_pme_ranks(spec, 8), 2);
+  EXPECT_EQ(resolved_pme_ranks(spec, 16), 4);
+  spec.pme_ranks = 3;
+  EXPECT_EQ(resolved_pme_ranks(spec, 8), 3);
+  EXPECT_THROW(resolved_pme_ranks(spec, 3), util::Error);  // no classic rank
+  EXPECT_THROW(resolved_pme_ranks(spec, 1), util::Error);
+}
+
+// --- physics invariance ----------------------------------------------------
+
+TEST(DecompositionPhysicsTest, SingleProcessIsBitIdenticalAcrossKinds) {
+  // At p=1 every strategy degenerates to the same sequential step
+  // program, so the results must match to the bit, not just to tolerance.
+  const auto& atom = reference_run();
+  const auto force = run(core::reference_platform(), 1,
+                         short_config(DecompKind::kForce));
+  const auto task = run(core::reference_platform(), 1,
+                        short_config(DecompKind::kTaskPme));
+  EXPECT_EQ(force.energy.potential(), atom.energy.potential());
+  EXPECT_EQ(force.position_checksum, atom.position_checksum);
+  EXPECT_EQ(task.energy.potential(), atom.energy.potential());
+  EXPECT_EQ(task.position_checksum, atom.position_checksum);
+}
+
+TEST(DecompositionPhysicsTest, EveryDecompositionMatchesSequential) {
+  const auto& ref = reference_run();
+  ASSERT_TRUE(std::isfinite(ref.energy.potential()));
+  for (DecompKind kind :
+       {DecompKind::kAtomReplicated, DecompKind::kForce,
+        DecompKind::kTaskPme}) {
+    for (int p : {2, 3, 5, 8}) {
+      const auto par = run(core::reference_platform(), p, short_config(kind));
+      EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+                  std::abs(ref.energy.potential()) * 1e-6 + 1e-4)
+          << to_string(kind) << " p=" << p;
+      EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+                  std::abs(ref.position_checksum) * 1e-9)
+          << to_string(kind) << " p=" << p;
+    }
+  }
+}
+
+TEST(DecompositionPhysicsTest, ExplicitPmeRanksMatchSequential) {
+  const auto& ref = reference_run();
+  CharmmConfig config = short_config(DecompKind::kTaskPme);
+  config.decomp.pme_ranks = 3;
+  const auto par = run(core::reference_platform(), 5, config);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(DecompositionPhysicsTest, NetworkNeverChangesPhysics) {
+  // Same arithmetic under different clocks: bit-identical results.
+  for (DecompKind kind : {DecompKind::kForce, DecompKind::kTaskPme}) {
+    core::Platform platform;
+    const auto tcp = run(platform, 4, short_config(kind));
+    platform.network = net::Network::kMyrinetGM;
+    const auto myri = run(platform, 4, short_config(kind));
+    EXPECT_EQ(tcp.energy.potential(), myri.energy.potential())
+        << to_string(kind);
+    EXPECT_EQ(tcp.position_checksum, myri.position_checksum)
+        << to_string(kind);
+  }
+}
+
+// --- schedule / overlap behavior -------------------------------------------
+
+TEST(DecompositionScheduleTest, TaskDecouplingOverlapsClassicAndPme) {
+  // With dedicated PME ranks the two components run concurrently: the
+  // run's wall clock must be shorter than the serialized sum the
+  // replicated decompositions pay.
+  const auto task = run(core::reference_platform(), 8,
+                        short_config(DecompKind::kTaskPme));
+  EXPECT_GT(task.breakdown.classic_wall.total(), 0.0);
+  EXPECT_GT(task.breakdown.pme_wall.total(), 0.0);
+  EXPECT_LT(task.metrics.makespan,
+            task.breakdown.classic_wall.total() +
+                task.breakdown.pme_wall.total());
+}
+
+TEST(DecompositionScheduleTest, PhaseAttributionCoversTheSchedule) {
+  const auto force = run(core::reference_platform(), 4,
+                         short_config(DecompKind::kForce));
+  EXPECT_GT(force.metrics.phase_seconds.count("fold"), 0u);
+  EXPECT_GT(force.metrics.phase_seconds.count("expand"), 0u);
+  EXPECT_GT(force.metrics.phase_seconds.count("nonbonded"), 0u);
+  const auto task = run(core::reference_platform(), 8,
+                        short_config(DecompKind::kTaskPme));
+  EXPECT_GT(task.metrics.phase_seconds.count("pme_recip"), 0u);
+  EXPECT_GT(task.metrics.phase_seconds.count("result_bcast"), 0u);
+}
+
+// --- analytic predictor ----------------------------------------------------
+
+TEST(DecompositionModelTest, PredictsContentionFreeCommTimes) {
+  // Same tolerance discipline as AnalyticModelTest in core_test: on the
+  // deterministic stacks the closed-form model must land within 0.3x-3x
+  // of the simulator's per-step communication time. Task decoupling is
+  // checked on the combined schedule (its classic/pme split does not line
+  // up with the breakdown's component attribution under overlap).
+  const pme::PmeParams grid{80, 36, 48, 4, 0.34};
+  for (net::Network network :
+       {net::Network::kScoreGigE, net::Network::kMyrinetGM}) {
+    core::Platform platform;
+    platform.network = network;
+    for (int p : {2, 4, 8}) {
+      {
+        const auto sim = run(platform, p, short_config(DecompKind::kForce));
+        const core::OverheadPrediction pred = core::predict_step_overheads(
+            net::params_for(network), p, sysbuild::kTotalAtoms, grid,
+            DecompSpec{DecompKind::kForce, 0});
+        const double sim_classic = sim.breakdown.classic_wall.comm / 4.0;
+        const double sim_pme = sim.breakdown.pme_wall.comm / 4.0;
+        EXPECT_GT(pred.classic_comm_per_step, 0.3 * sim_classic)
+            << "force " << net::to_string(network) << " p=" << p;
+        EXPECT_LT(pred.classic_comm_per_step, 3.0 * sim_classic)
+            << "force " << net::to_string(network) << " p=" << p;
+        EXPECT_GT(pred.pme_comm_per_step, 0.3 * sim_pme);
+        EXPECT_LT(pred.pme_comm_per_step, 3.0 * sim_pme);
+      }
+      {
+        const auto sim = run(platform, p, short_config(DecompKind::kTaskPme));
+        const core::OverheadPrediction pred = core::predict_step_overheads(
+            net::params_for(network), p, sysbuild::kTotalAtoms, grid,
+            DecompSpec{DecompKind::kTaskPme, 0});
+        const double sim_comm = (sim.breakdown.classic_wall.comm +
+                                 sim.breakdown.pme_wall.comm) /
+                                4.0;
+        const double pred_comm =
+            pred.classic_comm_per_step + pred.pme_comm_per_step;
+        EXPECT_GT(pred_comm, 0.3 * sim_comm)
+            << "task " << net::to_string(network) << " p=" << p;
+        EXPECT_LT(pred_comm, 3.0 * sim_comm)
+            << "task " << net::to_string(network) << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(DecompositionModelTest, MessageAndByteCountsAreExact) {
+  // The predicted schedule shape is not a model but a count: with the
+  // coherency barriers off (their zero-byte rounds are excluded from the
+  // prediction) the per-step message and byte totals must match the
+  // simulator's channel counters exactly.
+  const pme::PmeParams grid{80, 36, 48, 4, 0.34};
+  core::Platform platform;
+  platform.network = net::Network::kScoreGigE;
+  for (DecompKind kind :
+       {DecompKind::kAtomReplicated, DecompKind::kForce,
+        DecompKind::kTaskPme}) {
+    for (int p : {3, 8}) {
+      CharmmConfig config = short_config(kind);
+      config.coherency_barriers = false;
+      const auto sim = run(platform, p, config);
+      const core::OverheadPrediction pred = core::predict_step_overheads(
+          net::params_for(platform.network), p, sysbuild::kTotalAtoms, grid,
+          DecompSpec{kind, 0});
+      double sim_messages = 0.0;
+      double sim_bytes = 0.0;
+      for (const auto& ch : sim.metrics.channels) {
+        sim_messages += static_cast<double>(ch.messages);
+        sim_bytes += ch.bytes;
+      }
+      EXPECT_DOUBLE_EQ(pred.messages_per_step() * config.nsteps,
+                       sim_messages)
+          << to_string(kind) << " p=" << p;
+      EXPECT_DOUBLE_EQ(pred.bytes_per_step() * config.nsteps, sim_bytes)
+          << to_string(kind) << " p=" << p;
+    }
+  }
+}
+
+TEST(DecompositionModelTest, SequentialHasNoScheduleTraffic) {
+  const core::OverheadPrediction pred = core::predict_step_overheads(
+      net::params_for(net::Network::kScoreGigE), 1, 3552,
+      pme::PmeParams{80, 36, 48, 4, 0.34},
+      DecompSpec{DecompKind::kForce, 0});
+  EXPECT_EQ(pred.total_per_step(), 0.0);
+  EXPECT_EQ(pred.messages_per_step(), 0.0);
+  EXPECT_EQ(pred.bytes_per_step(), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::charmm

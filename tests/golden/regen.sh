@@ -12,7 +12,7 @@ here="$(cd "$(dirname "$0")" && pwd)"
 
 for fig in fig2_structure fig3_reference_case fig4_breakdown_reference \
            fig5_networks fig6_breakdown_networks fig7_comm_speed \
-           fig8_middleware fig9_smp; do
+           fig8_middleware fig9_smp extension_decomposition; do
   bin="$build/bench/$fig"
   if [ ! -x "$bin" ]; then
     echo "error: $bin not built (cmake --build $build first)" >&2

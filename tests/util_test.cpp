@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/flatpack.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -175,6 +176,37 @@ TEST(TableTest, RejectsMismatchedRow) {
 TEST(TableTest, NumberFormatting) {
   EXPECT_EQ(Table::num(1.23456, 2), "1.23");
   EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(FlatpackTest, FlattenLaysOutComponentsInOrder) {
+  const std::vector<Vec3> v = {{1, 2, 3}, {-4, 5.5, 0}};
+  std::vector<double> flat;
+  flatten(v, flat);
+  const std::vector<double> expected = {1, 2, 3, -4, 5.5, 0};
+  EXPECT_EQ(flat, expected);
+}
+
+TEST(FlatpackTest, RoundTripsAndResizes) {
+  std::vector<Vec3> v;
+  for (int i = 0; i < 17; ++i) {
+    v.push_back(Vec3{i * 1.5, -i * 0.25, i * i * 1e-3});
+  }
+  std::vector<double> flat(3, -999.0);  // wrong size: flatten must resize
+  flatten(v, flat);
+  ASSERT_EQ(flat.size(), 3 * v.size());
+  std::vector<Vec3> back(v.size());
+  unflatten(flat, back);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(back[i], v[i]) << "atom " << i;
+  }
+}
+
+TEST(FlatpackTest, UnflattenReadsOnlyWhatTheTargetNeeds) {
+  const std::vector<double> flat = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<Vec3> v(2);  // shorter target: trailing doubles ignored
+  unflatten(flat, v);
+  EXPECT_EQ(v[0], Vec3(1, 2, 3));
+  EXPECT_EQ(v[1], Vec3(4, 5, 6));
 }
 
 TEST(ErrorTest, RequireThrowsWithContext) {
