@@ -28,6 +28,9 @@ namespace repro::bench {
 struct BenchOptions {
   int steps = 10;  // MD steps per cell (the paper's measurement runs)
   int jobs = -1;   // sweep concurrency; -1 = REPRO_JOBS / hardware default
+  // DES execution backend for every cell ($REPRO_ENGINE / fiber by
+  // default). Simulated output is byte-identical across backends.
+  sim::EngineBackend engine = sim::default_engine_backend();
 };
 
 inline BenchOptions& options() {
@@ -35,8 +38,9 @@ inline BenchOptions& options() {
   return opts;
 }
 
-// Accepts --steps=N and --jobs=N; anything else exits with an error so a
-// typo cannot silently produce a full-length run in CI.
+// Accepts --steps=N, --jobs=N and --engine=fiber|thread; anything else
+// exits with an error so a typo cannot silently produce a full-length run
+// in CI.
 inline void parse_figure_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,9 +52,17 @@ inline void parse_figure_args(int argc, char** argv) {
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options().jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      try {
+        options().engine = sim::parse_engine_backend(arg.c_str() + 9);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
-                   "unknown option: %s (supported: --steps=N --jobs=N)\n",
+                   "unknown option: %s (supported: --steps=N --jobs=N "
+                   "--engine=fiber|thread)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -105,6 +117,7 @@ inline void prewarm(const std::vector<std::pair<core::Platform, int>>& cells) {
     spec.platform = platform;
     spec.nprocs = nprocs;
     spec.charmm.nsteps = options().steps;
+    spec.engine = options().engine;
     specs.push_back(spec);
   }
   if (specs.empty()) return;
@@ -125,6 +138,7 @@ inline const core::ExperimentResult& run_cached(const core::Platform& p,
     spec.platform = p;
     spec.nprocs = nprocs;
     spec.charmm.nsteps = options().steps;
+    spec.engine = options().engine;
     it = cache.emplace(detail::cell_key(p, nprocs),
                        core::run_experiment(prepared_system(), spec))
              .first;

@@ -156,6 +156,9 @@ int cmd_run(const Args& args) {
   spec.charmm.nsteps = args.get_int("steps", 10);
   spec.charmm.use_pme = args.get("pme", "on") != "off";
   spec.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
+  if (args.has("engine")) {
+    spec.engine = sim::parse_engine_backend(args.get("engine", ""));
+  }
   if (args.has("faults")) {
     spec.faults = net::parse_fault_spec(args.get("faults", ""));
   }
@@ -219,6 +222,9 @@ int cmd_sweep(const Args& args) {
                                  : middleware::Kind::kMpi;
   base.platform.cpus_per_node = args.get_int("cpus", 1);
   base.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
+  if (args.has("engine")) {
+    base.engine = sim::parse_engine_backend(args.get("engine", ""));
+  }
   if (args.has("faults")) {
     base.faults = net::parse_fault_spec(args.get("faults", ""));
   }
@@ -271,6 +277,8 @@ void usage() {
       "tcp|score|myrinet|faste]\n"
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
       "                [--pme on|off] [--decomp atom|force|task[:pme=N]]\n"
+      "                [--engine fiber|thread]  DES backend (default fiber,\n"
+      "                    or $REPRO_ENGINE; results identical either way)\n"
       "                [--timeline]\n"
       "                [--trace-out=F.json]    Chrome trace (Perfetto)\n"
       "                [--metrics-out=F.json]  resource-utilization report\n"
@@ -287,6 +295,7 @@ void usage() {
       "parallelization\n"
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
+      "                [--engine fiber|thread]  DES backend per cell\n"
       "                [--faults=SPEC]  fault injection for every cell\n");
 }
 

@@ -130,7 +130,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
     }
   }
 
-  sim::Engine engine(spec.nprocs);
+  sim::Engine engine(spec.nprocs, spec.engine);
   engine.run([&](sim::RankCtx& ctx) {
     mpi::Comm comm(ctx, network,
                    recorders[static_cast<std::size_t>(ctx.rank())],
@@ -149,6 +149,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   result.position_checksum = rank_results.front().position_checksum;
   result.pairs_in_list = rank_results.front().pairs_in_list;
   result.engine_events = engine.events_processed();
+  result.engine_context_switches = engine.context_switches();
 
   // Replication invariant: every rank must end with identical state.
   for (const auto& rr : rank_results) {

@@ -17,6 +17,7 @@
 #include "perf/metrics.hpp"
 #include "perf/report.hpp"
 #include "perf/timeline.hpp"
+#include "sim/engine.hpp"
 
 namespace repro::core {
 
@@ -51,6 +52,11 @@ struct ExperimentSpec {
   // link degradation, stragglers, node stalls; see net/faults.hpp). Absent
   // or empty specs leave every run byte-identical to the fault-free model.
   std::optional<net::FaultSpec> faults;
+  // Which DES execution backend runs the simulated ranks (fiber by
+  // default, thread for TSan-style race checking; $REPRO_ENGINE overrides
+  // the default). Simulated results are byte-identical across backends —
+  // only real wall clock differs.
+  sim::EngineBackend engine = sim::default_engine_backend();
 };
 
 struct ExperimentResult {
@@ -64,6 +70,7 @@ struct ExperimentResult {
   double position_checksum = 0.0;
   std::size_t pairs_in_list = 0;
   std::uint64_t engine_events = 0;
+  std::uint64_t engine_context_switches = 0;
 
   // Convenience accessors matching the paper's plotted series.
   double classic_seconds() const { return breakdown.classic_wall.total(); }

@@ -74,11 +74,16 @@ Fft1D::Fft1D(std::size_t n) : n_(n) {
   factors_ = factorize(n);
   twiddle_.resize(n);
   if (n == 1) return;  // identity transform; no radixes or Bluestein needed
+  twiddle_conj_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double angle =
         -2.0 * std::numbers::pi * static_cast<double>(k) /
         static_cast<double>(n);
     twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+    // Precomputed conjugates let the inverse transform index a table
+    // instead of branching per pair in the combine loop; std::conj only
+    // flips a sign bit, so the values are exactly those the branch made.
+    twiddle_conj_[k] = std::conj(twiddle_[k]);
   }
   if (factors_.empty()) {
     // Large prime factor: Bluestein's chirp-z (the helper plan is a power
@@ -109,10 +114,18 @@ void Fft1D::transform(Complex* data, int sign) const {
     bluestein(data, sign);
     return;
   }
-  std::vector<Complex> out(n_);
-  std::vector<Complex> scratch(n_);
-  rec(n_, 1, data, out.data(), scratch.data(), sign);
-  for (std::size_t i = 0; i < n_; ++i) data[i] = out[i];
+  // Persistent per-thread scratch: transform() runs once per grid pencil,
+  // so per-call allocation dominated small-n transforms. rec() writes each
+  // sub-result fully before reading it, and the only nested transform
+  // (Bluestein's helper) uses its own buffer, so reuse is safe.
+  static thread_local std::vector<Complex> out_buf;
+  static thread_local std::vector<Complex> scratch_buf;
+  if (out_buf.size() < n_) {
+    out_buf.resize(n_);
+    scratch_buf.resize(n_);
+  }
+  rec(n_, 1, data, out_buf.data(), scratch_buf.data(), sign);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = out_buf[i];
 }
 
 void Fft1D::rec(std::size_t n, std::size_t stride, const Complex* in,
@@ -135,29 +148,47 @@ void Fft1D::rec(std::size_t n, std::size_t stride, const Complex* in,
   const std::size_t m = n / r;
 
   // Sub-transform j handles inputs j, j+r, j+2r, ... (decimation in time).
-  for (std::size_t j = 0; j < r; ++j) {
-    rec(m, stride * r, in + j * stride, scratch + j * m, out + j * m, sign);
+  if (m == 1) {
+    // Leaf level: each sub-transform is a single element; gather directly
+    // instead of r one-point recursive calls.
+    for (std::size_t j = 0; j < r; ++j) scratch[j] = in[j * stride];
+  } else {
+    for (std::size_t j = 0; j < r; ++j) {
+      rec(m, stride * r, in + j * stride, scratch + j * m, out + j * m, sign);
+    }
   }
   // Combine: X[k2 + m*k1] = sum_j W_n^{j*(k2 + m*k1)} * Y_j[k2].
   // Twiddles come from the root table: W_n^t == twiddle_[t * (n_/n) % n_].
+  // The exponents advance arithmetically in k — t_j(k) = (j*k) mod n steps
+  // by j with one wrap, and k2 = k mod m steps by one — so the inner loop
+  // carries counters instead of computing two modulos per pair. The
+  // conjugate table replaces the per-pair sign branch. Both changes are
+  // integer/table bookkeeping only: every loaded twiddle and every
+  // floating-point operation is bit-identical to the naive form.
   const std::size_t tw_step = n_ / n;
+  const Complex* tw = sign < 0 ? twiddle_conj_.data() : twiddle_.data();
+  std::size_t tvals[32] = {};  // per-j exponent; factorize() caps r at 31
+  std::size_t k2 = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t k2 = k % m;
     Complex acc(0, 0);
     for (std::size_t j = 0; j < r; ++j) {
-      const std::size_t t = (j * k) % n;
-      Complex w = twiddle_[t * tw_step];
-      if (sign < 0) w = std::conj(w);
-      acc += w * scratch[j * m + k2];
+      acc += tw[tvals[j] * tw_step] * scratch[j * m + k2];
+      tvals[j] += j;  // j < n, so a single conditional wrap suffices
+      if (tvals[j] >= n) tvals[j] -= n;
     }
     out[k] = acc;
+    if (++k2 == m) k2 = 0;
   }
 }
 
 void Fft1D::bluestein(Complex* data, int sign) const {
   const BluesteinPlan& bp = *blue_;
   const std::size_t m = bp.m;
-  std::vector<Complex> a(m, Complex(0, 0));
+  // Separate from transform()'s buffers: bp.fft_m's transforms below run
+  // while `a` is live. The helper plan is a power of two, so it never
+  // reaches this function recursively.
+  static thread_local std::vector<Complex> a;
+  a.assign(m, Complex(0, 0));
   for (std::size_t k = 0; k < n_; ++k) {
     const Complex c = sign > 0 ? bp.chirp[k] : std::conj(bp.chirp[k]);
     a[k] = data[k] * c;

@@ -41,6 +41,8 @@ class Fft1D {
   std::size_t n_;
   std::vector<std::size_t> factors_;   // radix sequence (empty => Bluestein)
   std::vector<Complex> twiddle_;       // exp(-2 pi i k / n), k in [0, n)
+  std::vector<Complex> twiddle_conj_;  // conj(twiddle_[k]) (exact), for the
+                                       // inverse transform's hot loop
   // Bluestein machinery (only allocated when needed).
   struct BluesteinPlan;
   std::shared_ptr<BluesteinPlan> blue_;

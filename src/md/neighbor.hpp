@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "md/box.hpp"
@@ -28,12 +29,17 @@ class NeighborList {
 
   // CSR access: neighbors of atom i are neighbors()[offsets()[i] ..
   // offsets()[i+1]).
-  const std::vector<std::size_t>& offsets() const { return offsets_; }
-  const std::vector<int>& neighbors() const { return neighbors_; }
-  std::size_t npairs() const { return neighbors_.size(); }
+  const std::vector<std::size_t>& offsets() const { return *offsets_view_; }
+  const std::vector<int>& neighbors() const { return *neighbors_view_; }
+  std::size_t npairs() const { return neighbors_view_->size(); }
 
   double cutoff() const { return cutoff_; }
   double skin() const { return skin_; }
+
+  // The views may point into a shared build-cache entry (see build()'s
+  // memoization in neighbor.cpp), so copying a list would alias or dangle.
+  NeighborList(const NeighborList&) = delete;
+  NeighborList& operator=(const NeighborList&) = delete;
 
  private:
   double cutoff_;
@@ -42,6 +48,26 @@ class NeighborList {
   std::vector<int> neighbors_;
   std::vector<util::Vec3> built_pos_;
   Box built_box_;
+
+  // After a cache hit the list borrows the entry's arrays instead of
+  // copying ~MBs of CSR data; the keepalive pins the entry while views
+  // point at it. After a fresh build the views point at the members above.
+  std::shared_ptr<const void> cache_keepalive_;
+  const std::vector<std::size_t>* offsets_view_ = &offsets_;
+  const std::vector<int>* neighbors_view_ = &neighbors_;
+  const std::vector<util::Vec3>* built_pos_view_ = &built_pos_;
+
+  // Persistent build scratch. build() is called every few steps on the
+  // hot path; keeping these as members means a rebuild allocates nothing
+  // once capacities have warmed up (contents are meaningless between
+  // calls). Pairs are collected flat and counting-sorted into the CSR
+  // arrays in a second pass — no per-atom vectors.
+  std::vector<int> atom_cell_;
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> cell_cursor_;
+  std::vector<int> cell_atoms_;
+  std::vector<std::pair<int, int>> pair_buf_;
+  std::vector<std::size_t> row_cursor_;
 };
 
 }  // namespace repro::md

@@ -11,10 +11,10 @@ bool Comm::try_match(int src, int tag, Packet& out, double& arrival) {
   // Deliveries sit in (time, seq) order, so the first match is the
   // earliest-arriving one — the MPI matching rule for a given (src, tag).
   for (auto it = inbox.begin(); it != inbox.end(); ++it) {
-    const auto* pkt = std::any_cast<Packet>(&it->payload);
+    auto* pkt = it->payload.get_if<Packet>();
     REPRO_REQUIRE(pkt != nullptr, "foreign payload in MPI inbox");
     if (matches(*pkt, src, tag)) {
-      out = *pkt;
+      out = std::move(*pkt);
       arrival = it->time;
       inbox.erase(it);
       return true;
@@ -26,9 +26,7 @@ bool Comm::try_match(int src, int tag, Packet& out, double& arrival) {
 void Comm::send_control(int dst, int tag, const RendezvousToken& body) {
   // Control messages are tiny eager sends on the reserved tags; their cost
   // flows through the normal network model.
-  auto payload = std::make_shared<std::vector<unsigned char>>(
-      reinterpret_cast<const unsigned char*>(&body),
-      reinterpret_cast<const unsigned char*>(&body) + sizeof(body));
+  MsgBuf payload(&body, sizeof(body));
   const double sent_at = ctx_.now();
   const net::MessageTiming t =
       net_.message(rank(), dst, sizeof(body), ctx_.now(), false);
@@ -51,9 +49,9 @@ void Comm::service_rendezvous_requests() {
     double arrival = 0.0;
     if (!try_match(kAnySource, kRtsTag, rts, arrival)) return;
     RendezvousToken body;
-    REPRO_REQUIRE(rts.data && rts.data->size() == sizeof(body),
+    REPRO_REQUIRE(rts.data.size() == sizeof(body),
                   "malformed rendezvous request");
-    std::memcpy(&body, rts.data->data(), sizeof(body));
+    std::memcpy(&body, rts.data.data(), sizeof(body));
     send_control(rts.src, kCtsTag, body);
   }
 }
@@ -65,15 +63,15 @@ void Comm::await_clear_to_send(int dst, unsigned token) {
     auto& inbox = ctx_.inbox();
     bool found = false;
     for (auto it = inbox.begin(); it != inbox.end(); ++it) {
-      const auto* pkt = std::any_cast<Packet>(&it->payload);
+      const auto* pkt = it->payload.get_if<Packet>();
       if (pkt == nullptr || pkt->src != dst || pkt->tag != kCtsTag) continue;
       // A CTS carries exactly one RendezvousToken; anything else on the
       // control tag is a protocol violation — reject it before reading
-      // (the payload pointer may be null or short).
-      REPRO_REQUIRE(pkt->data && pkt->data->size() == sizeof(RendezvousToken),
+      // (the payload may be short).
+      REPRO_REQUIRE(pkt->data.size() == sizeof(RendezvousToken),
                     "malformed clear-to-send packet");
       RendezvousToken body;
-      std::memcpy(&body, pkt->data->data(), sizeof(body));
+      std::memcpy(&body, pkt->data.data(), sizeof(body));
       if (body.token != token) continue;
       inbox.erase(it);
       found = true;
@@ -96,9 +94,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes,
     send_control(dst, kRtsTag, body);
     await_clear_to_send(dst, body.token);
   }
-  auto payload = std::make_shared<std::vector<unsigned char>>(
-      static_cast<const unsigned char*>(data),
-      static_cast<const unsigned char*>(data) + bytes);
+  MsgBuf payload(data, bytes);
 
   const perf::Kind kind = transfer_kind();
   const double sent_at = ctx_.now();
@@ -167,7 +163,7 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t max_bytes) {
   // Byte accounting must mirror the send side: self-sends are local copies,
   // not network traffic, so they book no Figure-7 bytes on either end.
   if (!sync_mode_ && pkt.src != rank()) {
-    rec_.record_bytes(static_cast<double>(pkt.data ? pkt.data->size() : 0));
+    rec_.record_bytes(static_cast<double>(pkt.data.size()));
   }
   ctx_.advance(pkt.recv_copy);
   if (rec_.timeline() != nullptr) {
@@ -175,9 +171,9 @@ std::size_t Comm::recv(int src, int tag, void* data, std::size_t max_bytes) {
                          event_label("recv"), rec_.step_index());
   }
 
-  const std::size_t n = pkt.data ? pkt.data->size() : 0;
+  const std::size_t n = pkt.data.size();
   REPRO_REQUIRE(n <= max_bytes, "recv: message larger than buffer");
-  if (n > 0) std::memcpy(data, pkt.data->data(), n);
+  if (n > 0) std::memcpy(data, pkt.data.data(), n);
   return n;
 }
 
@@ -432,8 +428,12 @@ void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
   REPRO_REQUIRE(send_bytes == counts[static_cast<std::size_t>(r)],
                 "allgatherv: my block size disagrees with counts[rank]");
   auto* out = static_cast<unsigned char*>(recv_buf);
-  std::memcpy(out + displs[static_cast<std::size_t>(r)], send_buf,
-              send_bytes);
+  // Zero-length blocks are legal (and exercised by the property tests);
+  // memcpy with a null source is UB even at n == 0.
+  if (send_bytes > 0) {
+    std::memcpy(out + displs[static_cast<std::size_t>(r)], send_buf,
+                send_bytes);
+  }
   if (p == 1) return;
 
   const int tag = next_collective_tag();
@@ -463,10 +463,13 @@ void Comm::alltoallv(const void* send_buf,
                 "alltoallv: counts must have one entry per rank");
   const auto* in = static_cast<const unsigned char*>(send_buf);
   auto* out = static_cast<unsigned char*>(recv_buf);
-  // Local block.
-  std::memcpy(out + recv_displs[static_cast<std::size_t>(r)],
-              in + send_displs[static_cast<std::size_t>(r)],
-              send_counts[static_cast<std::size_t>(r)]);
+  // Local block (skipped when empty: memcpy/pointer arithmetic on a null
+  // buffer is UB even for zero bytes).
+  if (send_counts[static_cast<std::size_t>(r)] > 0) {
+    std::memcpy(out + recv_displs[static_cast<std::size_t>(r)],
+                in + send_displs[static_cast<std::size_t>(r)],
+                send_counts[static_cast<std::size_t>(r)]);
+  }
   if (p == 1) return;
 
   const int tag = next_collective_tag();

@@ -2,15 +2,103 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <ucontext.h>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define REPRO_FIBER_MMAP_STACKS 1
+#endif
+
+// Sanitizer detection. The fiber backend switches stacks in user space;
+// AddressSanitizer must be told about every switch (or its fake-stack and
+// stack-bounds bookkeeping corrupts), and ThreadSanitizer cannot follow
+// fibers at all — so ASan gets the annotations below and TSan flips the
+// default backend to threads (see default_engine_backend).
+#if defined(__SANITIZE_ADDRESS__)
+#define REPRO_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define REPRO_TSAN_BUILD 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#ifndef REPRO_ASAN_FIBERS
+#define REPRO_ASAN_FIBERS 1
+#endif
+#endif
+#if __has_feature(thread_sanitizer)
+#ifndef REPRO_TSAN_BUILD
+#define REPRO_TSAN_BUILD 1
+#endif
+#endif
+#endif
+
+#if defined(REPRO_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
 
 #include "util/error.hpp"
 
 namespace repro::sim {
 
 namespace {
+
+// ASan fiber-switch annotations (no-ops in non-ASan builds). Protocol:
+// the context that is about to switch away calls start (saving its fake
+// stack and naming the destination stack); the first statement executed in
+// the destination calls finish (restoring the destination's fake stack and
+// optionally learning the bounds of the stack just left).
+inline void asan_start_switch(void** fake_stack_save, const void* bottom,
+                              std::size_t size) {
+#if defined(REPRO_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack, const void** bottom_old,
+                               std::size_t* size_old) {
+#if defined(REPRO_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, bottom_old, size_old);
+#else
+  (void)fake_stack;
+  if (bottom_old != nullptr) *bottom_old = nullptr;
+  if (size_old != nullptr) *size_old = 0;
+#endif
+}
+
+// Fiber stack size: $REPRO_FIBER_STACK_KB or 4 MiB. Address space only —
+// pages are committed on first touch, so idle ranks cost a few KB each.
+std::size_t fiber_stack_bytes() {
+  static const std::size_t bytes = [] {
+    if (const char* env = std::getenv("REPRO_FIBER_STACK_KB")) {
+      const long kb = std::atol(env);
+      if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return std::size_t{4} * 1024 * 1024;
+  }();
+  return bytes;
+}
+
+// The engine whose fibers run on this thread; set for the duration of
+// run_fibers. Fibers cannot outlive run(), and each engine's fibers all
+// live on the thread that called run(), so a plain thread_local suffices
+// even with several engines running on different sweep workers.
+thread_local Engine* t_fiber_engine = nullptr;
 
 // One-slot handshake: the owner may run only while `turn` is set. Used for
 // both the scheduler and each rank thread; exactly one party holds its turn
@@ -36,19 +124,100 @@ struct TurnSlot {
 
 }  // namespace
 
-// One simulated rank: its thread, clock, state, inbox, and handshake slot.
+const char* to_string(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::kFiber:
+      return "fiber";
+    case EngineBackend::kThread:
+      return "thread";
+  }
+  return "?";
+}
+
+EngineBackend parse_engine_backend(std::string_view name) {
+  if (name == "fiber") return EngineBackend::kFiber;
+  if (name == "thread") return EngineBackend::kThread;
+  throw util::Error("unknown engine backend '" + std::string(name) +
+                    "' (expected fiber or thread)");
+}
+
+EngineBackend default_engine_backend() {
+  if (const char* env = std::getenv("REPRO_ENGINE")) {
+    return parse_engine_backend(env);
+  }
+#if defined(REPRO_TSAN_BUILD)
+  return EngineBackend::kThread;
+#else
+  return EngineBackend::kFiber;
+#endif
+}
+
+// One simulated rank: clock, state, inbox, plus the execution-context
+// state of whichever backend is active (thread + handshake slot, or fiber
+// context + stack).
 struct Engine::Rank {
   explicit Rank(int id_) : id(id_) {}
+  ~Rank() { release_stack(); }
 
   int id;
   double clock = 0.0;
   State state = State::Ready;
   std::deque<Delivery> inbox;
+
+  // Thread backend.
   std::thread thread;
   TurnSlot slot;
+
+  // Fiber backend. The stack is allocated lazily on the first fiber run
+  // and reused across runs of the same engine.
+  ucontext_t ctx{};
+  void* stack_base = nullptr;  // allocation base; first page is a guard
+  std::size_t stack_alloc = 0;
+  void* stack_lo = nullptr;  // usable stack bottom (what ucontext/ASan see)
+  std::size_t stack_size = 0;
+  void* asan_fake_stack = nullptr;
+
+  void ensure_stack() {
+    if (stack_base != nullptr) return;
+    const std::size_t want = fiber_stack_bytes();
+#if defined(REPRO_FIBER_MMAP_STACKS)
+    const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    const std::size_t usable = ((want + page - 1) / page) * page;
+    const std::size_t total = usable + page;
+#if defined(MAP_STACK)
+    const int flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK;
+#else
+    const int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#endif
+    void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE, flags, -1, 0);
+    REPRO_REQUIRE(base != MAP_FAILED, "fiber stack allocation failed");
+    // Guard page below the stack: an overflow faults loudly instead of
+    // silently corrupting a neighbouring fiber's stack.
+    (void)mprotect(base, page, PROT_NONE);
+    stack_base = base;
+    stack_alloc = total;
+    stack_lo = static_cast<char*>(base) + page;
+    stack_size = usable;
+#else
+    stack_base = ::operator new(want);
+    stack_alloc = want;
+    stack_lo = stack_base;
+    stack_size = want;
+#endif
+  }
+
+  void release_stack() {
+    if (stack_base == nullptr) return;
+#if defined(REPRO_FIBER_MMAP_STACKS)
+    (void)munmap(stack_base, stack_alloc);
+#else
+    ::operator delete(stack_base);
+#endif
+    stack_base = nullptr;
+  }
 };
 
-Engine::Engine(int nranks) {
+Engine::Engine(int nranks, EngineBackend backend) : backend_(backend) {
   REPRO_REQUIRE(nranks >= 1, "engine needs at least one rank");
   ranks_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -63,7 +232,7 @@ double RankCtx::now() const { return engine_->now(rank_); }
 void RankCtx::advance(double dt) { engine_->advance(rank_, dt); }
 void RankCtx::checkpoint() { engine_->checkpoint(rank_); }
 void RankCtx::block() { engine_->block(rank_); }
-void RankCtx::post(double time, int dst, std::any payload) {
+void RankCtx::post(double time, int dst, Payload payload) {
   engine_->post(time, dst, std::move(payload));
 }
 std::deque<Delivery>& RankCtx::inbox() { return engine_->inbox(rank_); }
@@ -75,11 +244,21 @@ void Engine::advance(int rank, double dt) {
   ranks_[rank]->clock += dt;
 }
 
+void Engine::resume(int rank) {
+  if (backend_ == EngineBackend::kThread) {
+    resume_thread(rank);
+  } else {
+    resume_fiber(rank);
+  }
+}
+
 void Engine::yield_to_scheduler(int rank) {
-  Rank& r = *ranks_[rank];
   ++context_switches_;
-  static_cast<TurnSlot*>(sched_slot_)->give_turn();
-  r.slot.wait_for_turn();
+  if (backend_ == EngineBackend::kThread) {
+    yield_thread(rank);
+  } else {
+    yield_fiber(rank);
+  }
   if (aborting_) throw AbortRun{};
 }
 
@@ -94,7 +273,7 @@ void Engine::block(int rank) {
   yield_to_scheduler(rank);
 }
 
-void Engine::post(double time, int dst, std::any payload) {
+void Engine::post(double time, int dst, Payload payload) {
   REPRO_REQUIRE(dst >= 0 && dst < size(), "post: bad destination rank");
   event_heap_.push_back(Event{time, next_seq_++, dst, std::move(payload)});
   std::push_heap(event_heap_.begin(), event_heap_.end(), std::greater<>{});
@@ -125,11 +304,6 @@ int Engine::pick_next_ready() const {
   return best;
 }
 
-void Engine::resume(int rank) {
-  ranks_[rank]->slot.give_turn();
-  static_cast<TurnSlot*>(sched_slot_)->wait_for_turn();
-}
-
 void Engine::deadlock(const std::string& where) const {
   std::ostringstream os;
   os << "simulation deadlock (" << where << "); rank states:";
@@ -152,7 +326,7 @@ void Engine::scheduler_loop() {
     if (!any_live) return;
     if (first_error_ && !aborting_) {
       // Tear down remaining ranks: each resume throws AbortRun in the rank
-      // thread, unwinding it to completion.
+      // context, unwinding it to completion.
       aborting_ = true;
     }
     if (aborting_) {
@@ -185,9 +359,6 @@ void Engine::scheduler_loop() {
 }
 
 void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
-  TurnSlot sched_slot;
-  sched_slot_ = &sched_slot;
-
   // All run-scoped state is reset here, not just the per-rank fields
   // below: a reused engine (retry paths, engine pooling) must not inherit
   // undelivered events, a sticky abort flag, or a stale error from an
@@ -199,11 +370,42 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   context_switches_ = 0;
   aborting_ = false;
   first_error_ = nullptr;
-
   for (auto& r : ranks_) {
     r->state = State::Ready;
     r->clock = 0.0;
     r->inbox.clear();
+  }
+
+  const std::exception_ptr scheduler_error =
+      backend_ == EngineBackend::kThread ? run_threads(rank_main)
+                                         : run_fibers(rank_main);
+
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  if (scheduler_error) std::rethrow_exception(scheduler_error);
+}
+
+// --- thread backend ----------------------------------------------------
+
+void Engine::resume_thread(int rank) {
+  ranks_[rank]->slot.give_turn();
+  static_cast<TurnSlot*>(sched_slot_)->wait_for_turn();
+}
+
+void Engine::yield_thread(int rank) {
+  static_cast<TurnSlot*>(sched_slot_)->give_turn();
+  ranks_[rank]->slot.wait_for_turn();
+}
+
+std::exception_ptr Engine::run_threads(
+    const std::function<void(RankCtx&)>& rank_main) {
+  TurnSlot sched_slot;
+  sched_slot_ = &sched_slot;
+
+  for (auto& r : ranks_) {
     Rank* rp = r.get();
     r->thread = std::thread([this, rp, &rank_main] {
       rp->slot.wait_for_turn();
@@ -226,7 +428,7 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   try {
     scheduler_loop();
   } catch (...) {
-    // Deadlock: abort remaining ranks, then rethrow below.
+    // Deadlock: abort remaining ranks, then rethrow in run().
     scheduler_error = std::current_exception();
     aborting_ = true;
     for (auto& r : ranks_) {
@@ -240,13 +442,96 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
     if (r->thread.joinable()) r->thread.join();
   }
   sched_slot_ = nullptr;
+  return scheduler_error;
+}
 
-  if (first_error_) {
-    auto err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
+// --- fiber backend -----------------------------------------------------
+
+void Engine::resume_fiber(int rank) {
+  Rank& r = *ranks_[rank];
+  fiber_active_ = rank;
+  asan_start_switch(&sched_fake_stack_, r.stack_lo, r.stack_size);
+  swapcontext(static_cast<ucontext_t*>(sched_ctx_), &r.ctx);
+  asan_finish_switch(sched_fake_stack_, nullptr, nullptr);
+  fiber_active_ = -1;
+}
+
+void Engine::yield_fiber(int rank) {
+  Rank& r = *ranks_[rank];
+  asan_start_switch(&r.asan_fake_stack, sched_stack_bottom_,
+                    sched_stack_size_);
+  swapcontext(&r.ctx, static_cast<ucontext_t*>(sched_ctx_));
+  asan_finish_switch(r.asan_fake_stack, nullptr, nullptr);
+}
+
+void Engine::fiber_trampoline() {
+  Engine* e = t_fiber_engine;
+  // First arrival on this fiber's stack: complete the switch and learn the
+  // scheduler's stack bounds for the yields back.
+  asan_finish_switch(nullptr, &e->sched_stack_bottom_,
+                     &e->sched_stack_size_);
+  e->fiber_main();
+}
+
+void Engine::fiber_main() {
+  Rank& r = *ranks_[fiber_active_];
+  try {
+    if (!aborting_) {
+      RankCtx ctx(this, r.id);
+      (*fiber_rank_main_)(ctx);
+    }
+  } catch (const AbortRun&) {
+    // torn down after another rank failed
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
   }
-  if (scheduler_error) std::rethrow_exception(scheduler_error);
+  r.state = State::Done;
+  // Final switch home. The null fake-stack save tells ASan this fiber is
+  // finished so its fake frames can be released.
+  asan_start_switch(nullptr, sched_stack_bottom_, sched_stack_size_);
+  swapcontext(&r.ctx, static_cast<ucontext_t*>(sched_ctx_));
+  std::abort();  // a finished fiber must never be resumed
+}
+
+std::exception_ptr Engine::run_fibers(
+    const std::function<void(RankCtx&)>& rank_main) {
+  ucontext_t sched_ctx;
+  sched_ctx_ = &sched_ctx;
+  Engine* const prev_engine = t_fiber_engine;
+  t_fiber_engine = this;
+  fiber_rank_main_ = &rank_main;
+  sched_fake_stack_ = nullptr;
+  sched_stack_bottom_ = nullptr;
+  sched_stack_size_ = 0;
+
+  for (auto& r : ranks_) {
+    r->ensure_stack();
+    r->asan_fake_stack = nullptr;
+    REPRO_REQUIRE(getcontext(&r->ctx) == 0, "getcontext failed");
+    r->ctx.uc_stack.ss_sp = r->stack_lo;
+    r->ctx.uc_stack.ss_size = r->stack_size;
+    r->ctx.uc_link = nullptr;
+    makecontext(&r->ctx, &Engine::fiber_trampoline, 0);
+  }
+
+  std::exception_ptr scheduler_error;
+  try {
+    scheduler_loop();
+  } catch (...) {
+    // Deadlock: resume every live fiber so AbortRun unwinds its stack
+    // (running destructors) before the run returns. There are no threads
+    // to join — a fully unwound fiber is simply never switched to again.
+    scheduler_error = std::current_exception();
+    aborting_ = true;
+    for (auto& r : ranks_) {
+      if (r->state != State::Done) resume(r->id);
+    }
+  }
+
+  fiber_rank_main_ = nullptr;
+  t_fiber_engine = prev_engine;
+  sched_ctx_ = nullptr;
+  return scheduler_error;
 }
 
 }  // namespace repro::sim

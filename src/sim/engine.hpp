@@ -1,12 +1,28 @@
 // Conservative discrete-event engine for simulating a cluster of ranks.
 //
-// Each simulated rank runs as a real OS thread executing arbitrary C++ code
-// (the actual MD computation), but *time* is virtual: every rank owns a
-// virtual clock that is advanced explicitly (compute costs, communication
-// costs). The engine serializes execution — exactly one rank thread (or the
-// scheduler) runs at any instant — and always resumes the runnable rank with
-// the smallest virtual clock. Cross-rank effects (message arrivals) are
-// global events processed in virtual-time order.
+// Each simulated rank runs arbitrary C++ code (the actual MD computation),
+// but *time* is virtual: every rank owns a virtual clock that is advanced
+// explicitly (compute costs, communication costs). The engine serializes
+// execution — exactly one rank (or the scheduler) runs at any instant —
+// and always resumes the runnable rank with the smallest virtual clock.
+// Cross-rank effects (message arrivals) are global events processed in
+// virtual-time order.
+//
+// Two execution backends implement the rank suspend/resume mechanism
+// behind the same API and produce byte-identical simulations:
+//
+//   kFiber  (default) — every rank is a cooperative fiber (its own stack,
+//           switched in user space) on the calling thread. A simulated
+//           context switch is two stack switches, no kernel involvement,
+//           so this is the fast backend for sweeps.
+//   kThread — every rank is an OS thread serialized by a one-slot turn
+//           handshake. An order of magnitude slower per switch, but the
+//           only backend ThreadSanitizer understands — CI races the
+//           engine's serialization protocol on it.
+//
+// Scheduling decisions live in the shared scheduler loop, so the backends
+// cannot diverge: same min-clock pick, same event delivery order, same
+// events_processed/context_switches counts.
 //
 // Correctness argument (conservative order): a rank is resumed only when its
 // clock is the minimum over all runnable ranks and no pending event is
@@ -17,28 +33,46 @@
 // whole simulations bit-reproducible.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "sim/payload.hpp"
 
 namespace repro::sim {
 
 class Engine;
 
+enum class EngineBackend {
+  kFiber,   // cooperative fibers, single OS thread (fast path)
+  kThread,  // thread-per-rank with turn passing (TSan-checkable)
+};
+
+const char* to_string(EngineBackend backend);
+
+// Parses "fiber" / "thread"; throws util::Error on anything else.
+EngineBackend parse_engine_backend(std::string_view name);
+
+// The process-wide default: $REPRO_ENGINE when set (values as above),
+// otherwise kFiber — except under ThreadSanitizer, where the thread
+// backend is the default because TSan cannot follow user-space stack
+// switches.
+EngineBackend default_engine_backend();
+
 // A message (or any payload) delivered to a rank at a virtual time.
 struct Delivery {
   double time = 0.0;
   std::uint64_t seq = 0;  // global order among equal-time deliveries
-  std::any payload;
+  Payload payload;
 };
 
 // Per-rank handle passed to the rank main function. All methods must be
-// called from that rank's thread only.
+// called from that rank's execution context only.
 class RankCtx {
  public:
   RankCtx(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
@@ -65,7 +99,7 @@ class RankCtx {
 
   // Schedules a payload for delivery to rank dst at virtual time `time`
   // (must be >= now()).
-  void post(double time, int dst, std::any payload);
+  void post(double time, int dst, Payload payload);
 
   // Deliveries for this rank in arrival order. The consumer (e.g. the
   // simulated MPI layer) owns matching/removal semantics.
@@ -76,19 +110,21 @@ class RankCtx {
   int rank_;
 };
 
-// Thrown inside rank threads when the run is being torn down after an error
-// in some other rank; rank code should let it propagate.
+// Thrown inside rank contexts when the run is being torn down after an
+// error in some other rank; rank code should let it propagate.
 struct AbortRun {};
 
 class Engine {
  public:
-  explicit Engine(int nranks);
+  explicit Engine(int nranks,
+                  EngineBackend backend = default_engine_backend());
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   int size() const { return static_cast<int>(ranks_.size()); }
+  EngineBackend backend() const { return backend_; }
 
   // Runs `rank_main` once per rank to completion. Throws util::Error on
   // deadlock (every live rank blocked with no pending events) and rethrows
@@ -98,6 +134,10 @@ class Engine {
   void run(const std::function<void(RankCtx&)>& rank_main);
 
   // --- introspection / statistics (reset at each run() entry) ---------
+  // Identical across backends for the same workload: both counters are
+  // driven by the shared scheduler, not the switching mechanism.
+  // context_switches() counts *simulated* rank->scheduler handoffs, not OS
+  // context switches (see docs/OBSERVABILITY.md).
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t context_switches() const { return context_switches_; }
 
@@ -112,32 +152,52 @@ class Engine {
   void advance(int rank, double dt);
   void checkpoint(int rank);
   void block(int rank);
-  void post(double time, int dst, std::any payload);
+  void post(double time, int dst, Payload payload);
   std::deque<Delivery>& inbox(int rank);
 
-  // Scheduler internals (run on the scheduler thread).
+  // Scheduler internals (run on the scheduler context).
   void scheduler_loop();
   void deliver_front_event();
   int pick_next_ready() const;
-  void resume(int rank);
   [[noreturn]] void deadlock(const std::string& where) const;
 
-  // Handoff: rank thread -> scheduler.
+  // Backend dispatch: hand control to a rank / back to the scheduler.
+  void resume(int rank);
   void yield_to_scheduler(int rank);
+
+  // Thread backend.
+  std::exception_ptr run_threads(const std::function<void(RankCtx&)>& main);
+  void resume_thread(int rank);
+  void yield_thread(int rank);
+
+  // Fiber backend.
+  std::exception_ptr run_fibers(const std::function<void(RankCtx&)>& main);
+  void resume_fiber(int rank);
+  void yield_fiber(int rank);
+  void fiber_main();  // rank body, runs on the fiber's stack
+  static void fiber_trampoline();
 
   struct Event {
     double time;
     std::uint64_t seq;
     int dst;
-    std::any payload;
+    Payload payload;
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
+  EngineBackend backend_;
   std::vector<std::unique_ptr<Rank>> ranks_;
-  void* sched_slot_ = nullptr;     // TurnSlot of the scheduler, valid in run()
+  void* sched_slot_ = nullptr;  // TurnSlot of the scheduler, valid in run()
+  void* sched_ctx_ = nullptr;   // fiber scheduler context, valid in run()
+  const std::function<void(RankCtx&)>* fiber_rank_main_ = nullptr;
+  int fiber_active_ = -1;  // rank whose fiber is (about to be) running
+  // Scheduler-side ASan fiber bookkeeping (null unless ASan is active).
+  void* sched_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
   std::vector<Event> event_heap_;  // min-heap via std::push_heap/greater
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -1,0 +1,135 @@
+// Type-erased message payload with small-buffer storage.
+//
+// The engine used to carry deliveries as std::any, whose small-object
+// buffer (16 bytes on libstdc++) is too small for mpi::Packet — so every
+// simulated message paid a heap allocation on post and a free on consume.
+// Payload is the same idea with a buffer sized for the real payload types
+// (see mpi/comm.hpp) and move-only semantics: posting a message moves the
+// payload through the event heap and into the inbox without ever touching
+// the allocator. Types larger than the buffer (or with throwing moves)
+// still work via a heap fallback, so test code can post anything.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace repro::sim {
+
+class Payload {
+ public:
+  // Sized for mpi::Packet (the dominant payload); see the static_assert in
+  // mpi/comm.hpp that keeps the two in sync.
+  static constexpr std::size_t kInlineSize = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  Payload() noexcept : vt_(nullptr) {}
+
+  template <typename T, typename D = std::decay_t<T>,
+            typename = std::enable_if_t<!std::is_same_v<D, Payload>>>
+  Payload(T&& value) : vt_(&vtable_for<D>) {  // NOLINT: implicit, like any
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<T>(value));
+    } else {
+      heap_ = new D(std::forward<T>(value));
+    }
+  }
+
+  Payload(Payload&& other) noexcept { steal(other); }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { reset(); }
+
+  bool has_value() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(slot());
+      vt_ = nullptr;
+    }
+  }
+
+  // Typed access, mirroring std::any_cast<T>(&a): null on type mismatch
+  // (or empty payload). The identity check compares vtable addresses —
+  // vtable_for<T> is an inline variable, so there is exactly one instance
+  // of it per type across the whole program.
+  template <typename T>
+  T* get_if() noexcept {
+    return vt_ == &vtable_for<T> ? static_cast<T*>(slot()) : nullptr;
+  }
+  template <typename T>
+  const T* get_if() const noexcept {
+    return vt_ == &vtable_for<T>
+               ? static_cast<const T*>(const_cast<Payload*>(this)->slot())
+               : nullptr;
+  }
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= kInlineSize && alignof(T) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+ private:
+  struct VTable {
+    bool inline_storage;
+    void (*destroy)(void* obj) noexcept;
+    // Move-construct the object into dst_buf from src_obj, destroying the
+    // source (inline storage only; heap payloads just steal the pointer).
+    void (*relocate)(void* dst_buf, void* src_obj) noexcept;
+  };
+
+  template <typename T>
+  static void destroy_inline(void* obj) noexcept {
+    static_cast<T*>(obj)->~T();
+  }
+  template <typename T>
+  static void destroy_heap(void* obj) noexcept {
+    delete static_cast<T*>(obj);
+  }
+  template <typename T>
+  static void relocate_inline(void* dst_buf, void* src_obj) noexcept {
+    ::new (dst_buf) T(std::move(*static_cast<T*>(src_obj)));
+    static_cast<T*>(src_obj)->~T();
+  }
+
+  template <typename T>
+  static inline const VTable vtable_for{
+      fits_inline<T>(),
+      fits_inline<T>() ? &destroy_inline<T> : &destroy_heap<T>,
+      fits_inline<T>() ? &relocate_inline<T> : nullptr,
+  };
+
+  void* slot() noexcept {
+    return vt_ != nullptr && vt_->inline_storage ? static_cast<void*>(buf_)
+                                                 : heap_;
+  }
+
+  void steal(Payload& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      if (vt_->inline_storage) {
+        vt_->relocate(buf_, other.buf_);
+      } else {
+        heap_ = other.heap_;
+      }
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_;
+  union {
+    alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+    void* heap_;
+  };
+};
+
+}  // namespace repro::sim

@@ -179,6 +179,7 @@ TEST_P(CollectivePropertyTest, AllgathervReassemblesEveryBlock) {
     for (int r = 0; r < p; ++r) {
       const std::vector<unsigned char> expected =
           rank_payload(r, counts[static_cast<std::size_t>(r)]);
+      if (expected.empty()) continue;  // memcmp on null is UB even at n=0
       EXPECT_EQ(std::memcmp(out.data() + displs[static_cast<std::size_t>(r)],
                             expected.data(), expected.size()),
                 0)

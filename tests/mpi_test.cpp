@@ -468,7 +468,7 @@ TEST(RendezvousTest, MalformedClearToSendRejected) {
       // rendezvous send below scans the control channel and must reject
       // it before reading the payload.
       comm.ctx().post(comm.now(), 0,
-                      Packet{1, Comm::kCtsTag, nullptr, 0.0, 0.0});
+                      Packet{1, Comm::kCtsTag, MsgBuf{}, 0.0, 0.0});
       std::vector<double> data(1000);
       EXPECT_THROW(
           comm.send(1, 5, data.data(), data.size() * sizeof(double)),

@@ -85,7 +85,7 @@ TEST(EngineTest, MessageDeliveryWakesBlockedRank) {
       ctx.checkpoint();
       while (ctx.inbox().empty()) ctx.block();
       received_at = ctx.now();
-      payload_value = std::any_cast<int>(ctx.inbox().front().payload);
+      payload_value = *ctx.inbox().front().payload.get_if<int>();
       ctx.inbox().pop_front();
     }
   });
@@ -112,7 +112,7 @@ TEST(EngineTest, MinClockRankRunsFirst) {
       ctx.checkpoint();
       while (order.size() < 2) {
         while (ctx.inbox().empty()) ctx.block();
-        order.push_back(std::any_cast<int>(ctx.inbox().front().payload));
+        order.push_back(*ctx.inbox().front().payload.get_if<int>());
         ctx.inbox().pop_front();
       }
     }
@@ -260,7 +260,7 @@ TEST_P(EngineFuzzTest, RandomWorkloadIsDeterministic) {
         ctx.checkpoint();
         while (ctx.inbox().empty()) ctx.block();
         orders[static_cast<std::size_t>(r)].push_back(
-            std::any_cast<int>(ctx.inbox().front().payload));
+            *ctx.inbox().front().payload.get_if<int>());
         ctx.inbox().pop_front();
       }
       finish[static_cast<std::size_t>(r)] = ctx.now();
