@@ -162,6 +162,9 @@ int cmd_run(const Args& args) {
   if (args.has("faults")) {
     spec.faults = net::parse_fault_spec(args.get("faults", ""));
   }
+  if (args.has("topology")) {
+    spec.topology = net::parse_topology_spec(args.get("topology", "single"));
+  }
   // The Chrome trace needs the per-rank timelines recorded.
   spec.record_timelines = args.has("timeline") || args.has("trace-out");
   const core::ExperimentResult r = core::run_experiment(sys, spec);
@@ -228,6 +231,9 @@ int cmd_sweep(const Args& args) {
   if (args.has("faults")) {
     base.faults = net::parse_fault_spec(args.get("faults", ""));
   }
+  if (args.has("topology")) {
+    base.topology = net::parse_topology_spec(args.get("topology", "single"));
+  }
 
   std::vector<core::ExperimentSpec> specs;
   for (int p : {1, 2, 4, 8, 16}) {
@@ -287,6 +293,9 @@ void usage() {
       "                    "
       "'loss=0.01,recovery=timeout;straggler=0,x=1.5;stall=1,at=0.5,dur=0.2'"
       "\n"
+      "                [--topology=SPEC]       fabric between nodes:\n"
+      "                    single (default) | "
+      "fattree[:radix=N][,over=F] | torus[:x=N][,y=N][,z=N]\n"
       "  predict       [--procs P] [--network ...] [--decomp D]   "
       "(closed-form model)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
@@ -296,7 +305,9 @@ void usage() {
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--engine fiber|thread]  DES backend per cell\n"
-      "                [--faults=SPEC]  fault injection for every cell\n");
+      "                [--faults=SPEC]  fault injection for every cell\n"
+      "                [--topology=SPEC]  fabric for every cell "
+      "(single|fattree|torus)\n");
 }
 
 }  // namespace

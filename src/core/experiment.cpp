@@ -43,22 +43,34 @@ perf::RunMetrics collect_metrics(
     rm.utilization = res->utilization(m.makespan);
     m.resources.push_back(std::move(rm));
   }
-  const int p = network.nranks();
-  for (int src = 0; src < p; ++src) {
-    for (int dst = 0; dst < p; ++dst) {
-      if (src == dst) continue;
-      const net::ChannelStats& ch = network.channel(src, dst);
-      if (ch.messages == 0) continue;
-      perf::ChannelMetrics cm;
-      cm.src = src;
-      cm.dst = dst;
-      cm.messages = ch.messages;
-      cm.bytes = ch.bytes;
-      cm.stall_time = ch.stall_time;
-      cm.wire_time = ch.wire_time;
-      m.channels.push_back(cm);
-    }
+  // Fabric hop links (fat-tree uplinks/downlinks, torus links). Only links
+  // that carried traffic are reported: a torus allocates 6 links per grid
+  // slot and most stay idle. Empty on the single switch, so its metrics
+  // JSON is byte-identical to the pre-topology model.
+  for (const sim::Resource* res : network.fabric_links()) {
+    if (res->acquisitions() == 0) continue;
+    perf::ResourceMetrics rm;
+    rm.name = res->name();
+    rm.busy_time = res->busy_time();
+    rm.queue_wait = res->queue_wait_time();
+    rm.max_queue_wait = res->max_queue_wait();
+    rm.acquisitions = res->acquisitions();
+    rm.utilization = res->utilization(m.makespan);
+    m.resources.push_back(std::move(rm));
   }
+  // Sparse channel iteration: only pairs that exchanged messages exist,
+  // visited in deterministic (src, dst) order.
+  network.for_each_channel(
+      [&m](int src, int dst, const net::ChannelStats& ch) {
+        perf::ChannelMetrics cm;
+        cm.src = src;
+        cm.dst = dst;
+        cm.messages = ch.messages;
+        cm.bytes = ch.bytes;
+        cm.stall_time = ch.stall_time;
+        cm.wire_time = ch.wire_time;
+        m.channels.push_back(cm);
+      });
   if (const net::FaultCounters* fc = network.fault_counters()) {
     perf::FaultMetrics& f = m.faults;
     f.enabled = true;
@@ -110,6 +122,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   cluster_config.cpus_per_node = spec.platform.cpus_per_node;
   cluster_config.network = spec.platform.network;
   cluster_config.seed = spec.seed;
+  cluster_config.topology = spec.topology;
   net::ClusterNetwork network(
       cluster_config,
       spec.network_params ? *spec.network_params

@@ -57,6 +57,10 @@ struct ExperimentSpec {
   // the default). Simulated results are byte-identical across backends —
   // only real wall clock differs.
   sim::EngineBackend engine = sim::default_engine_backend();
+  // Fabric between the nodes (single switch by default — the paper's
+  // cluster; fattree/torus model hierarchical clusters, see
+  // net/topology.hpp).
+  net::TopologySpec topology;
 };
 
 struct ExperimentResult {

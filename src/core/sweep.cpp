@@ -27,6 +27,9 @@ std::string spec_label(const ExperimentSpec& spec) {
   if (spec.faults && spec.faults->any()) {
     label += " faults[" + net::to_string(*spec.faults) + "]";
   }
+  if (!spec.topology.single()) {
+    label += " topology=" + net::to_string(spec.topology);
+  }
   return label;
 }
 

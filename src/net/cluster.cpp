@@ -1,6 +1,7 @@
 #include "net/cluster.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -28,13 +29,9 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
     registry_.push_back(&node.nic_rx);
     registry_.push_back(&node.irq_cpu);
   }
-  channels_.assign(static_cast<std::size_t>(config.nranks) *
-                       static_cast<std::size_t>(config.nranks),
-                   ChannelStats{});
-  last_arrival_.assign(
-      static_cast<std::size_t>(config.nranks) *
-          static_cast<std::size_t>(config.nranks),
-      0.0);
+  // Validates the topology spec against the node count (throws on a torus
+  // grid too small for the cluster, etc).
+  topology_ = std::make_unique<Topology>(config_.topology, nnodes_);
 }
 
 ClusterNetwork::ClusterNetwork(const ClusterConfig& config,
@@ -141,12 +138,25 @@ MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
   t.sender_stall =
       std::max(0.0, tx.begin - cpu_done - params_.send_buffer_time);
 
+  // Fabric traversal between the sender's and receiver's edge (fat-tree
+  // uplink/downlink, torus hop chain). On the single switch this is a
+  // no-op — fabric_end == tx.end and t.wire_time stays the nominal wire
+  // occupancy — so the paper's model is bit-identical.
+  double fabric_end = tx.end;
+  double fabric_wire = 0.0;
+  if (!topology_->single()) {
+    const Topology::Traverse tv = topology_->traverse(
+        src_node, dst_node, tx.end, wire, params_.latency);
+    fabric_end = tv.ready;
+    fabric_wire = tv.hop_wire;
+  }
+
   // Inbound link occupancy at the destination models incast contention:
   // concurrent senders serialize on the receiver's link. The occupancy
   // request is the first-bit arrival; clamp it so inbound occupancy can
   // never begin before the first bit left the sender (tx.begin), whatever
   // the latency/jitter arithmetic produced.
-  const double rx_wire_start = tx.end + params_.latency + extra_latency;
+  const double rx_wire_start = fabric_end + params_.latency + extra_latency;
   const sim::Interval rx_wire =
       dres.nic_rx.acquire(std::max(rx_wire_start - wire, tx.begin), wire);
   // rx_wire.end >= tx.end + latency; equality when the inbound link is idle.
@@ -164,7 +174,7 @@ MessageTiming ClusterNetwork::cross_node(int src, int dst, std::size_t bytes,
     t.arrival = rx_wire.end + rx_cost;
   }
   t.recv_copy = static_cast<double>(bytes) / params_.copy_bandwidth;
-  t.wire_time = wire;
+  t.wire_time = wire + fabric_wire;
   return t;
 }
 
@@ -198,18 +208,28 @@ MessageTiming ClusterNetwork::message(int src, int dst, std::size_t bytes,
     }
   }
   REPRO_REQUIRE(t.arrival >= t_send, "message arrival precedes send");
-  const std::size_t pair = static_cast<std::size_t>(src) *
-                               static_cast<std::size_t>(config_.nranks) +
-                           static_cast<std::size_t>(dst);
-  ChannelStats& ch = channels_[pair];
-  ++ch.messages;
-  ch.bytes += static_cast<double>(bytes);
-  ch.stall_time += t.sender_stall;
-  ch.wire_time += t.wire_time;
-  double& last = last_arrival_[pair];
-  if (t.arrival <= last) t.arrival = last + 1e-12;
-  last = t.arrival;
+  ChannelState& ch = channels_[channel_key(src, dst)];
+  ++ch.stats.messages;
+  ch.stats.bytes += static_cast<double>(bytes);
+  ch.stats.stall_time += t.sender_stall;
+  ch.stats.wire_time += t.wire_time;
+  if (t.arrival <= ch.last_arrival) t.arrival = ch.last_arrival + 1e-12;
+  ch.last_arrival = t.arrival;
   return t;
+}
+
+void ClusterNetwork::for_each_channel(
+    const std::function<void(int src, int dst, const ChannelStats&)>& fn)
+    const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(channels_.size());
+  for (const auto& [key, state] : channels_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    fn(static_cast<int>(key >> 32),
+       static_cast<int>(key & 0xffffffffu),
+       channels_.at(key).stats);
+  }
 }
 
 }  // namespace repro::net

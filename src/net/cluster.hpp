@@ -11,11 +11,14 @@
 #include <cstddef>
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/faults.hpp"
 #include "net/params.hpp"
+#include "net/topology.hpp"
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
 
@@ -29,6 +32,10 @@ struct ClusterConfig {
   int cpus_per_node = 1;
   Network network = Network::kTcpGigE;
   std::uint64_t seed = 0x5eed;
+  // Fabric between the nodes. The single-switch default reproduces the
+  // paper's cluster bit-identically; fat-tree/torus route cross-node
+  // messages through per-hop link resources (see net/topology.hpp).
+  TopologySpec topology;
 };
 
 // How one message spends its time, as computed at send time.
@@ -125,13 +132,32 @@ class ClusterNetwork {
   }
 
   // Cumulative per-channel traffic counters (messages, bytes, stall and
-  // wire time accumulated on the src→dst pair).
+  // wire time accumulated on the src→dst pair). Storage is sparse — most
+  // of the p² rank pairs never exchange a message in the nearest-neighbor
+  // and ring patterns — so an untouched pair returns a zero ChannelStats.
   const ChannelStats& channel(int src, int dst) const {
     REPRO_REQUIRE(src >= 0 && src < config_.nranks, "channel: bad src rank");
     REPRO_REQUIRE(dst >= 0 && dst < config_.nranks, "channel: bad dst rank");
-    return channels_[static_cast<std::size_t>(src) *
-                         static_cast<std::size_t>(config_.nranks) +
-                     static_cast<std::size_t>(dst)];
+    const auto it = channels_.find(channel_key(src, dst));
+    if (it == channels_.end()) {
+      static const ChannelStats kEmpty{};
+      return kEmpty;
+    }
+    return it->second.stats;
+  }
+
+  // Visits every channel that carried at least one message, in
+  // deterministic (src, dst) order — use this instead of scanning all
+  // p² pairs through channel().
+  void for_each_channel(
+      const std::function<void(int src, int dst, const ChannelStats&)>& fn)
+      const;
+
+  // The fabric between the nodes (single switch unless configured).
+  const Topology& topology() const { return *topology_; }
+  // Per-hop fabric link resources (empty on the single switch).
+  const std::vector<const sim::Resource*>& fabric_links() const {
+    return topology_->links();
   }
 
  private:
@@ -158,14 +184,25 @@ class ClusterNetwork {
 
   util::Rng jitter_rng_;
   std::unique_ptr<FaultInjector> faults_;  // null unless a FaultSpec is set
+  std::unique_ptr<Topology> topology_;
   std::vector<const sim::Resource*> registry_;
-  std::vector<ChannelStats> channels_;
+
+  // Sparse per-(src,dst) channel accounting, keyed by the packed pair.
+  // last_arrival enforces per-channel FIFO delivery: every real stack here
+  // (TCP, PM, GM) delivers in order per channel, and the ring/pairwise
+  // collective algorithms depend on that, so arrivals are clamped.
+  struct ChannelState {
+    ChannelStats stats;
+    double last_arrival = 0.0;
+  };
+  static std::uint64_t channel_key(int src, int dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+  std::unordered_map<std::uint64_t, ChannelState> channels_;
   std::uint64_t messages_ = 0;
   double bytes_ = 0.0;
-  // Last arrival per (src,dst) channel: every real stack here (TCP, PM,
-  // GM) delivers in order per channel, and the ring/pairwise collective
-  // algorithms depend on that, so arrivals are clamped to be FIFO.
-  std::vector<double> last_arrival_;
 };
 
 }  // namespace repro::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
@@ -12,6 +13,52 @@
 #include <sys/mman.h>
 #include <unistd.h>
 #define REPRO_FIBER_MMAP_STACKS 1
+#endif
+
+// Fast userspace context switch. glibc's swapcontext makes a
+// rt_sigprocmask syscall on every switch (~220 ns each way on this class
+// of hardware); at three handoffs per rank-step that syscall dominates
+// large-p runs. On x86-64 we switch stacks directly, saving only what the
+// SysV ABI makes the callee's problem: the six callee-saved GP registers
+// plus the MXCSR/x87 control words. Signal masks are per-thread, not
+// per-fiber, so skipping them is semantically safe here. Define
+// REPRO_FIBER_UCONTEXT to force the portable ucontext path.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(REPRO_FIBER_UCONTEXT)
+#define REPRO_FIBER_FAST_SWITCH 1
+#endif
+
+#if defined(REPRO_FIBER_FAST_SWITCH)
+extern "C" void repro_fiber_swap(void** save_sp, void* load_sp);
+asm(R"(
+.text
+.align 16
+.globl repro_fiber_swap
+.hidden repro_fiber_swap
+.type repro_fiber_swap, @function
+repro_fiber_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq $8, %rsp
+    stmxcsr (%rsp)
+    fnstcw 4(%rsp)
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    ldmxcsr (%rsp)
+    fldcw 4(%rsp)
+    addq $8, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+.size repro_fiber_swap, .-repro_fiber_swap
+)");
 #endif
 
 // Sanitizer detection. The fiber backend switches stacks in user space;
@@ -83,16 +130,40 @@ inline void asan_finish_switch(void* fake_stack, const void** bottom_old,
 
 // Fiber stack size: $REPRO_FIBER_STACK_KB or 4 MiB. Address space only —
 // pages are committed on first touch, so idle ranks cost a few KB each.
+// Malformed env values fail loudly (see parse_fiber_stack_kb): a silently
+// accepted garbage value used to produce a zero-size stack and a crash at
+// the first fiber switch.
 std::size_t fiber_stack_bytes() {
   static const std::size_t bytes = [] {
     if (const char* env = std::getenv("REPRO_FIBER_STACK_KB")) {
-      const long kb = std::atol(env);
-      if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+      return parse_fiber_stack_kb(env);
     }
     return std::size_t{4} * 1024 * 1024;
   }();
   return bytes;
 }
+
+#if defined(REPRO_FIBER_FAST_SWITCH)
+// Builds the initial stack image repro_fiber_swap's restore path consumes:
+// the FP-control word, six zeroed callee-saved registers, the entry
+// address its final `ret` jumps to, and a null fake return address so the
+// entry function sees an ABI-conformant rsp (≡ 8 mod 16) and a walk off
+// its frame faults loudly instead of executing garbage.
+void* make_fiber_sp(void* lo, std::size_t size, void (*entry)()) {
+  std::uintptr_t top = reinterpret_cast<std::uintptr_t>(lo) + size;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* words = reinterpret_cast<std::uint64_t*>(top);
+  words[-1] = 0;  // fake return address for `entry`
+  words[-2] = reinterpret_cast<std::uint64_t>(entry);
+  for (int i = 3; i <= 8; ++i) words[-i] = 0;  // rbp, rbx, r12..r15
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  words[-9] = static_cast<std::uint64_t>(mxcsr) |
+              (static_cast<std::uint64_t>(fcw) << 32);
+  return words - 9;
+}
+#endif
 
 // The engine whose fibers run on this thread; set for the duration of
 // run_fibers. Fibers cannot outlive run(), and each engine's fibers all
@@ -141,6 +212,37 @@ EngineBackend parse_engine_backend(std::string_view name) {
                     "' (expected fiber or thread)");
 }
 
+std::size_t parse_fiber_stack_kb(std::string_view text) {
+  // Strict hand parse: std::atol would accept "12abc" (and return 0 for
+  // pure garbage, which a naive `> 0` check then maps to the default —
+  // or worse, "0" produced a zero-size stack).
+  std::size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  long kb = 0;
+  const std::size_t digits_begin = i;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') break;
+    if (kb > (1L << 40)) break;  // overflow guard; far beyond any real stack
+    kb = kb * 10 + (text[i] - '0');
+  }
+  if (i != text.size() || i == digits_begin) {
+    throw util::Error("REPRO_FIBER_STACK_KB: '" + std::string(text) +
+                      "' is not a number (expected stack size in KiB)");
+  }
+  if (negative || kb == 0) {
+    throw util::Error("REPRO_FIBER_STACK_KB: '" + std::string(text) +
+                      "' must be a positive stack size in KiB");
+  }
+  // Tiny-but-positive values are clamped instead of rejected: the guard
+  // page already costs 4 KiB, and anything below the floor would overflow
+  // on the first real call frame.
+  return std::max(static_cast<std::size_t>(kb) * 1024, kMinFiberStackBytes);
+}
+
 EngineBackend default_engine_backend() {
   if (const char* env = std::getenv("REPRO_ENGINE")) {
     return parse_engine_backend(env);
@@ -157,7 +259,6 @@ EngineBackend default_engine_backend() {
 // context + stack).
 struct Engine::Rank {
   explicit Rank(int id_) : id(id_) {}
-  ~Rank() { release_stack(); }
 
   int id;
   double clock = 0.0;
@@ -168,54 +269,63 @@ struct Engine::Rank {
   std::thread thread;
   TurnSlot slot;
 
-  // Fiber backend. The stack is allocated lazily on the first fiber run
-  // and reused across runs of the same engine.
+  // Fiber backend. The stack is borrowed from the engine's pool on the
+  // fiber's first resume and returned the moment the rank finishes, so a
+  // run never holds more stacks than it has simultaneously live fibers.
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  void* fiber_sp = nullptr;  // saved stack pointer while switched away
+#else
   ucontext_t ctx{};
-  void* stack_base = nullptr;  // allocation base; first page is a guard
-  std::size_t stack_alloc = 0;
-  void* stack_lo = nullptr;  // usable stack bottom (what ucontext/ASan see)
-  std::size_t stack_size = 0;
+#endif
+  bool fiber_started = false;
+  StackBlock stack;  // empty (base == nullptr) unless started and live
   void* asan_fake_stack = nullptr;
-
-  void ensure_stack() {
-    if (stack_base != nullptr) return;
-    const std::size_t want = fiber_stack_bytes();
-#if defined(REPRO_FIBER_MMAP_STACKS)
-    const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
-    const std::size_t usable = ((want + page - 1) / page) * page;
-    const std::size_t total = usable + page;
-#if defined(MAP_STACK)
-    const int flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK;
-#else
-    const int flags = MAP_PRIVATE | MAP_ANONYMOUS;
-#endif
-    void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE, flags, -1, 0);
-    REPRO_REQUIRE(base != MAP_FAILED, "fiber stack allocation failed");
-    // Guard page below the stack: an overflow faults loudly instead of
-    // silently corrupting a neighbouring fiber's stack.
-    (void)mprotect(base, page, PROT_NONE);
-    stack_base = base;
-    stack_alloc = total;
-    stack_lo = static_cast<char*>(base) + page;
-    stack_size = usable;
-#else
-    stack_base = ::operator new(want);
-    stack_alloc = want;
-    stack_lo = stack_base;
-    stack_size = want;
-#endif
-  }
-
-  void release_stack() {
-    if (stack_base == nullptr) return;
-#if defined(REPRO_FIBER_MMAP_STACKS)
-    (void)munmap(stack_base, stack_alloc);
-#else
-    ::operator delete(stack_base);
-#endif
-    stack_base = nullptr;
-  }
 };
+
+void Engine::free_stack(StackBlock& block) {
+  if (block.base == nullptr) return;
+#if defined(REPRO_FIBER_MMAP_STACKS)
+  (void)munmap(block.base, block.alloc);
+#else
+  ::operator delete(block.base);
+#endif
+  block = StackBlock{};
+}
+
+Engine::StackBlock Engine::acquire_stack() {
+  if (!stack_pool_.empty()) {
+    StackBlock block = stack_pool_.back();
+    stack_pool_.pop_back();
+    return block;
+  }
+  StackBlock block;
+  const std::size_t want = fiber_stack_bytes();
+#if defined(REPRO_FIBER_MMAP_STACKS)
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t usable = ((want + page - 1) / page) * page;
+  const std::size_t total = usable + page;
+#if defined(MAP_STACK)
+  const int flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK;
+#else
+  const int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#endif
+  void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE, flags, -1, 0);
+  REPRO_REQUIRE(base != MAP_FAILED, "fiber stack allocation failed");
+  // Guard page below the stack: an overflow faults loudly instead of
+  // silently corrupting a neighbouring fiber's stack.
+  (void)mprotect(base, page, PROT_NONE);
+  block.base = base;
+  block.alloc = total;
+  block.lo = static_cast<char*>(base) + page;
+  block.size = usable;
+#else
+  block.base = ::operator new(want);
+  block.alloc = want;
+  block.lo = block.base;
+  block.size = want;
+#endif
+  return block;
+}
 
 Engine::Engine(int nranks, EngineBackend backend) : backend_(backend) {
   REPRO_REQUIRE(nranks >= 1, "engine needs at least one rank");
@@ -225,7 +335,10 @@ Engine::Engine(int nranks, EngineBackend backend) : backend_(backend) {
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  for (auto& r : ranks_) free_stack(r->stack);
+  for (StackBlock& block : stack_pool_) free_stack(block);
+}
 
 int RankCtx::size() const { return engine_->size(); }
 double RankCtx::now() const { return engine_->now(rank_); }
@@ -292,38 +405,61 @@ void Engine::deliver_front_event() {
     dst.state = State::Ready;
     // A woken rank resumes no earlier than the arrival that woke it.
     dst.clock = std::max(dst.clock, ev.time);
+    push_ready(dst.id);
   }
 }
 
-int Engine::pick_next_ready() const {
-  int best = -1;
-  for (const auto& r : ranks_) {
-    if (r->state != State::Ready) continue;
-    if (best < 0 || r->clock < ranks_[best]->clock) best = r->id;
-  }
-  return best;
+void Engine::push_ready(int rank) {
+  ready_heap_.push_back(ReadyEntry{ranks_[rank]->clock, rank});
+  std::push_heap(ready_heap_.begin(), ready_heap_.end(), std::greater<>{});
+}
+
+void Engine::mark_done(int rank) {
+  ranks_[rank]->state = State::Done;
+  --live_ranks_;
 }
 
 void Engine::deadlock(const std::string& where) const {
+  // A deadlock report at p=4096 must stay readable (and cheap to build):
+  // summarize the state counts and show only the first few live ranks.
   std::ostringstream os;
-  os << "simulation deadlock (" << where << "); rank states:";
+  int ready = 0;
+  int blocked = 0;
+  int done = 0;
   for (const auto& r : ranks_) {
-    os << " [rank " << r->id << ": "
-       << (r->state == State::Ready
-               ? "ready"
-               : (r->state == State::Blocked ? "blocked" : "done"))
-       << " @t=" << r->clock << " inbox=" << r->inbox.size() << "]";
+    switch (r->state) {
+      case State::Ready:
+        ++ready;
+        break;
+      case State::Blocked:
+        ++blocked;
+        break;
+      case State::Done:
+        ++done;
+        break;
+    }
   }
+  os << "simulation deadlock (" << where << "); " << ranks_.size()
+     << " ranks: " << ready << " ready, " << blocked << " blocked, " << done
+     << " done;";
+  constexpr int kMaxListed = 8;
+  int listed = 0;
+  for (const auto& r : ranks_) {
+    if (r->state == State::Done) continue;
+    if (listed == kMaxListed) break;
+    os << " [rank " << r->id << ": "
+       << (r->state == State::Ready ? "ready" : "blocked")
+       << " @t=" << r->clock << " inbox=" << r->inbox.size() << "]";
+    ++listed;
+  }
+  const int live = ready + blocked;
+  if (live > listed) os << " (+" << live - listed << " more)";
   throw util::Error(os.str());
 }
 
 void Engine::scheduler_loop() {
   for (;;) {
-    bool any_live = false;
-    for (const auto& r : ranks_) {
-      if (r->state != State::Done) any_live = true;
-    }
-    if (!any_live) return;
+    if (live_ranks_ == 0) return;
     if (first_error_ && !aborting_) {
       // Tear down remaining ranks: each resume throws AbortRun in the rank
       // context, unwinding it to completion.
@@ -339,8 +475,7 @@ void Engine::scheduler_loop() {
       continue;
     }
 
-    const int next = pick_next_ready();
-    if (next < 0) {
+    if (ready_heap_.empty()) {
       // Nobody is runnable: the next event (if any) must wake someone.
       if (event_heap_.empty()) deadlock("no ready ranks, no pending events");
       deliver_front_event();
@@ -348,13 +483,21 @@ void Engine::scheduler_loop() {
     }
     // Deliver every event due at or before the chosen rank's clock so that
     // its view of the world is complete when it runs. An event delivery can
-    // wake a rank with an even smaller clock, so re-pick afterwards.
-    if (!event_heap_.empty() &&
-        event_heap_.front().time <= ranks_[next]->clock) {
+    // wake a rank with an even smaller clock, so re-peek afterwards. The
+    // heap top is exact (never stale): a parked Ready rank's clock cannot
+    // change, so entries are pushed once and popped exactly when resumed.
+    const ReadyEntry next = ready_heap_.front();
+    if (!event_heap_.empty() && event_heap_.front().time <= next.clock) {
       deliver_front_event();
       continue;
     }
-    resume(next);
+    std::pop_heap(ready_heap_.begin(), ready_heap_.end(), std::greater<>{});
+    ready_heap_.pop_back();
+    resume(next.rank);
+    // The rank yielded: if it is still runnable (checkpoint), re-park it
+    // with its advanced clock; Blocked ranks re-enter through an event
+    // wake, Done ranks never run again.
+    if (ranks_[next.rank]->state == State::Ready) push_ready(next.rank);
   }
 }
 
@@ -370,10 +513,17 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   context_switches_ = 0;
   aborting_ = false;
   first_error_ = nullptr;
+  live_ranks_ = size();
+  ready_heap_.clear();
+  ready_heap_.reserve(ranks_.size());
   for (auto& r : ranks_) {
     r->state = State::Ready;
     r->clock = 0.0;
     r->inbox.clear();
+    r->fiber_started = false;
+    // All entries share clock 0 and ascend in rank id, so the vector is
+    // already a valid min-(clock, rank) heap.
+    ready_heap_.push_back(ReadyEntry{0.0, r->id});
   }
 
   const std::exception_ptr scheduler_error =
@@ -419,7 +569,8 @@ std::exception_ptr Engine::run_threads(
       } catch (...) {
         if (!first_error_) first_error_ = std::current_exception();
       }
-      rp->state = State::Done;
+      // Serialized by the turn protocol: only this thread runs right now.
+      mark_done(rp->id);
       static_cast<TurnSlot*>(sched_slot_)->give_turn();
     });
   }
@@ -447,30 +598,55 @@ std::exception_ptr Engine::run_threads(
 
 // --- fiber backend -----------------------------------------------------
 
+void Engine::start_fiber(Rank& r) {
+  // Lazy start: the stack is borrowed from the pool (or mapped fresh) on
+  // the fiber's first resume, not when the run begins — so stacks freed by
+  // early-finishing ranks are reused by ranks that start later.
+  r.stack = acquire_stack();
+  r.asan_fake_stack = nullptr;
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  r.fiber_sp =
+      make_fiber_sp(r.stack.lo, r.stack.size, &Engine::fiber_trampoline);
+#else
+  REPRO_REQUIRE(getcontext(&r.ctx) == 0, "getcontext failed");
+  r.ctx.uc_stack.ss_sp = r.stack.lo;
+  r.ctx.uc_stack.ss_size = r.stack.size;
+  r.ctx.uc_link = nullptr;
+  makecontext(&r.ctx, &Engine::fiber_trampoline, 0);
+#endif
+  r.fiber_started = true;
+}
+
 void Engine::resume_fiber(int rank) {
   Rank& r = *ranks_[rank];
+  if (!r.fiber_started) start_fiber(r);
   fiber_active_ = rank;
-  asan_start_switch(&sched_fake_stack_, r.stack_lo, r.stack_size);
+  asan_start_switch(&sched_fake_stack_, r.stack.lo, r.stack.size);
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  repro_fiber_swap(static_cast<void**>(sched_ctx_), r.fiber_sp);
+#else
   swapcontext(static_cast<ucontext_t*>(sched_ctx_), &r.ctx);
+#endif
   asan_finish_switch(sched_fake_stack_, nullptr, nullptr);
   fiber_active_ = -1;
+  if (r.state == State::Done && r.stack.base != nullptr) {
+    // The fiber has fully unwound (its last act was the final switch
+    // home), so its stack is idle and can serve the next starting fiber.
+    stack_pool_.push_back(r.stack);
+    r.stack = StackBlock{};
+  }
 }
 
 void Engine::yield_fiber(int rank) {
   Rank& r = *ranks_[rank];
   asan_start_switch(&r.asan_fake_stack, sched_stack_bottom_,
                     sched_stack_size_);
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  repro_fiber_swap(&r.fiber_sp, *static_cast<void**>(sched_ctx_));
+#else
   swapcontext(&r.ctx, static_cast<ucontext_t*>(sched_ctx_));
+#endif
   asan_finish_switch(r.asan_fake_stack, nullptr, nullptr);
-}
-
-void Engine::fiber_trampoline() {
-  Engine* e = t_fiber_engine;
-  // First arrival on this fiber's stack: complete the switch and learn the
-  // scheduler's stack bounds for the yields back.
-  asan_finish_switch(nullptr, &e->sched_stack_bottom_,
-                     &e->sched_stack_size_);
-  e->fiber_main();
 }
 
 void Engine::fiber_main() {
@@ -485,34 +661,46 @@ void Engine::fiber_main() {
   } catch (...) {
     if (!first_error_) first_error_ = std::current_exception();
   }
-  r.state = State::Done;
+  mark_done(r.id);
   // Final switch home. The null fake-stack save tells ASan this fiber is
   // finished so its fake frames can be released.
   asan_start_switch(nullptr, sched_stack_bottom_, sched_stack_size_);
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  void* dead_sp = nullptr;  // nothing will ever switch back here
+  repro_fiber_swap(&dead_sp, *static_cast<void**>(sched_ctx_));
+#else
   swapcontext(&r.ctx, static_cast<ucontext_t*>(sched_ctx_));
+#endif
   std::abort();  // a finished fiber must never be resumed
+}
+
+void Engine::fiber_trampoline() {
+  Engine* e = t_fiber_engine;
+  // First arrival on this fiber's stack: complete the switch and learn the
+  // scheduler's stack bounds for the yields back.
+  asan_finish_switch(nullptr, &e->sched_stack_bottom_,
+                     &e->sched_stack_size_);
+  e->fiber_main();
 }
 
 std::exception_ptr Engine::run_fibers(
     const std::function<void(RankCtx&)>& rank_main) {
+#if defined(REPRO_FIBER_FAST_SWITCH)
+  // The scheduler context is just its saved stack pointer: resume_fiber
+  // writes this slot on the way out and yield_fiber reads it on the way
+  // back, all within this frame's lifetime.
+  void* sched_sp = nullptr;
+  sched_ctx_ = &sched_sp;
+#else
   ucontext_t sched_ctx;
   sched_ctx_ = &sched_ctx;
+#endif
   Engine* const prev_engine = t_fiber_engine;
   t_fiber_engine = this;
   fiber_rank_main_ = &rank_main;
   sched_fake_stack_ = nullptr;
   sched_stack_bottom_ = nullptr;
   sched_stack_size_ = 0;
-
-  for (auto& r : ranks_) {
-    r->ensure_stack();
-    r->asan_fake_stack = nullptr;
-    REPRO_REQUIRE(getcontext(&r->ctx) == 0, "getcontext failed");
-    r->ctx.uc_stack.ss_sp = r->stack_lo;
-    r->ctx.uc_stack.ss_size = r->stack_size;
-    r->ctx.uc_link = nullptr;
-    makecontext(&r->ctx, &Engine::fiber_trampoline, 0);
-  }
 
   std::exception_ptr scheduler_error;
   try {

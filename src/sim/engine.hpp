@@ -58,6 +58,13 @@ const char* to_string(EngineBackend backend);
 // Parses "fiber" / "thread"; throws util::Error on anything else.
 EngineBackend parse_engine_backend(std::string_view name);
 
+// Parses a $REPRO_FIBER_STACK_KB value into a stack size in bytes. Throws
+// util::Error on non-numeric, zero or negative input; values below the
+// 64 KiB floor are clamped up to it (a smaller stack cannot hold a rank
+// main's frames and would fault on the guard page at the first deep call).
+std::size_t parse_fiber_stack_kb(std::string_view text);
+inline constexpr std::size_t kMinFiberStackBytes = 64 * 1024;
+
 // The process-wide default: $REPRO_ENGINE when set (values as above),
 // otherwise kFiber — except under ThreadSanitizer, where the thread
 // backend is the default because TSan cannot follow user-space stack
@@ -158,7 +165,8 @@ class Engine {
   // Scheduler internals (run on the scheduler context).
   void scheduler_loop();
   void deliver_front_event();
-  int pick_next_ready() const;
+  void push_ready(int rank);
+  void mark_done(int rank);
   [[noreturn]] void deadlock(const std::string& where) const;
 
   // Backend dispatch: hand control to a rank / back to the scheduler.
@@ -188,6 +196,35 @@ class Engine {
     }
   };
 
+  // One parked runnable rank in the ready heap. The clock is a snapshot
+  // taken at push time; it cannot go stale, because a parked Ready rank's
+  // clock only changes while the rank itself runs (advance) or when a
+  // Blocked rank is woken — and both transitions re-park the rank through
+  // push_ready. Ties break on rank id, matching the old linear scan's
+  // first-lowest-id pick, so simulations stay bit-identical.
+  struct ReadyEntry {
+    double clock;
+    int rank;
+    bool operator>(const ReadyEntry& o) const {
+      if (clock != o.clock) return clock > o.clock;
+      return rank > o.rank;
+    }
+  };
+
+  // A pooled fiber stack (allocation base, usable range). Stacks are
+  // recycled into the pool the moment their rank finishes and reused by
+  // not-yet-started fibers, so peak stack memory tracks the number of
+  // *simultaneously live* fibers, not the total rank count.
+  struct StackBlock {
+    void* base = nullptr;      // allocation base; first page is a guard
+    std::size_t alloc = 0;     // full allocation size (incl. guard)
+    void* lo = nullptr;        // usable stack bottom (ucontext/ASan view)
+    std::size_t size = 0;      // usable stack size
+  };
+  StackBlock acquire_stack();
+  static void free_stack(StackBlock& block);
+  void start_fiber(Rank& r);
+
   EngineBackend backend_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   void* sched_slot_ = nullptr;  // TurnSlot of the scheduler, valid in run()
@@ -199,6 +236,13 @@ class Engine {
   const void* sched_stack_bottom_ = nullptr;
   std::size_t sched_stack_size_ = 0;
   std::vector<Event> event_heap_;  // min-heap via std::push_heap/greater
+  // Indexed ready structure: min-(clock, rank) heap of parked runnable
+  // ranks. Replaces the per-switch O(p) state scan — scheduling is
+  // O(log p) per context switch, which is what lets the engine run
+  // thousands of fiber ranks (see docs/ARCHITECTURE.md).
+  std::vector<ReadyEntry> ready_heap_;
+  int live_ranks_ = 0;  // ranks not yet Done (replaces the any_live scan)
+  std::vector<StackBlock> stack_pool_;  // recycled fiber stacks
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t context_switches_ = 0;

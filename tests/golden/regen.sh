@@ -21,4 +21,12 @@ for fig in fig2_structure fig3_reference_case fig4_breakdown_reference \
   echo "regenerating $fig.txt..."
   "$bin" --steps=4 > "$here/$fig.txt" 2>/dev/null
 done
-echo "done; review with: git diff tests/golden/"
+
+# DES scalability record (wall-clock, so not a byte-compared golden):
+# re-measures events/sec up to p=4096 and rewrites BENCH_des_scale.json
+# at the repo root. Skipped unless the bench binary is built.
+if [ -x "$build/bench/des_scale" ]; then
+  echo "regenerating BENCH_des_scale.json (p up to 4096; takes a few min)..."
+  "$build/bench/des_scale" --json="$here/../../BENCH_des_scale.json"
+fi
+echo "done; review with: git diff tests/golden/ BENCH_des_scale.json"

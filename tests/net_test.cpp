@@ -3,9 +3,12 @@
 #include <cctype>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/cluster.hpp"
 #include "net/params.hpp"
+#include "net/topology.hpp"
 #include "util/error.hpp"
 
 namespace repro::net {
@@ -402,6 +405,178 @@ TEST(ClusterTest, ArrivalNeverPrecedesSend) {
     EXPECT_GE(m.sender_busy, 0.0);
     EXPECT_GE(m.sender_stall, 0.0);
   }
+}
+
+// --- sparse channel accounting --------------------------------------------
+
+TEST(ClusterTest, UntouchedChannelIsZero) {
+  ClusterNetwork net(config(8, 1, Network::kScoreGigE));
+  net.message(0, 1, 1000, 0.0);
+  const ChannelStats& used = net.channel(0, 1);
+  EXPECT_EQ(used.messages, 1u);
+  // A pair that never exchanged a message still reads as all-zero.
+  const ChannelStats& idle = net.channel(5, 6);
+  EXPECT_EQ(idle.messages, 0u);
+  EXPECT_DOUBLE_EQ(idle.bytes, 0.0);
+  EXPECT_DOUBLE_EQ(idle.stall_time, 0.0);
+  EXPECT_DOUBLE_EQ(idle.wire_time, 0.0);
+}
+
+TEST(ClusterTest, ChannelAccessorKeepsBoundsChecks) {
+  ClusterNetwork net(config(4, 1, Network::kScoreGigE));
+  EXPECT_THROW(net.channel(-1, 0), util::Error);
+  EXPECT_THROW(net.channel(0, 4), util::Error);
+  EXPECT_THROW(net.channel(4, 0), util::Error);
+}
+
+TEST(ClusterTest, ForEachChannelVisitsOnlyUsedPairsInOrder) {
+  ClusterNetwork net(config(8, 1, Network::kScoreGigE));
+  // Touch three pairs in shuffled order.
+  net.message(5, 2, 100, 0.0);
+  net.message(0, 7, 200, 0.1);
+  net.message(5, 1, 300, 0.2);
+  std::vector<std::pair<int, int>> seen;
+  net.for_each_channel([&](int src, int dst, const ChannelStats& ch) {
+    EXPECT_GE(ch.messages, 1u);
+    seen.emplace_back(src, dst);
+  });
+  // Deterministic (src, dst) order, untouched pairs absent.
+  EXPECT_EQ(seen, (std::vector<std::pair<int, int>>{
+                      {0, 7}, {5, 1}, {5, 2}}));
+}
+
+// --- topology specs -------------------------------------------------------
+
+TEST(TopologyTest, SpecParseRoundTrips) {
+  for (const char* text :
+       {"single", "fattree:radix=16,over=1", "fattree:radix=8,over=4",
+        "torus", "torus:x=4,y=4,z=2"}) {
+    const TopologySpec spec = parse_topology_spec(text);
+    EXPECT_EQ(to_string(spec), text);
+    // The canonical string parses back to itself.
+    EXPECT_EQ(to_string(parse_topology_spec(to_string(spec))),
+              to_string(spec));
+  }
+  // Bare kinds expand to their canonical forms.
+  EXPECT_EQ(to_string(parse_topology_spec("fattree")),
+            "fattree:radix=16,over=1");
+  EXPECT_EQ(to_string(parse_topology_spec("torus")), "torus");
+}
+
+TEST(TopologyTest, SpecParseErrors) {
+  EXPECT_THROW(parse_topology_spec("mesh"), util::Error);
+  EXPECT_THROW(parse_topology_spec("single:radix=4"), util::Error);
+  EXPECT_THROW(parse_topology_spec("fattree:radix"), util::Error);
+  EXPECT_THROW(parse_topology_spec("fattree:radix=abc"), util::Error);
+  EXPECT_THROW(parse_topology_spec("fattree:x=4"), util::Error);
+  EXPECT_THROW(parse_topology_spec("torus:over=2"), util::Error);
+}
+
+TEST(TopologyTest, SpecValidationErrors) {
+  EXPECT_THROW(parse_topology_spec("fattree:radix=0"), util::Error);
+  EXPECT_THROW(parse_topology_spec("fattree:over=0.5"), util::Error);
+  EXPECT_THROW(parse_topology_spec("torus:x=-2"), util::Error);
+  // A fixed grid too small for the cluster fails at network construction.
+  ClusterConfig c = config(16, 1, Network::kScoreGigE);
+  c.topology = parse_topology_spec("torus:x=2,y=2");
+  EXPECT_THROW(ClusterNetwork{c}, util::Error);
+}
+
+// --- fat-tree -------------------------------------------------------------
+
+TEST(TopologyTest, FatTreeSameSwitchMatchesSingleSwitch) {
+  // All four nodes sit under one edge switch, so every message timing must
+  // be byte-identical to the single-switch model.
+  ClusterConfig single = config(4, 1, Network::kScoreGigE);
+  ClusterConfig tree = single;
+  tree.topology = parse_topology_spec("fattree:radix=16,over=4");
+  ClusterNetwork a{single};
+  ClusterNetwork b{tree};
+  for (int i = 0; i < 20; ++i) {
+    const int src = i % 4;
+    const int dst = (i + 1) % 4;
+    const double t = i * 0.001;
+    const MessageTiming ma = a.message(src, dst, 4096, t);
+    const MessageTiming mb = b.message(src, dst, 4096, t);
+    EXPECT_DOUBLE_EQ(ma.arrival, mb.arrival);
+    EXPECT_DOUBLE_EQ(ma.wire_time, mb.wire_time);
+    EXPECT_DOUBLE_EQ(ma.sender_stall, mb.sender_stall);
+  }
+}
+
+TEST(TopologyTest, FatTreeCrossSwitchSlowerThanSameSwitch) {
+  // radix=2: nodes {0,1} and {2,3} sit on different edge switches.
+  ClusterConfig c = config(4, 1, Network::kScoreGigE);
+  c.topology = parse_topology_spec("fattree:radix=2,over=1");
+  ClusterNetwork net{c};
+  const double same_sw = net.message(0, 1, 65536, 0.0).arrival;
+  const double cross_sw = net.message(0, 2, 65536, 100.0).arrival - 100.0;
+  EXPECT_GT(cross_sw, same_sw);
+  // The cross-switch message occupied the uplink and the downlink.
+  const MessageTiming cross = net.message(1, 3, 65536, 200.0);
+  const MessageTiming same = net.message(1, 0, 65536, 300.0);
+  EXPECT_GT(cross.wire_time, same.wire_time);
+}
+
+TEST(TopologyTest, OversubscriptionSlowsCrossSwitchTraffic) {
+  ClusterConfig full = config(4, 1, Network::kScoreGigE);
+  full.topology = parse_topology_spec("fattree:radix=2,over=1");
+  ClusterConfig over = full;
+  over.topology = parse_topology_spec("fattree:radix=2,over=8");
+  ClusterNetwork a{full};
+  ClusterNetwork b{over};
+  const double t_full = a.message(0, 2, 1 << 20, 0.0).arrival;
+  const double t_over = b.message(0, 2, 1 << 20, 0.0).arrival;
+  EXPECT_GT(t_over, t_full);
+  // Same-switch traffic is unaffected by oversubscription.
+  EXPECT_DOUBLE_EQ(a.message(0, 1, 1 << 20, 100.0).arrival,
+                   b.message(0, 1, 1 << 20, 100.0).arrival);
+}
+
+TEST(TopologyTest, FatTreeUplinkContentionSerializes) {
+  // Two senders on switch 0 target switch 1 at the same instant: the
+  // shared uplink serializes them, unlike the single switch where only
+  // the endpoint NICs are shared.
+  ClusterConfig c = config(4, 1, Network::kScoreGigE);
+  c.topology = parse_topology_spec("fattree:radix=2,over=1");
+  ClusterNetwork net{c};
+  const double first = net.message(0, 2, 1 << 20, 0.0).arrival;
+  const double second = net.message(1, 3, 1 << 20, 0.0).arrival;
+  EXPECT_GT(second, first);
+  // The uplink resource shows both acquisitions.
+  std::uint64_t uplink_acqs = 0;
+  for (const sim::Resource* link : net.fabric_links()) {
+    if (link->name() == "sw0/up") uplink_acqs = link->acquisitions();
+  }
+  EXPECT_EQ(uplink_acqs, 2u);
+}
+
+// --- torus ----------------------------------------------------------------
+
+TEST(TopologyTest, TorusHopDistances) {
+  const Topology topo(parse_topology_spec("torus:x=4,y=4"), 16);
+  EXPECT_EQ(topo.hops(0, 0), 0);
+  EXPECT_EQ(topo.hops(0, 1), 1);    // +x neighbor
+  EXPECT_EQ(topo.hops(0, 3), 1);    // wraparound: 3 is 0's -x neighbor
+  EXPECT_EQ(topo.hops(0, 4), 1);    // +y neighbor
+  EXPECT_EQ(topo.hops(0, 5), 2);    // diagonal
+  EXPECT_EQ(topo.hops(0, 10), 4);   // opposite corner: 2 + 2
+  EXPECT_EQ(topo.hops(1, 0), 1);    // symmetric
+}
+
+TEST(TopologyTest, TorusMoreHopsArriveLater) {
+  ClusterConfig c = config(16, 1, Network::kScoreGigE);
+  c.topology = parse_topology_spec("torus:x=4,y=4");
+  ClusterNetwork net{c};
+  const double one_hop = net.message(0, 1, 65536, 0.0).arrival;
+  const double four_hops = net.message(0, 10, 65536, 100.0).arrival - 100.0;
+  EXPECT_GT(four_hops, one_hop);
+}
+
+TEST(TopologyTest, FabricLinksEmptyOnSingleSwitch) {
+  ClusterNetwork net(config(4, 1, Network::kScoreGigE));
+  EXPECT_TRUE(net.fabric_links().empty());
+  EXPECT_TRUE(net.topology().single());
 }
 
 }  // namespace

@@ -335,5 +335,71 @@ TEST(EngineTest, RerunResetsStatistics) {
   EXPECT_LT(engine.context_switches(), 100u);
 }
 
+TEST(FiberStackKbTest, ParsesPlainValues) {
+  EXPECT_EQ(parse_fiber_stack_kb("4096"), std::size_t{4096} * 1024);
+  EXPECT_EQ(parse_fiber_stack_kb("+128"), std::size_t{128} * 1024);
+}
+
+TEST(FiberStackKbTest, ClampsTinyValuesToTheFloor) {
+  // 1 KiB cannot hold a rank main's frames; clamp, don't crash later.
+  EXPECT_EQ(parse_fiber_stack_kb("1"), kMinFiberStackBytes);
+  EXPECT_EQ(parse_fiber_stack_kb("63"), kMinFiberStackBytes);
+  EXPECT_EQ(parse_fiber_stack_kb("64"), kMinFiberStackBytes);
+  EXPECT_GT(parse_fiber_stack_kb("65"), kMinFiberStackBytes);
+}
+
+TEST(FiberStackKbTest, RejectsNonNumericInput) {
+  EXPECT_THROW(parse_fiber_stack_kb(""), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("abc"), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("12abc"), util::Error);  // atol trap
+  EXPECT_THROW(parse_fiber_stack_kb("4096 "), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("0x100"), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("+"), util::Error);
+}
+
+TEST(FiberStackKbTest, RejectsZeroAndNegative) {
+  // "0" used to silently produce a zero-size stack and a crash at the
+  // first fiber switch.
+  EXPECT_THROW(parse_fiber_stack_kb("0"), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("-1"), util::Error);
+  EXPECT_THROW(parse_fiber_stack_kb("-4096"), util::Error);
+}
+
+TEST(EngineTest, DeadlockReportSummarizesLargeRankCounts) {
+  // 20 ranks all block forever: the report must carry the state counts
+  // but list only the first 8 offenders, not all 20.
+  constexpr int kRanks = 20;
+  Engine engine(kRanks);
+  try {
+    engine.run([](RankCtx& ctx) { ctx.block(); });
+    FAIL() << "expected deadlock";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("simulation deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("20 ranks: 0 ready, 20 blocked, 0 done"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("[rank 0:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[rank 7:"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("[rank 8:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(+12 more)"), std::string::npos) << msg;
+  }
+}
+
+TEST(EngineTest, DeadlockReportListsAllRanksWhenFew) {
+  Engine engine(2);
+  try {
+    engine.run([](RankCtx& ctx) { ctx.block(); });
+    FAIL() << "expected deadlock";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 ranks: 0 ready, 2 blocked, 0 done"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("[rank 1:"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("more)"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace repro::sim
