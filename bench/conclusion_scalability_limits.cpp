@@ -6,11 +6,21 @@
 // such a cluster. For more parallelism, a low overhead, high speed
 // interconnect like e.g. Myrinet must be included."
 //
-// This bench sweeps processor counts on a good software stack (SCore) and
-// on Myrinet, separately for the classic calculation (PME off) and the
+// Part 1 sweeps processor counts on a good software stack (SCore) and on
+// Myrinet, separately for the classic calculation (PME off) and the
 // PME-enabled calculation, and reports the largest processor count that
 // still achieves 50% parallel efficiency.
+//
+// Parts 2 and 3 are the study the paper could not run on its 16-node
+// testbed: the same 50%-efficiency limit across decomposition strategies
+// (including the spatial domain decomposition CHARMM lacked) x cluster
+// fabrics, with processor counts up to 128 — first for the classic
+// calculation, then asking whether the domain decomposition moves the PME
+// wall. --smoke trims the grids for CI.
 #include "figure_common.hpp"
+
+#include "charmm/decomp_spec.hpp"
+#include "net/topology.hpp"
 
 using namespace repro;
 using repro::util::Table;
@@ -31,6 +41,31 @@ core::ExperimentSpec sweep_spec(const Sweep& sweep, int p) {
   return spec;
 }
 
+// The scalability limit: the largest processor count in the *contiguous*
+// prefix (from p=1) whose every point holds >=50% efficiency. A larger
+// count that recovers after a dip does not extend the limit — the dip is
+// where scaling broke.
+class EfficiencyLimit {
+ public:
+  void observe(int p, double eff) {
+    if (!prefix_ok_) return;
+    if (eff >= 0.5) {
+      limit_ = p;
+    } else {
+      prefix_ok_ = false;
+    }
+  }
+  // "none" when even p=1 missed the threshold (cannot happen for p=1
+  // efficiency 1.0, but the printing must not invent a number).
+  std::string to_string() const {
+    return limit_ > 0 ? std::to_string(limit_) + " procs" : "none";
+  }
+
+ private:
+  int limit_ = 0;
+  bool prefix_ok_ = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,7 +82,9 @@ int main(int argc, char** argv) {
       {"classic only, Myrinet", net::Network::kMyrinetGM, false},
       {"with PME, Myrinet", net::Network::kMyrinetGM, true},
   };
-  const int counts[] = {1, 2, 4, 8, 16, 32};
+  const std::vector<int> counts = bench::options().smoke
+                                      ? std::vector<int>{1, 2, 8}
+                                      : std::vector<int>{1, 2, 4, 8, 16, 32};
 
   std::vector<core::ExperimentSpec> specs;
   for (const Sweep& sweep : sweeps) {
@@ -60,7 +97,7 @@ int main(int argc, char** argv) {
 
   Table table({"configuration", "procs", "total (s)", "speedup",
                "efficiency"});
-  std::map<std::string, int> limit;  // last p with efficiency >= 50%
+  std::map<std::string, EfficiencyLimit> limit;
   std::size_t idx = 0;
   for (const Sweep& sweep : sweeps) {
     double seq = 0.0;
@@ -68,7 +105,7 @@ int main(int argc, char** argv) {
       const double total = results[idx++].total_seconds();
       if (p == 1) seq = total;
       const double eff = seq / total / p;
-      if (eff >= 0.5) limit[sweep.label] = p;
+      limit[sweep.label].observe(p, eff);
       table.add_row({sweep.label, std::to_string(p), Table::num(total, 2),
                      Table::num(seq / total, 2), Table::pct(eff)});
     }
@@ -76,23 +113,164 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
 
   std::printf("largest processor count with >=50%% efficiency:\n");
-  for (const auto& [label, p] : limit) {
-    std::printf("  %-24s : %d procs\n", label.c_str(), p);
+  for (const auto& [label, lim] : limit) {
+    std::printf("  %-24s : %s\n", label.c_str(), lim.to_string().c_str());
   }
   std::printf(
       "\npaper checks (§5):\n"
       "  - on the commodity TCP/Ethernet stack, PME hits its efficiency\n"
       "    limit at a fraction of the classic calculation's limit\n"
-      "    (classic %d vs PME %d procs here; the paper: 'a quarter of\n"
+      "    (classic %s vs PME %s here; the paper: 'a quarter of\n"
       "    such a cluster');\n"
       "  - 'for more parallelism, a low overhead, high speed interconnect\n"
       "    like e.g. Myrinet must be included': the PME limit rises from\n"
-      "    %d (TCP) to %d (Myrinet) processors;\n"
+      "    %s (TCP) to %s (Myrinet);\n"
       "  - the paper's 32-64-processor headroom assumes problems that grow\n"
       "    with the cluster — strong-scaling this fixed 3552-atom system\n"
       "    leaves only ~110 atoms per rank at 32 procs; see\n"
       "    bench/extension_problem_size for the size dimension.\n",
-      limit["classic only, TCP/IP"], limit["with PME, TCP/IP"],
-      limit["with PME, TCP/IP"], limit["with PME, Myrinet"]);
+      limit["classic only, TCP/IP"].to_string().c_str(),
+      limit["with PME, TCP/IP"].to_string().c_str(),
+      limit["with PME, TCP/IP"].to_string().c_str(),
+      limit["with PME, Myrinet"].to_string().c_str());
+
+  // --- Part 2: the scaling study beyond the paper's testbed -------------
+  // Decomposition strategy x fabric topology for the classic calculation,
+  // Myrinet (the paper's own prescription for "more parallelism"),
+  // processor counts past the 16-node CoPs up to 128. The replicated-data
+  // strategies all allreduce O(N) state per step, so their limits stall
+  // regardless of fabric; the spatial domain decomposition only exchanges
+  // halo shells and overtakes them as the count grows. (task decoupling
+  // requires PME, so the classic sweep pits atom vs force vs spatial.)
+  std::printf(
+      "\n================================================================\n"
+      "Beyond the paper: decomposition x topology scaling to 128 procs\n"
+      "(classic calculation, Myrinet GM)\n"
+      "================================================================\n");
+
+  const char* kinds[] = {"atom", "force", "spatial"};
+  const char* fabrics[] = {"single", "fattree", "torus"};
+  const std::vector<int> counts2 =
+      bench::options().smoke ? std::vector<int>{1, 8}
+                             : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128};
+
+  std::vector<core::ExperimentSpec> specs2;
+  for (const char* kind : kinds) {
+    for (const char* fabric : fabrics) {
+      for (int p : counts2) {
+        core::ExperimentSpec spec;
+        spec.platform.network = net::Network::kMyrinetGM;
+        spec.nprocs = p;
+        spec.charmm.use_pme = false;
+        spec.charmm.decomp = charmm::parse_decomp_spec(kind);
+        spec.topology = net::parse_topology_spec(fabric);
+        specs2.push_back(spec);
+      }
+    }
+  }
+  const std::vector<core::ExperimentResult> results2 = core::run_experiments(
+      bench::prepared_system(), specs2, bench::default_jobs());
+
+  Table table2({"decomposition", "topology", "procs", "total (s)",
+                "speedup", "efficiency"});
+  std::map<std::string, EfficiencyLimit> limit2;
+  idx = 0;
+  for (const char* kind : kinds) {
+    for (const char* fabric : fabrics) {
+      const std::string key = std::string(kind) + " / " + fabric;
+      double seq = 0.0;
+      for (int p : counts2) {
+        const double total = results2[idx++].total_seconds();
+        if (p == 1) seq = total;
+        const double eff = seq / total / p;
+        limit2[key].observe(p, eff);
+        table2.add_row({kind, fabric, std::to_string(p),
+                        Table::num(total, 2), Table::num(seq / total, 2),
+                        Table::pct(eff)});
+      }
+    }
+  }
+  std::printf("%s\n", table2.to_string().c_str());
+
+  std::printf("largest processor count with >=50%% efficiency:\n");
+  for (const char* kind : kinds) {
+    for (const char* fabric : fabrics) {
+      const std::string key = std::string(kind) + " / " + fabric;
+      std::printf("  %-18s : %s\n", key.c_str(),
+                  limit2[key].to_string().c_str());
+    }
+  }
+  std::printf(
+      "\nreading (beyond-the-paper checks):\n"
+      "  - the replicated strategies allreduce the full force array every\n"
+      "    step, so their absolute times flatten at small processor counts\n"
+      "    on every fabric, while the spatial decomposition's halo traffic\n"
+      "    shrinks with the domain surface and keeps the time falling to\n"
+      "    the largest counts (compare the total columns; the efficiency\n"
+      "    limits of all strategies fall early because strong-scaling\n"
+      "    3552 atoms runs out of work — 72 cutoff-sized cells — long\n"
+      "    before it runs out of processors);\n"
+      "  - the fabric column barely moves any limit: at this problem size\n"
+      "    the bottleneck is the decomposition's traffic volume and the\n"
+      "    load balance, not fabric contention.\n");
+
+  // --- Part 3: does the domain decomposition move the PME wall? ---------
+  // The paper's PME limit ('a quarter of such a cluster') is set by the
+  // slab FFT's communication. The spatial decomposition fixes the classic
+  // calculation's traffic but still has to gather positions for — and
+  // allreduce reciprocal forces from — the replicated slab PME, an
+  // all-to-all that grows with p^2. Measuring atom vs spatial with PME on
+  // shows whether domain-decomposing the direct space moves the wall.
+  std::printf(
+      "\n================================================================\n"
+      "Beyond the paper: does spatial decomposition move the PME wall?\n"
+      "(PME on, Myrinet GM, single switch)\n"
+      "================================================================\n");
+
+  const char* kinds3[] = {"atom", "spatial"};
+  std::vector<core::ExperimentSpec> specs3;
+  for (const char* kind : kinds3) {
+    for (int p : counts2) {
+      core::ExperimentSpec spec;
+      spec.platform.network = net::Network::kMyrinetGM;
+      spec.nprocs = p;
+      spec.charmm.use_pme = true;
+      spec.charmm.decomp = charmm::parse_decomp_spec(kind);
+      specs3.push_back(spec);
+    }
+  }
+  const std::vector<core::ExperimentResult> results3 = core::run_experiments(
+      bench::prepared_system(), specs3, bench::default_jobs());
+
+  Table table3({"decomposition", "procs", "total (s)", "speedup",
+                "efficiency"});
+  std::map<std::string, EfficiencyLimit> limit3;
+  idx = 0;
+  for (const char* kind : kinds3) {
+    double seq = 0.0;
+    for (int p : counts2) {
+      const double total = results3[idx++].total_seconds();
+      if (p == 1) seq = total;
+      const double eff = seq / total / p;
+      limit3[kind].observe(p, eff);
+      table3.add_row({kind, std::to_string(p), Table::num(total, 2),
+                      Table::num(seq / total, 2), Table::pct(eff)});
+    }
+  }
+  std::printf("%s\n", table3.to_string().c_str());
+
+  std::printf("largest processor count with >=50%% efficiency:\n");
+  for (const char* kind : kinds3) {
+    std::printf("  %-18s : %s\n", kind, limit3[kind].to_string().c_str());
+  }
+  std::printf(
+      "\nreading: it does not. The spatial decomposition feeds the slab\n"
+      "PME through a pairwise position gather plus a full-array\n"
+      "reciprocal-force allreduce, so with PME on its step time is\n"
+      "dominated by exactly the traffic the classic sweep eliminated.\n"
+      "The paper's conclusion survives its own fix: making CHARMM's\n"
+      "direct space scale is not enough — the mesh part needs its own\n"
+      "decomposition (pencil FFTs, PME task groups) before the PME wall\n"
+      "moves.\n");
   return 0;
 }

@@ -31,6 +31,10 @@ struct BenchOptions {
   // DES execution backend for every cell ($REPRO_ENGINE / fiber by
   // default). Simulated output is byte-identical across backends.
   sim::EngineBackend engine = sim::default_engine_backend();
+  // CI mode: benches with large sweeps (e.g. the conclusion's 128-rank
+  // scaling study) cut their factor grids down to a fast subset that
+  // still exercises every code path.
+  bool smoke = false;
 };
 
 inline BenchOptions& options() {
@@ -38,9 +42,9 @@ inline BenchOptions& options() {
   return opts;
 }
 
-// Accepts --steps=N, --jobs=N and --engine=fiber|thread; anything else
-// exits with an error so a typo cannot silently produce a full-length run
-// in CI.
+// Accepts --steps=N, --jobs=N, --engine=fiber|thread and --smoke;
+// anything else exits with an error so a typo cannot silently produce a
+// full-length run in CI.
 inline void parse_figure_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,10 +63,12 @@ inline void parse_figure_args(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         std::exit(2);
       }
+    } else if (arg == "--smoke") {
+      options().smoke = true;
     } else {
       std::fprintf(stderr,
                    "unknown option: %s (supported: --steps=N --jobs=N "
-                   "--engine=fiber|thread)\n",
+                   "--engine=fiber|thread --smoke)\n",
                    arg.c_str());
       std::exit(2);
     }

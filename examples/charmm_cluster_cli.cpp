@@ -111,6 +111,9 @@ void print_result(const core::ExperimentResult& r,
                 r.breakdown.comm_speed.max_mb_per_s);
   }
   std::printf("  potential energy %.2f kcal/mol\n", r.energy.potential());
+  if (r.atoms_migrated > 0) {
+    std::printf("  atoms migrated between domains: %zu\n", r.atoms_migrated);
+  }
   if (r.metrics.faults.enabled) {
     const perf::FaultMetrics& f = r.metrics.faults;
     std::printf(
@@ -194,9 +197,18 @@ int cmd_predict(const Args& args) {
   const int procs = args.get_int("procs", 8);
   const charmm::DecompSpec decomp =
       charmm::parse_decomp_spec(args.get("decomp", "atom"));
-  const core::OverheadPrediction pred = core::predict_step_overheads(
-      params, procs, sysbuild::kTotalAtoms, pme::PmeParams{80, 36, 48},
-      decomp);
+  core::OverheadPrediction pred;
+  if (decomp.kind == charmm::DecompKind::kSpatial) {
+    // Spatial halo volumes are the border-cell populations, so the
+    // prediction needs the actual system, not just the atom count.
+    const sysbuild::BuiltSystem sys = obtain_system(args);
+    charmm::CharmmConfig config;
+    config.decomp = decomp;
+    pred = core::predict_step_overheads(params, procs, sys, config);
+  } else {
+    pred = core::predict_step_overheads(params, procs, sysbuild::kTotalAtoms,
+                                        pme::PmeParams{80, 36, 48}, decomp);
+  }
   std::printf(
       "analytic prediction for %s, %d processes, %s decomposition "
       "(per MD step):\n",
@@ -282,7 +294,9 @@ void usage() {
       "  run           [--system F.rsys] [--procs P] [--network "
       "tcp|score|myrinet|faste]\n"
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
-      "                [--pme on|off] [--decomp atom|force|task[:pme=N]]\n"
+      "                [--pme on|off]\n"
+      "                [--decomp "
+      "atom|force|task[:pme=N]|spatial[:grid=AxBxC]]\n"
       "                [--engine fiber|thread]  DES backend (default fiber,\n"
       "                    or $REPRO_ENGINE; results identical either way)\n"
       "                [--timeline]\n"
@@ -297,11 +311,13 @@ void usage() {
       "                    single (default) | "
       "fattree[:radix=N][,over=F] | torus[:x=N][,y=N][,z=N]\n"
       "  predict       [--procs P] [--network ...] [--decomp D]   "
-      "(closed-form model)\n"
+      "(closed-form model;\n"
+      "                    spatial builds the system to derive its halo "
+      "schedule)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n"
-      "                [--decomp atom|force|task[:pme=N]]  which "
-      "parallelization\n"
+      "                [--decomp atom|force|task[:pme=N]|"
+      "spatial[:grid=AxBxC]]\n"
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--engine fiber|thread]  DES backend per cell\n"

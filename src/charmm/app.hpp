@@ -55,6 +55,10 @@ struct RankRunResult {
   md::EnergyTerms last_energy;   // after the global sum: total system terms
   double position_checksum = 0.0;  // sum of coordinates, cross-rank check
   std::size_t pairs_in_list = 0;
+  // Spatial decomposition only: atoms that changed owner at a rebuild,
+  // summed over ranks and the whole run (0 for the replicated strategies,
+  // whose atoms have no owner to change).
+  std::size_t atoms_migrated = 0;
 };
 
 // Runs the energy-calculation workload on one simulated rank under the

@@ -1,11 +1,35 @@
 #include "charmm/decomp_spec.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "util/error.hpp"
 
 namespace repro::charmm {
+
+namespace {
+
+// Strict positive-integer parse (same discipline as the engine's
+// REPRO_FIBER_STACK_KB parser): std::atoi accepts trailing garbage,
+// silently returns 0 for pure garbage, and overflows on long digit
+// strings — every one of those must fail loudly here instead.
+int parse_positive_int(const std::string& value, const std::string& what,
+                       const std::string& text) {
+  long v = 0;
+  std::size_t i = 0;
+  for (; i < value.size(); ++i) {
+    if (value[i] < '0' || value[i] > '9') break;
+    v = v * 10 + (value[i] - '0');
+    REPRO_REQUIRE(v <= 1000000000L,
+                  what + " is out of range in decomposition spec: " + text);
+  }
+  REPRO_REQUIRE(i == value.size() && !value.empty(),
+                "bad " + what + " in decomposition spec (expected a "
+                "positive integer): " + text);
+  REPRO_REQUIRE(v >= 1, what + " must be at least 1: " + text);
+  return static_cast<int>(v);
+}
+
+}  // namespace
 
 const char* to_string(DecompKind kind) {
   switch (kind) {
@@ -15,6 +39,8 @@ const char* to_string(DecompKind kind) {
       return "force";
     case DecompKind::kTaskPme:
       return "task";
+    case DecompKind::kSpatial:
+      return "spatial";
   }
   return "?";
 }
@@ -23,6 +49,10 @@ std::string to_string(const DecompSpec& spec) {
   std::string out = to_string(spec.kind);
   if (spec.kind == DecompKind::kTaskPme && spec.pme_ranks > 0) {
     out += ":pme=" + std::to_string(spec.pme_ranks);
+  }
+  if (spec.kind == DecompKind::kSpatial && spec.grid_x > 0) {
+    out += ":grid=" + std::to_string(spec.grid_x) + "x" +
+           std::to_string(spec.grid_y) + "x" + std::to_string(spec.grid_z);
   }
   return out;
 }
@@ -43,17 +73,33 @@ DecompSpec parse_decomp_spec(const std::string& text) {
     REPRO_REQUIRE(opt.rfind("pme=", 0) == 0,
                   "bad decomposition option '" + opt +
                       "' (expected task:pme=N): " + text);
-    const std::string value = opt.substr(4);
-    REPRO_REQUIRE(!value.empty() &&
-                      value.find_first_not_of("0123456789") == std::string::npos,
-                  "bad PME rank count in decomposition spec: " + text);
-    spec.pme_ranks = std::atoi(value.c_str());
-    REPRO_REQUIRE(spec.pme_ranks >= 1,
-                  "task decomposition needs at least one PME rank: " + text);
+    spec.pme_ranks = parse_positive_int(opt.substr(4), "PME rank count", text);
+    return spec;
+  }
+  if (text == "spatial" || text.rfind("spatial:", 0) == 0) {
+    spec.kind = DecompKind::kSpatial;
+    if (text == "spatial") return spec;
+    const std::string opt = text.substr(8);
+    REPRO_REQUIRE(opt.rfind("grid=", 0) == 0,
+                  "bad decomposition option '" + opt +
+                      "' (expected spatial:grid=AxBxC): " + text);
+    const std::string dims = opt.substr(5);
+    const std::size_t x1 = dims.find('x');
+    const std::size_t x2 =
+        x1 == std::string::npos ? std::string::npos : dims.find('x', x1 + 1);
+    REPRO_REQUIRE(x1 != std::string::npos && x2 != std::string::npos,
+                  "bad spatial grid (expected spatial:grid=AxBxC): " + text);
+    spec.grid_x =
+        parse_positive_int(dims.substr(0, x1), "spatial grid dimension", text);
+    spec.grid_y = parse_positive_int(dims.substr(x1 + 1, x2 - x1 - 1),
+                                     "spatial grid dimension", text);
+    spec.grid_z = parse_positive_int(dims.substr(x2 + 1),
+                                     "spatial grid dimension", text);
     return spec;
   }
   util::fail("unknown decomposition '" + text +
-                 "' (expected atom, force, or task[:pme=N])",
+                 "' (expected atom, force, task[:pme=N], or "
+                 "spatial[:grid=AxBxC])",
              __FILE__, __LINE__);
 }
 

@@ -28,22 +28,38 @@ enum class DecompKind {
   // the classic routine, overlapping the two components that otherwise
   // serialize through the coherency barriers.
   kTaskPme,
+  // Spatial domain decomposition (the era's real answer, Beazley &
+  // Lomdahl's multi-cell message-passing MD): the box is cut into a 3-D
+  // grid of cells at least cutoff+skin wide, cells are packed onto ranks
+  // by a minimum-enlargement heuristic, and each step exchanges only the
+  // halo (ghost positions in, ghost force partials out) with the 26-cell
+  // neighborhood instead of allreducing the full force array. Atoms
+  // migrate to their new owner on neighbor-list rebuilds.
+  kSpatial,
 };
 
 struct DecompSpec {
   DecompKind kind = DecompKind::kAtomReplicated;
   // kTaskPme only: ranks dedicated to PME (0 = auto, max(1, p/4)).
   int pme_ranks = 0;
+  // kSpatial only: explicit cell grid (0 = auto, floor(L / (cutoff +
+  // skin)) per dimension). Either all three are set or none.
+  int grid_x = 0;
+  int grid_y = 0;
+  int grid_z = 0;
 
   bool operator==(const DecompSpec&) const = default;
 };
 
 const char* to_string(DecompKind kind);
-// "atom" | "force" | "task" | "task:pme=N" — round-trips parse_decomp_spec.
+// "atom" | "force" | "task" | "task:pme=N" | "spatial" |
+// "spatial:grid=AxBxC" — round-trips parse_decomp_spec.
 std::string to_string(const DecompSpec& spec);
 
-// Parses "atom", "force", "task" or "task:pme=N" (N >= 1). Throws
-// util::Error on anything else.
+// Parses "atom", "force", "task", "task:pme=N" (N >= 1), "spatial" or
+// "spatial:grid=AxBxC" (A, B, C >= 1). Throws util::Error on anything
+// else — including non-numeric or out-of-range values, which the former
+// atoi-based parser silently folded to 0.
 DecompSpec parse_decomp_spec(const std::string& text);
 
 // Number of PME-dedicated ranks a task-decoupled run on `nprocs` uses:

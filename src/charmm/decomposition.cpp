@@ -5,6 +5,7 @@
 #include <cstring>
 #include <optional>
 
+#include "charmm/spatial.hpp"
 #include "fft/parallel_fft.hpp"
 #include "md/bonded.hpp"
 #include "md/integrator.hpp"
@@ -24,7 +25,9 @@ using util::Vec3;
 // step and operation so a jitter-delayed packet from step k can never
 // match a receive posted in step k+1.
 constexpr int kScheduleTagBase = 1 << 18;
-constexpr int kScheduleTagsPerStep = 4;  // fold, expand / reduce, exchange
+// Five tag slots per step: fold/expand (force) or reduce/exchange (task)
+// or migrate/ghost/position-halo/force-halo/pme-gather (spatial).
+constexpr int kScheduleTagsPerStep = 5;
 // The PME group middleware draws its own fresh tag per operation from
 // here up to the collective base.
 constexpr int kGroupTagBase = 1 << 19;
@@ -709,6 +712,442 @@ class TaskPmeDecomposition final : public Decomposition {
   DecompSpec spec_;
 };
 
+// --------------------------------------------------------------------------
+// Spatial domain decomposition with halo exchange.
+//
+// Ranks own cells of a 3-D grid (charmm/spatial.hpp); each rank keeps
+// current positions/velocities only for its owned atoms plus position
+// ghosts of the border cells of its ≤26 neighboring ranks. Per step the
+// schedule is: position halo out to the neighbors, owned-row compute
+// (bonded/non-bonded/exclusion terms belong to the owner of their first
+// atom), force halo folding ghost-row partials back to the owners, and a
+// 9-double energy allreduce. At every neighbor-list rebuild after the
+// first, atoms that crossed into a foreign cell migrate (id+pos+vel) to
+// the new owner and the ghost sets are renegotiated; the epoch is frozen
+// in between, which is what makes the halo schedule — and the analytic
+// predictor's message/byte counts — exactly reproducible.
+//
+// PME keeps its full-communication structure (the slab FFT wants every
+// position): a pairwise all-to-all position gather precedes the
+// reciprocal sum, and the reciprocal forces are combined with one
+// full-vector allreduce, of which each rank applies only its owned rows.
+// --------------------------------------------------------------------------
+class SpatialDecomposition final : public Decomposition {
+ public:
+  explicit SpatialDecomposition(const DecompSpec& spec) : spec_(spec) {}
+
+  const char* name() const override { return "spatial"; }
+
+  RankRunResult run(const sysbuild::BuiltSystem& sys,
+                    const CharmmConfig& config,
+                    middleware::Middleware& mw) const override {
+    mpi::Comm& comm = mw.comm();
+    const int p = comm.size();
+    if (p == 1) {
+      // One domain is the whole box: run the reference program so the
+      // sequential trajectory (and its goldens) is preserved to the byte.
+      return AtomReplicatedDecomposition{}.run(sys, config, mw);
+    }
+    check_tag_budget(config);
+    perf::RankRecorder& rec = comm.recorder();
+    const int me = comm.rank();
+    const CostModel& cost = config.cost;
+    const md::Topology& topo = sys.topo;
+    const md::Box& box = sys.box;
+    const auto natoms = static_cast<std::size_t>(topo.natoms());
+
+    const SpatialLayout layout = make_spatial_layout(
+        spec_, box, config.cutoff + config.skin, p, &sys.positions);
+    const std::vector<int>& nbrs =
+        layout.rank_neighbors[static_cast<std::size_t>(me)];
+    const auto nn = nbrs.size();
+
+    md::NonbondedOptions nb;
+    nb.cutoff = config.cutoff;
+    nb.switch_on = config.switch_on;
+    nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
+                             : md::NonbondedOptions::Elec::kShift;
+    nb.beta = config.pme.beta;
+
+    // Full-size arrays; only owned (pos+vel) and ghost (pos) entries are
+    // current. Velocities are assigned replicated so the initial owned
+    // slices agree bitwise with the sequential run.
+    std::vector<Vec3> pos = sys.positions;
+    std::vector<Vec3> vel;
+    md::assign_velocities(topo, config.temperature_k, config.seed, vel);
+    std::vector<Vec3> forces(natoms);
+    std::vector<Vec3> recip_forces;
+    std::vector<double> flat;
+    md::NeighborList nbl(config.cutoff, config.skin);
+
+    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
+      comm.compute(flops * cost.seconds_per_flop);
+    });
+
+    // Epoch state, frozen between rebuilds.
+    std::vector<int> owned;
+    std::vector<std::uint8_t> owned_mask(natoms, 0);
+    std::vector<std::vector<int>> send_ids(nn);  // to nbrs[k], sorted
+    std::vector<std::vector<int>> recv_ids(nn);  // ghosts from nbrs[k]
+    std::vector<int> candidates;
+    std::size_t owned_excl = 0;
+    std::size_t migrated = 0;
+
+    // Reused wire buffers (payloads are doubles; atom ids are exact in a
+    // double far beyond any system size here).
+    std::vector<std::vector<double>> out(nn);
+    std::vector<double> in(1 + 7 * natoms);
+    std::vector<double> gather_buf;
+
+    // Step 0: every rank derives the identical global epoch from the
+    // replicated initial positions — no communication.
+    auto adopt_global_epoch = [&]() {
+      const SpatialEpoch epoch = make_global_epoch(layout, pos);
+      owned = epoch.owned[static_cast<std::size_t>(me)];
+      send_ids = epoch.send[static_cast<std::size_t>(me)];
+      for (std::size_t k = 0; k < nn; ++k) {
+        const auto s = static_cast<std::size_t>(nbrs[k]);
+        const auto& back = layout.rank_neighbors[s];
+        const auto it = std::lower_bound(back.begin(), back.end(), me);
+        recv_ids[k] =
+            epoch.send[s][static_cast<std::size_t>(it - back.begin())];
+      }
+    };
+
+    auto refresh_derived = [&]() {
+      std::fill(owned_mask.begin(), owned_mask.end(), 0);
+      for (int i : owned) owned_mask[static_cast<std::size_t>(i)] = 1;
+      candidates = owned;
+      for (const auto& r : recv_ids) {
+        candidates.insert(candidates.end(), r.begin(), r.end());
+      }
+      owned_excl = 0;
+      for (const auto& [i, j] : topo.excluded_pairs()) {
+        (void)j;
+        if (owned_mask[static_cast<std::size_t>(i)]) ++owned_excl;
+      }
+    };
+
+    // Atoms that left my cells move (id, pos, vel) to the new owner. An
+    // atom drifting a whole cell width (≥ cutoff + skin) past its
+    // neighbor shell within one epoch would need velocities far beyond
+    // anything this integrator produces; assert rather than deadlock.
+    auto migrate = [&](int step) {
+      perf::PhaseScope phase(rec, "migrate");
+      const int tag = schedule_tag(step, 0);
+      for (auto& b : out) {
+        b.clear();
+        b.push_back(0.0);
+      }
+      std::vector<int> keep;
+      keep.reserve(owned.size());
+      for (int i : owned) {
+        const auto ui = static_cast<std::size_t>(i);
+        const int r = layout.cell_rank[static_cast<std::size_t>(
+            layout.cell_of(pos[ui]))];
+        if (r == me) {
+          keep.push_back(i);
+          continue;
+        }
+        const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), r);
+        REPRO_REQUIRE(it != nbrs.end() && *it == r,
+                      "atom migrated beyond the neighbor shell in one "
+                      "epoch; the list rebuild interval is too long for "
+                      "this timestep");
+        auto& b = out[static_cast<std::size_t>(it - nbrs.begin())];
+        b.push_back(static_cast<double>(i));
+        b.push_back(pos[ui].x);
+        b.push_back(pos[ui].y);
+        b.push_back(pos[ui].z);
+        b.push_back(vel[ui].x);
+        b.push_back(vel[ui].y);
+        b.push_back(vel[ui].z);
+        ++migrated;
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        out[k][0] = static_cast<double>((out[k].size() - 1) / 7);
+        comm.send(nbrs[k], tag, out[k].data(),
+                  out[k].size() * sizeof(double), /*exchange=*/true);
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        comm.recv(nbrs[k], tag, in.data(), in.size() * sizeof(double));
+        const auto n = static_cast<std::size_t>(in[0]);
+        for (std::size_t a = 0; a < n; ++a) {
+          const double* rec_ptr = in.data() + 1 + 7 * a;
+          const int id = static_cast<int>(rec_ptr[0]);
+          const auto uid = static_cast<std::size_t>(id);
+          pos[uid] = {rec_ptr[1], rec_ptr[2], rec_ptr[3]};
+          vel[uid] = {rec_ptr[4], rec_ptr[5], rec_ptr[6]};
+          keep.push_back(id);
+        }
+      }
+      std::sort(keep.begin(), keep.end());
+      owned = std::move(keep);
+    };
+
+    // Renegotiate ghost sets for the new epoch: ship (ids, positions) of
+    // my border-cell atoms to each neighbor; what arrives defines my
+    // ghosts. Counts are unknown to the receiver, so every neighbor gets
+    // a message even when empty.
+    auto exchange_ghosts = [&](int step) {
+      perf::PhaseScope phase(rec, "ghost_exchange");
+      const int tag = schedule_tag(step, 1);
+      for (auto& s : send_ids) s.clear();
+      for (int i : owned) {
+        const auto c = static_cast<std::size_t>(
+            layout.cell_of(pos[static_cast<std::size_t>(i)]));
+        for (int s : layout.cell_border_ranks[c]) {
+          const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), s);
+          send_ids[static_cast<std::size_t>(it - nbrs.begin())].push_back(i);
+        }
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        auto& b = out[k];
+        b.clear();
+        b.push_back(static_cast<double>(send_ids[k].size()));
+        for (int i : send_ids[k]) b.push_back(static_cast<double>(i));
+        for (int i : send_ids[k]) {
+          const auto ui = static_cast<std::size_t>(i);
+          b.push_back(pos[ui].x);
+          b.push_back(pos[ui].y);
+          b.push_back(pos[ui].z);
+        }
+        comm.send(nbrs[k], tag, b.data(), b.size() * sizeof(double),
+                  /*exchange=*/true);
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        comm.recv(nbrs[k], tag, in.data(), in.size() * sizeof(double));
+        const auto n = static_cast<std::size_t>(in[0]);
+        recv_ids[k].resize(n);
+        for (std::size_t a = 0; a < n; ++a) {
+          recv_ids[k][a] = static_cast<int>(in[1 + a]);
+        }
+        for (std::size_t a = 0; a < n; ++a) {
+          const double* r = in.data() + 1 + n + 3 * a;
+          pos[static_cast<std::size_t>(recv_ids[k][a])] = {r[0], r[1], r[2]};
+        }
+      }
+    };
+
+    // Per-step position halo: both sides know the epoch's counts, so
+    // payloads are raw coordinates and empty lists send nothing.
+    auto halo_positions = [&](int step) {
+      perf::PhaseScope phase(rec, "halo_exchange");
+      const int tag = schedule_tag(step, 2);
+      for (std::size_t k = 0; k < nn; ++k) {
+        if (send_ids[k].empty()) continue;
+        auto& b = out[k];
+        b.clear();
+        for (int i : send_ids[k]) {
+          const auto ui = static_cast<std::size_t>(i);
+          b.push_back(pos[ui].x);
+          b.push_back(pos[ui].y);
+          b.push_back(pos[ui].z);
+        }
+        comm.send(nbrs[k], tag, b.data(), b.size() * sizeof(double),
+                  /*exchange=*/true);
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        if (recv_ids[k].empty()) continue;
+        comm.recv(nbrs[k], tag, in.data(), in.size() * sizeof(double));
+        for (std::size_t a = 0; a < recv_ids[k].size(); ++a) {
+          const double* r = in.data() + 3 * a;
+          pos[static_cast<std::size_t>(recv_ids[k][a])] = {r[0], r[1], r[2]};
+        }
+      }
+    };
+
+    // Reverse halo: partial forces accumulated on my ghost rows go home
+    // (byte-symmetric with the position halo), and the partials my
+    // neighbors held for my atoms fold into my owned rows.
+    auto halo_forces = [&](int step) {
+      perf::PhaseScope phase(rec, "halo_fold");
+      const int tag = schedule_tag(step, 3);
+      for (std::size_t k = 0; k < nn; ++k) {
+        if (recv_ids[k].empty()) continue;
+        auto& b = out[k];
+        b.clear();
+        for (int i : recv_ids[k]) {
+          const auto ui = static_cast<std::size_t>(i);
+          b.push_back(forces[ui].x);
+          b.push_back(forces[ui].y);
+          b.push_back(forces[ui].z);
+        }
+        comm.send(nbrs[k], tag, b.data(), b.size() * sizeof(double),
+                  /*exchange=*/true);
+      }
+      for (std::size_t k = 0; k < nn; ++k) {
+        if (send_ids[k].empty()) continue;
+        comm.recv(nbrs[k], tag, in.data(), in.size() * sizeof(double));
+        for (std::size_t a = 0; a < send_ids[k].size(); ++a) {
+          const double* r = in.data() + 3 * a;
+          forces[static_cast<std::size_t>(send_ids[k][a])] +=
+              Vec3{r[0], r[1], r[2]};
+        }
+      }
+    };
+
+    // PME wants every position on every rank (slab spreading): a pairwise
+    // all-to-all gather of (count, ids, positions). Every rank sends to
+    // every other — owned sets are unknown remotely, and idle ranks must
+    // still participate so the schedule cannot deadlock.
+    auto gather_positions = [&](int step) {
+      perf::PhaseScope phase(rec, "pme_gather");
+      const int tag = schedule_tag(step, 4);
+      auto& b = gather_buf;
+      b.clear();
+      b.push_back(static_cast<double>(owned.size()));
+      for (int i : owned) b.push_back(static_cast<double>(i));
+      for (int i : owned) {
+        const auto ui = static_cast<std::size_t>(i);
+        b.push_back(pos[ui].x);
+        b.push_back(pos[ui].y);
+        b.push_back(pos[ui].z);
+      }
+      for (int k = 1; k < p; ++k) {
+        comm.send((me + k) % p, tag, b.data(), b.size() * sizeof(double),
+                  /*exchange=*/true);
+      }
+      for (int k = 1; k < p; ++k) {
+        comm.recv((me - k + p) % p, tag, in.data(),
+                  in.size() * sizeof(double));
+        const auto n = static_cast<std::size_t>(in[0]);
+        for (std::size_t a = 0; a < n; ++a) {
+          const double* r = in.data() + 1 + n + 3 * a;
+          pos[static_cast<std::size_t>(in[1 + a])] = {r[0], r[1], r[2]};
+        }
+      }
+    };
+
+    RankRunResult result;
+    std::size_t local_pairs = 0;
+    for (int step = 0; step < config.nsteps; ++step) {
+      rec.set_component(perf::Component::kClassic);
+      if (config.coherency_barriers) mw.synchronize();
+
+      if (step % config.list_rebuild_interval == 0) {
+        if (step == 0) {
+          adopt_global_epoch();
+        } else {
+          migrate(step);
+          exchange_ghosts(step);
+        }
+        refresh_derived();
+        perf::PhaseScope phase(rec, "list_build");
+        nbl.build_subset(topo, box, pos, candidates, owned_mask);
+        comm.compute(cost.seconds_per_list_pair *
+                     static_cast<double>(nbl.npairs()) * 2.0);
+        local_pairs = nbl.npairs();
+      }
+
+      halo_positions(step);
+
+      std::fill(forces.begin(), forces.end(), Vec3{});
+      md::EnergyTerms energy;
+
+      {
+        perf::PhaseScope phase(rec, "bonded");
+        const md::BondedWork bw = md::bonded_energy_owned(
+            topo, box, pos, owned_mask, forces, energy);
+        comm.compute(cost.seconds_per_bonded_term *
+                     static_cast<double>(bw.total()));
+      }
+
+      {
+        perf::PhaseScope phase(rec, "nonbonded");
+        const md::NonbondedWork nw = md::nonbonded_energy(
+            topo, box, pos, nbl, nb, forces, energy, 0, 1);
+        comm.compute(cost.seconds_per_pair *
+                     static_cast<double>(nw.pairs_listed));
+      }
+
+      if (config.use_pme) {
+        {
+          perf::PhaseScope phase(rec, "ewald_corr");
+          energy.ewald_excl += pme::ewald_exclusion_correction_owned(
+              topo, box, pos, owned_mask, config.pme.beta, forces);
+          comm.compute(cost.seconds_per_bonded_term *
+                       static_cast<double>(owned_excl));
+        }
+        if (me == 0) {
+          energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
+        }
+
+        rec.set_component(perf::Component::kPme);
+        if (config.coherency_barriers) mw.synchronize();
+        gather_positions(step);
+        recip_forces.assign(natoms, Vec3{});
+        {
+          perf::PhaseScope phase(rec, "pme_recip");
+          energy.ewald_recip += ppme.reciprocal(topo, pos, recip_forces);
+        }
+        {
+          // The reciprocal force on an atom has contributions from every
+          // slab; combine with one full-vector allreduce, of which each
+          // rank keeps its owned rows (ghost rows would double-count
+          // after the force halo).
+          perf::PhaseScope phase(rec, "recip_reduce");
+          util::flatten(recip_forces, flat);
+          mw.global_sum(flat.data(), flat.size());
+          util::unflatten(flat, recip_forces);
+        }
+        for (int i : owned) {
+          const auto ui = static_cast<std::size_t>(i);
+          forces[ui] += recip_forces[ui];
+        }
+        rec.set_component(perf::Component::kClassic);
+      }
+
+      halo_forces(step);
+
+      {
+        perf::PhaseScope phase(rec, "energy_reduce");
+        std::array<double, md::EnergyTerms::kCount> earr = energy.to_array();
+        mw.global_sum(earr.data(), earr.size());
+        energy = md::EnergyTerms::from_array(earr);
+      }
+      result.last_energy = energy;
+
+      rec.set_component(perf::Component::kOther);
+      {
+        perf::PhaseScope phase(rec, "integrate");
+        comm.compute(cost.seconds_per_integration_atom *
+                     static_cast<double>(owned.size()));
+      }
+      const double kick = config.dt_ps * units::kForceToAccel;
+      for (int i : owned) {
+        const auto ui = static_cast<std::size_t>(i);
+        vel[ui] += forces[ui] * (kick / topo.atom(i).mass);
+        pos[ui] += vel[ui] * config.dt_ps;
+      }
+      rec.end_step();
+    }
+
+    // Distributed state needs one last reduction so every rank reports
+    // the identical totals run_experiment asserts on: the coordinate
+    // checksum over owners, the global pair count, and the migrations.
+    {
+      rec.set_component(perf::Component::kOther);
+      perf::PhaseScope phase(rec, "result_reduce");
+      double partial = 0.0;
+      for (int i : owned) {
+        const auto ui = static_cast<std::size_t>(i);
+        partial += pos[ui].x + pos[ui].y + pos[ui].z;
+      }
+      double tail[3] = {partial, static_cast<double>(local_pairs),
+                        static_cast<double>(migrated)};
+      mw.global_sum(tail, 3);
+      result.position_checksum = tail[0];
+      result.pairs_in_list = static_cast<std::size_t>(tail[1] + 0.5);
+      result.atoms_migrated = static_cast<std::size_t>(tail[2] + 0.5);
+    }
+    return result;
+  }
+
+ private:
+  DecompSpec spec_;
+};
+
 }  // namespace
 
 std::unique_ptr<Decomposition> make_decomposition(const DecompSpec& spec) {
@@ -719,6 +1158,8 @@ std::unique_ptr<Decomposition> make_decomposition(const DecompSpec& spec) {
       return std::make_unique<ForceDecomposition>();
     case DecompKind::kTaskPme:
       return std::make_unique<TaskPmeDecomposition>(spec);
+    case DecompKind::kSpatial:
+      return std::make_unique<SpatialDecomposition>(spec);
   }
   REPRO_UNREACHABLE("bad decomposition kind");
 }

@@ -4,7 +4,7 @@
 // A Decomposition owns both halves of a parallelization: *work
 // partitioning* (which rank computes which interactions) and the *per-step
 // communication schedule* (how partial forces/energies become the
-// replicated total every rank integrates). Three strategies:
+// replicated total every rank integrates). Four strategies:
 //
 //   AtomReplicated — the paper's CHARMM parallelization, extracted
 //       verbatim from the original run_charmm_rank: interleaved shards,
@@ -18,9 +18,20 @@
 //       routine, overlapping in virtual time the two components the
 //       default schedule serializes through coherency barriers; a
 //       combine/broadcast joins the halves at the end of each step.
+//   Spatial — domain decomposition: ranks own cells of a 3-D grid (cells
+//       at least cutoff + skin wide, packed compactly by a minimum-
+//       enlargement heuristic; charmm/spatial.hpp), each step exchanges
+//       only border-cell positions with the ≤26-neighborhood and folds
+//       ghost forces back, and atoms migrate between owners at
+//       neighbor-list rebuilds. The only full-vector collectives left are
+//       the small energy reduction and, under PME, the position gather +
+//       reciprocal-force sum — the locality CHARMM's replicated-data
+//       design never had.
 //
-// Every strategy ends each step with bit-identical replicated forces on
-// all ranks, so trajectories never diverge (run_experiment asserts this).
+// The replicated strategies end each step with bit-identical forces on
+// all ranks; Spatial keeps state distributed but allreduces its
+// energies/checksum, so every rank still reports identical results
+// (run_experiment asserts this).
 //
 // Communication-schedule discipline: comm-wide collectives draw tags from
 // a per-Comm sequence counter, so *every* rank must issue them in the same

@@ -1,0 +1,287 @@
+#include "charmm/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace repro::charmm {
+
+namespace {
+
+// Interleaves the low 10 bits of (x, y, z) into a Morton key. Grid
+// dimensions are bounded by box_length / (cutoff + skin), far below 1024.
+std::uint32_t morton3(int x, int y, int z) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0x3ff;
+    v = (v | (v << 16)) & 0x030000ff;
+    v = (v | (v << 8)) & 0x0300f00f;
+    v = (v | (v << 4)) & 0x030c30c3;
+    v = (v | (v << 2)) & 0x09249249;
+    return v;
+  };
+  return spread(static_cast<std::uint32_t>(x)) |
+         (spread(static_cast<std::uint32_t>(y)) << 1) |
+         (spread(static_cast<std::uint32_t>(z)) << 2);
+}
+
+struct CellCoord {
+  int x, y, z;
+};
+
+// Axis-aligned bounding box in cell coordinates (non-periodic: the
+// heuristic only needs a relative compactness measure, not exact wrapped
+// extents).
+struct CellBounds {
+  int lo[3] = {std::numeric_limits<int>::max(),
+               std::numeric_limits<int>::max(),
+               std::numeric_limits<int>::max()};
+  int hi[3] = {std::numeric_limits<int>::min(),
+               std::numeric_limits<int>::min(),
+               std::numeric_limits<int>::min()};
+
+  long volume() const {
+    if (hi[0] < lo[0]) return 0;
+    long v = 1;
+    for (int d = 0; d < 3; ++d) v *= hi[d] - lo[d] + 1;
+    return v;
+  }
+  long volume_with(const CellCoord& c) const {
+    long v = 1;
+    const int coord[3] = {c.x, c.y, c.z};
+    for (int d = 0; d < 3; ++d) {
+      v *= std::max(hi[d], coord[d]) - std::min(lo[d], coord[d]) + 1;
+    }
+    return v;
+  }
+  void add(const CellCoord& c) {
+    const int coord[3] = {c.x, c.y, c.z};
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], coord[d]);
+      hi[d] = std::max(hi[d], coord[d]);
+    }
+  }
+};
+
+int auto_dim(double length, double range) {
+  return std::max(1, static_cast<int>(length / range));
+}
+
+}  // namespace
+
+int SpatialLayout::cell_of(const util::Vec3& r) const {
+  auto idx = [](double coord, double len, int n) {
+    int c = static_cast<int>(
+        std::floor(coord / len * static_cast<double>(n)));
+    c %= n;
+    if (c < 0) c += n;
+    return c;
+  };
+  const int cx = idx(r.x, box.lx(), ncx);
+  const int cy = idx(r.y, box.ly(), ncy);
+  const int cz = idx(r.z, box.lz(), ncz);
+  return (cx * ncy + cy) * ncz + cz;
+}
+
+SpatialLayout make_spatial_layout(const DecompSpec& spec, const md::Box& box,
+                                  double range, int nprocs,
+                                  const std::vector<util::Vec3>* pos) {
+  REPRO_REQUIRE(spec.kind == DecompKind::kSpatial,
+                "spatial layout requested for a non-spatial decomposition");
+  REPRO_REQUIRE(nprocs >= 1 && range > 0.0, "bad spatial layout inputs");
+
+  SpatialLayout layout;
+  layout.box = box;
+  layout.nprocs = nprocs;
+  layout.ncx = spec.grid_x > 0 ? spec.grid_x : auto_dim(box.lx(), range);
+  layout.ncy = spec.grid_y > 0 ? spec.grid_y : auto_dim(box.ly(), range);
+  layout.ncz = spec.grid_z > 0 ? spec.grid_z : auto_dim(box.lz(), range);
+  // A dimension with a single cell never splits a pair, so only multi-cell
+  // dimensions must keep cells at least `range` wide (otherwise a pair
+  // within range could span two non-adjacent cells and its interaction
+  // would silently be dropped).
+  auto check_dim = [&](int n, double length, const char* name) {
+    REPRO_REQUIRE(n == 1 || length / n >= range,
+                  std::string("spatial grid too fine in ") + name +
+                      ": cells must be at least cutoff + skin wide");
+  };
+  check_dim(layout.ncx, box.lx(), "x");
+  check_dim(layout.ncy, box.ly(), "y");
+  check_dim(layout.ncz, box.lz(), "z");
+
+  const int ncells = layout.ncells();
+  const int ncy = layout.ncy;
+  const int ncz = layout.ncz;
+  auto cell_id = [&](const CellCoord& c) {
+    return (c.x * ncy + c.y) * ncz + c.z;
+  };
+  std::vector<CellCoord> coords(static_cast<std::size_t>(ncells));
+  for (int x = 0; x < layout.ncx; ++x) {
+    for (int y = 0; y < ncy; ++y) {
+      for (int z = 0; z < ncz; ++z) {
+        coords[static_cast<std::size_t>(cell_id({x, y, z}))] = {x, y, z};
+      }
+    }
+  }
+
+  layout.cell_rank.assign(static_cast<std::size_t>(ncells), -1);
+  if (nprocs >= ncells) {
+    // One cell per rank; surplus ranks own nothing and idle through the
+    // classic routine (they still join every comm-wide collective).
+    for (int c = 0; c < ncells; ++c) layout.cell_rank[c] = c;
+  } else {
+    // Cells walked in Morton order so consecutive assignments are
+    // spatially close; each rank is seeded with an evenly spaced curve
+    // position, then every remaining cell goes to the under-loaded rank
+    // with minimum bounding-box enlargement (choose_next_node).
+    //
+    // Load is the cells' atom population when positions are available
+    // (the solute blob leaves most of the box empty, so cell counts are
+    // a poor proxy for work), one per cell otherwise.
+    std::vector<long> weight(static_cast<std::size_t>(ncells), 1);
+    if (pos != nullptr) {
+      weight.assign(static_cast<std::size_t>(ncells), 0);
+      for (const util::Vec3& r : *pos) {
+        ++weight[static_cast<std::size_t>(layout.cell_of(r))];
+      }
+    }
+    long total_weight = 0;
+    for (long w : weight) total_weight += w;
+    // A rank stays admissible while its load is strictly below the even
+    // share; the last cell it takes may overshoot by one cell's weight.
+    const double target = static_cast<double>(total_weight) /
+                          static_cast<double>(nprocs);
+    std::vector<int> order(static_cast<std::size_t>(ncells));
+    for (int c = 0; c < ncells; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const std::uint32_t ka = morton3(coords[a].x, coords[a].y, coords[a].z);
+      const std::uint32_t kb = morton3(coords[b].x, coords[b].y, coords[b].z);
+      return ka != kb ? ka < kb : a < b;
+    });
+    std::vector<long> load(static_cast<std::size_t>(nprocs), 0);
+    std::vector<CellBounds> bounds(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      const int seed = order[static_cast<std::size_t>(
+          (static_cast<long>(r) * ncells) / nprocs)];
+      layout.cell_rank[seed] = r;
+      bounds[r].add(coords[seed]);
+      load[r] += weight[static_cast<std::size_t>(seed)];
+    }
+    for (int c : order) {
+      if (layout.cell_rank[c] >= 0) continue;
+      const CellCoord& coord = coords[static_cast<std::size_t>(c)];
+      auto pick = [&](bool only_underloaded) {
+        int best = -1;
+        long best_growth = 0;
+        long best_volume = 0;
+        for (int r = 0; r < nprocs; ++r) {
+          if (only_underloaded &&
+              static_cast<double>(load[r]) >= target) {
+            continue;
+          }
+          const long vol = bounds[r].volume_with(coord);
+          const long growth = vol - bounds[r].volume();
+          if (best < 0 || growth < best_growth ||
+              (growth == best_growth &&
+               (vol < best_volume ||
+                (vol == best_volume && load[r] < load[best])))) {
+            best = r;
+            best_growth = growth;
+            best_volume = vol;
+          }
+        }
+        return best;
+      };
+      int best = pick(true);
+      // Every rank can be at its share with zero-weight cells left over;
+      // they go wherever the bounding boxes grow least.
+      if (best < 0) best = pick(false);
+      REPRO_REQUIRE(best >= 0, "spatial cell assignment ran out of capacity");
+      layout.cell_rank[c] = best;
+      bounds[best].add(coord);
+      load[best] += weight[static_cast<std::size_t>(c)];
+    }
+  }
+
+  layout.rank_cells.assign(static_cast<std::size_t>(nprocs), {});
+  for (int c = 0; c < ncells; ++c) {
+    layout.rank_cells[static_cast<std::size_t>(layout.cell_rank[c])]
+        .push_back(c);
+  }
+
+  // 26-neighborhood under the periodic wrap (deduplicated: a dimension
+  // with fewer than three cells folds offsets onto each other).
+  layout.cell_border_ranks.assign(static_cast<std::size_t>(ncells), {});
+  std::vector<std::vector<int>> neighbor_sets(
+      static_cast<std::size_t>(nprocs));
+  for (int c = 0; c < ncells; ++c) {
+    const CellCoord& coord = coords[static_cast<std::size_t>(c)];
+    const int me = layout.cell_rank[c];
+    std::vector<int>& border = layout.cell_border_ranks[c];
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const CellCoord n{(coord.x + dx + layout.ncx) % layout.ncx,
+                            (coord.y + dy + ncy) % ncy,
+                            (coord.z + dz + ncz) % ncz};
+          const int r = layout.cell_rank[cell_id(n)];
+          if (r != me) border.push_back(r);
+        }
+      }
+    }
+    std::sort(border.begin(), border.end());
+    border.erase(std::unique(border.begin(), border.end()), border.end());
+    for (int r : border) {
+      neighbor_sets[static_cast<std::size_t>(me)].push_back(r);
+    }
+  }
+  layout.rank_neighbors.assign(static_cast<std::size_t>(nprocs), {});
+  for (int r = 0; r < nprocs; ++r) {
+    std::vector<int>& nbrs = neighbor_sets[static_cast<std::size_t>(r)];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    layout.rank_neighbors[static_cast<std::size_t>(r)] = std::move(nbrs);
+  }
+  // Adjacency must be symmetric (s needs my border atoms exactly when I
+  // need theirs) — guaranteed by construction, but the halo schedule
+  // deadlocks if it ever breaks, so assert it cheaply here.
+  for (int r = 0; r < nprocs; ++r) {
+    for (int s : layout.rank_neighbors[static_cast<std::size_t>(r)]) {
+      const auto& back = layout.rank_neighbors[static_cast<std::size_t>(s)];
+      REPRO_REQUIRE(std::binary_search(back.begin(), back.end(), r),
+                    "spatial rank adjacency is not symmetric");
+    }
+  }
+  return layout;
+}
+
+SpatialEpoch make_global_epoch(const SpatialLayout& layout,
+                               const std::vector<util::Vec3>& pos) {
+  SpatialEpoch epoch;
+  const std::size_t n = pos.size();
+  const std::size_t p = static_cast<std::size_t>(layout.nprocs);
+  epoch.owner.resize(n);
+  epoch.owned.assign(p, {});
+  epoch.send.assign(p, {});
+  for (std::size_t r = 0; r < p; ++r) {
+    epoch.send[r].assign(layout.rank_neighbors[r].size(), {});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = layout.cell_of(pos[i]);
+    const int r = layout.cell_rank[static_cast<std::size_t>(c)];
+    epoch.owner[i] = r;
+    epoch.owned[static_cast<std::size_t>(r)].push_back(static_cast<int>(i));
+    const auto& nbrs = layout.rank_neighbors[static_cast<std::size_t>(r)];
+    for (int s : layout.cell_border_ranks[static_cast<std::size_t>(c)]) {
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), s);
+      epoch.send[static_cast<std::size_t>(r)]
+                [static_cast<std::size_t>(it - nbrs.begin())]
+                    .push_back(static_cast<int>(i));
+    }
+  }
+  return epoch;
+}
+
+}  // namespace repro::charmm

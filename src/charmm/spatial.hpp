@@ -1,0 +1,85 @@
+// Spatial-domain layout for DecompKind::kSpatial: the 3-D cell grid, the
+// cell→rank assignment, and the frozen halo epoch.
+//
+// The layout is pure geometry — no communication — so the decomposition
+// strategy (charmm/decomposition.cpp) and the analytic overhead predictor
+// (core/model.cpp) share it: both derive the exact same per-step halo
+// schedule from the same positions, which is what lets the predictor's
+// message/byte counts be pinned against the simulator's channel counters.
+//
+// Invariants the correctness of the halo schedule rests on:
+//   - every cell edge is at least cutoff + skin, so two atoms within the
+//     pair-list range always sit in the same or 26-adjacent cells (under
+//     the periodic wrap), and a bonded term's partners always sit within
+//     one cell of its first atom;
+//   - cell→rank assignment is deterministic, so every rank derives the
+//     identical map with no communication.
+#pragma once
+
+#include <vector>
+
+#include "charmm/decomp_spec.hpp"
+#include "md/box.hpp"
+#include "util/vec3.hpp"
+
+namespace repro::charmm {
+
+struct SpatialLayout {
+  int ncx = 1, ncy = 1, ncz = 1;
+  int nprocs = 1;
+  md::Box box;
+
+  std::vector<int> cell_rank;                    // cell id -> owning rank
+  std::vector<std::vector<int>> rank_cells;      // rank -> owned cells
+  // rank -> sorted adjacent ranks (some owned cells are 26-neighbors).
+  // Ranks owning no cells (p > ncells) have no neighbors; they idle
+  // through the classic routine but still join every collective.
+  std::vector<std::vector<int>> rank_neighbors;
+  // cell -> sorted ranks (other than the owner) owning a 26-adjacent
+  // cell: the ranks that need this cell's atoms as ghosts.
+  std::vector<std::vector<int>> cell_border_ranks;
+
+  int ncells() const { return ncx * ncy * ncz; }
+  int cell_of(const util::Vec3& r) const;
+};
+
+// Builds the grid (spec override or floor(L/range) per dimension, range =
+// cutoff + skin) and assigns cells to ranks with a minimum-enlargement
+// heuristic: ranks are seeded along the Morton curve, then each remaining
+// cell goes to the under-loaded rank whose cell-space bounding box grows
+// the least (ties: smallest resulting box, then lightest rank, then
+// lowest rank) — the choose_next_node selection of R-tree packing, which
+// keeps domains compact and halo surfaces small.
+//
+// When `pos` is given, a rank's load is the atom population of its cells
+// rather than the cell count: the paper's system is a solute blob in a
+// mostly empty box, and balancing raw cell counts leaves one rank with
+// several times the mean atom count (the pair work grows as density
+// squared, so the imbalance on compute is worse still). The assignment
+// stays deterministic for a given position set, and the decomposition
+// freezes it for the whole run — atoms migrating between cells change
+// ownership, never the cell->rank map.
+//
+// Throws util::Error when an explicit grid has cells thinner than
+// `range`.
+SpatialLayout make_spatial_layout(const DecompSpec& spec, const md::Box& box,
+                                  double range, int nprocs,
+                                  const std::vector<util::Vec3>* pos = nullptr);
+
+// One halo epoch, frozen between neighbor-list rebuilds: who owns which
+// atom and which atoms each rank ships to each of its neighbors every
+// step. Computable from a full position set (the replicated step-0 state,
+// or the predictor's view of the built system).
+struct SpatialEpoch {
+  std::vector<int> owner;                // atom -> rank
+  std::vector<std::vector<int>> owned;   // rank -> sorted atom ids
+  // send[r][k]: sorted ids of r's atoms in cells bordering
+  // rank_neighbors[r][k] — the position halo r sends (and the force halo
+  // r receives back) each step of the epoch.
+  std::vector<std::vector<std::vector<int>>> send;
+};
+
+SpatialEpoch make_global_epoch(const SpatialLayout& layout,
+                               const std::vector<util::Vec3>& pos);
+
+}  // namespace repro::charmm

@@ -52,6 +52,13 @@ void validate_config(const CharmmConfig& config) {
                 "pick another decomposition");
   REPRO_REQUIRE(config.decomp.pme_ranks >= 0,
                 "pme_ranks must be non-negative");
+  const DecompSpec& d = config.decomp;
+  REPRO_REQUIRE(d.grid_x >= 0 && d.grid_y >= 0 && d.grid_z >= 0,
+                "spatial grid dimensions must be non-negative");
+  const bool any_grid = d.grid_x > 0 || d.grid_y > 0 || d.grid_z > 0;
+  const bool all_grid = d.grid_x > 0 && d.grid_y > 0 && d.grid_z > 0;
+  REPRO_REQUIRE(!any_grid || all_grid,
+                "spatial grid override must set all three dimensions");
 }
 
 void validate_config(const SimulationConfig& config) {

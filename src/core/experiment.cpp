@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "charmm/spatial.hpp"
 #include "sim/engine.hpp"
 #include "util/error.hpp"
 
@@ -116,6 +117,14 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
     // Fails fast on a pme_ranks/nprocs mismatch before spinning up ranks.
     charmm::resolved_pme_ranks(spec.charmm.decomp, spec.nprocs);
   }
+  if (spec.charmm.decomp.kind == charmm::DecompKind::kSpatial &&
+      spec.nprocs >= 2) {
+    // Fails fast on an infeasible cell grid (cells thinner than
+    // cutoff + skin) before spinning up ranks.
+    charmm::make_spatial_layout(spec.charmm.decomp, sys.box,
+                                spec.charmm.cutoff + spec.charmm.skin,
+                                spec.nprocs);
+  }
 
   net::ClusterConfig cluster_config;
   cluster_config.nranks = spec.nprocs;
@@ -161,6 +170,7 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   result.energy = rank_results.front().last_energy;
   result.position_checksum = rank_results.front().position_checksum;
   result.pairs_in_list = rank_results.front().pairs_in_list;
+  result.atoms_migrated = rank_results.front().atoms_migrated;
   result.engine_events = engine.events_processed();
   result.engine_context_switches = engine.context_switches();
 

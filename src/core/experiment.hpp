@@ -73,6 +73,9 @@ struct ExperimentResult {
   md::EnergyTerms energy;       // final-step energy (identical on ranks)
   double position_checksum = 0.0;
   std::size_t pairs_in_list = 0;
+  // Atoms that changed owning rank over the run (spatial decomposition
+  // only; 0 for replicated strategies).
+  std::size_t atoms_migrated = 0;
   std::uint64_t engine_events = 0;
   std::uint64_t engine_context_switches = 0;
 

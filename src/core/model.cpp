@@ -1,7 +1,9 @@
 #include "core/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "charmm/spatial.hpp"
 #include "fft/parallel_fft.hpp"
 #include "util/error.hpp"
 
@@ -163,6 +165,90 @@ void predict_task(const net::NetworkParams& params, int p, int natoms,
   out.sync_per_step = 2.0 * ceil_log2(p) * predict_message_seconds(params, 0);
 }
 
+// Spatial decomposition: the schedule is derived from the identical
+// layout + step-0 epoch the simulator freezes between rebuilds, so every
+// count below is exact (and pinned in tests) for runs inside the first
+// epoch.
+void predict_spatial(const net::NetworkParams& params, int p,
+                     const sysbuild::BuiltSystem& sys,
+                     const charmm::CharmmConfig& config,
+                     OverheadPrediction& out) {
+  const double log2p = ceil_log2(p);
+  const auto natoms = static_cast<double>(sys.topo.natoms());
+  const std::size_t energy_bytes = 9 * 8;
+
+  const charmm::SpatialLayout layout = charmm::make_spatial_layout(
+      config.decomp, sys.box, config.cutoff + config.skin, p,
+      &sys.positions);
+  const charmm::SpatialEpoch epoch =
+      charmm::make_global_epoch(layout, sys.positions);
+
+  // Directed halo schedule: each nonzero send list is one position-halo
+  // message out and one byte-symmetric force-halo message back, every
+  // step. Empty lists are skipped by both sides.
+  double halo_messages = 0.0;
+  double halo_bytes = 0.0;
+  double max_rank_halo_seconds = 0.0;
+  for (int r = 0; r < p; ++r) {
+    double rank_seconds = 0.0;
+    for (const auto& ids : epoch.send[static_cast<std::size_t>(r)]) {
+      if (ids.empty()) continue;
+      const std::size_t bytes = ids.size() * 24;
+      halo_messages += 1.0;
+      halo_bytes += static_cast<double>(bytes);
+      rank_seconds +=
+          predict_message_seconds(params, bytes, /*exchange=*/true);
+    }
+    max_rank_halo_seconds = std::max(max_rank_halo_seconds, rank_seconds);
+  }
+
+  // Classic: both halos plus the 9-double energy allreduce.
+  out.classic_comm_per_step =
+      2.0 * max_rank_halo_seconds +
+      2.0 * log2p * predict_message_seconds(params, energy_bytes);
+  out.classic_messages_per_step = 2.0 * halo_messages + 2.0 * (p - 1);
+  out.classic_bytes_per_step =
+      2.0 * halo_bytes +
+      2.0 * (p - 1) * static_cast<double>(energy_bytes);
+
+  if (config.use_pme) {
+    // Position gather: every rank ships (count, ids, positions) of its
+    // owned set to every other rank — (1 + 4 n_r) doubles — so the
+    // cluster-wide volume telescopes to (p-1)(8p + 32N) regardless of
+    // how the heuristic balanced the domains.
+    std::size_t max_owned = 0;
+    for (const auto& ids : epoch.owned) {
+      max_owned = std::max(max_owned, ids.size());
+    }
+    const double gather_bytes =
+        static_cast<double>(p - 1) * (8.0 * p + 32.0 * natoms);
+    // Reciprocal forces ride one full-vector allreduce (3N doubles), and
+    // the slab FFT's two transposes are unchanged from the atom model.
+    const std::size_t force_bytes =
+        static_cast<std::size_t>(natoms) * 3 * 8;
+    out.pme_comm_per_step =
+        static_cast<double>(p - 1) *
+            predict_message_seconds(params, 8 + 32 * max_owned,
+                                    /*exchange=*/true) +
+        2.0 * log2p * predict_message_seconds(params, force_bytes) +
+        2.0 * (p - 1) *
+            predict_message_seconds(params,
+                                    transpose_round_block_bytes(
+                                        config.pme, p),
+                                    /*exchange=*/true);
+    out.pme_messages_per_step = static_cast<double>(p) * (p - 1) +
+                                2.0 * (p - 1) + 2.0 * p * (p - 1);
+    out.pme_bytes_per_step = gather_bytes +
+                             2.0 * (p - 1) *
+                                 static_cast<double>(force_bytes) +
+                             2.0 * transpose_bytes(config.pme, p);
+  }
+
+  // Barriers: energy entry every step, plus the pre-PME coherency point.
+  out.sync_per_step = (config.use_pme ? 2.0 : 1.0) * log2p *
+                      predict_message_seconds(params, 0);
+}
+
 }  // namespace
 
 OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
@@ -190,8 +276,29 @@ OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
     case charmm::DecompKind::kTaskPme:
       predict_task(params, nprocs, natoms, grid, decomp, out);
       return out;
+    case charmm::DecompKind::kSpatial:
+      util::fail(
+          "spatial prediction needs the built system (halo volumes are the "
+          "border-cell populations); use the system-aware "
+          "predict_step_overheads overload",
+          __FILE__, __LINE__);
   }
   REPRO_UNREACHABLE("bad decomposition kind");
+}
+
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs,
+                                          const sysbuild::BuiltSystem& sys,
+                                          const charmm::CharmmConfig& config) {
+  REPRO_REQUIRE(nprocs >= 1, "prediction needs at least one processor");
+  if (config.decomp.kind != charmm::DecompKind::kSpatial) {
+    return predict_step_overheads(params, nprocs, sys.topo.natoms(),
+                                  config.pme, config.decomp);
+  }
+  OverheadPrediction out;
+  if (nprocs == 1) return out;
+  predict_spatial(params, nprocs, sys, config, out);
+  return out;
 }
 
 }  // namespace repro::core

@@ -12,9 +12,11 @@
 
 #include <cstddef>
 
+#include "charmm/app.hpp"
 #include "charmm/decomp_spec.hpp"
 #include "net/params.hpp"
 #include "pme/pme.hpp"
+#include "sysbuild/builder.hpp"
 
 namespace repro::core {
 
@@ -58,10 +60,27 @@ OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
                                           const pme::PmeParams& grid);
 
 // Same, for an arbitrary decomposition (atom, force fold/expand, task
-// decoupling); assumes PME is on, matching the base overload.
+// decoupling); assumes PME is on, matching the base overload. The spatial
+// decomposition's schedule depends on where the atoms actually sit (the
+// halo volumes are the border-cell populations), which an atom count
+// cannot capture — passing kSpatial here throws; use the system-aware
+// overload below.
 OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
                                           int nprocs, int natoms,
                                           const pme::PmeParams& grid,
                                           const charmm::DecompSpec& decomp);
+
+// System-aware overload: derives the exact communication schedule from
+// the built system and full config. For kSpatial it reproduces the
+// simulator's own layout + step-0 epoch (charmm/spatial.hpp), so the
+// message/byte counts are exact for runs that stay within the first
+// epoch (nsteps <= list_rebuild_interval); later epochs add migration/
+// ghost-renegotiation traffic this closed form deliberately excludes.
+// Honors config.use_pme. Other decompositions forward to the overload
+// above (which assumes PME on).
+OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
+                                          int nprocs,
+                                          const sysbuild::BuiltSystem& sys,
+                                          const charmm::CharmmConfig& config);
 
 }  // namespace repro::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "md/box.hpp"
@@ -33,5 +34,17 @@ BondedWork bonded_energy(const Topology& topo, const Box& box,
                          const std::vector<util::Vec3>& pos,
                          std::vector<util::Vec3>& forces, EnergyTerms& energy,
                          int shard = 0, int stride = 1);
+
+// Spatial-decomposition variant: evaluates exactly the terms whose FIRST
+// atom (b.i / a.i / d.i / im.i) has owned_mask set, so disjoint ownership
+// masks partition the term set across ranks. Positions of every partner
+// atom of an owned term must be valid (owned or ghost); forces may land on
+// ghost rows and are shipped home by the caller's force halo. No
+// memoization — each rank's mask and halo state is unique.
+BondedWork bonded_energy_owned(const Topology& topo, const Box& box,
+                               const std::vector<util::Vec3>& pos,
+                               const std::vector<std::uint8_t>& owned_mask,
+                               std::vector<util::Vec3>& forces,
+                               EnergyTerms& energy);
 
 }  // namespace repro::md

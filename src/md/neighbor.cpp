@@ -239,6 +239,120 @@ void NeighborList::build(const Topology& topo, const Box& box,
   }
 }
 
+void NeighborList::build_subset(const Topology& topo, const Box& box,
+                                const std::vector<util::Vec3>& pos,
+                                const std::vector<int>& candidates,
+                                const std::vector<std::uint8_t>& row_mask) {
+  const int n = topo.natoms();
+  REPRO_REQUIRE(static_cast<int>(pos.size()) == n &&
+                    row_mask.size() == pos.size(),
+                "position/mask array size mismatch");
+  const double range = cutoff_ + skin_;
+  REPRO_REQUIRE(2.0 * range <= box.min_length() * 1.5,
+                "cutoff too large for the box (minimum image unsafe)");
+  const double range2 = range * range;
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t nc = candidates.size();
+
+  pair_buf_.clear();
+  auto consider = [&](int i, int j) {
+    if (j <= i) std::swap(i, j);
+    if (i == j) return;
+    if (!row_mask[static_cast<std::size_t>(i)]) return;
+    const util::Vec3 d = box.min_image(pos[static_cast<std::size_t>(i)] -
+                                       pos[static_cast<std::size_t>(j)]);
+    if (util::norm2(d) >= range2) return;
+    if (topo.excluded(i, j)) return;
+    pair_buf_.emplace_back(i, j);
+  };
+
+  const int ncx = std::max(1, static_cast<int>(box.lx() / range));
+  const int ncy = std::max(1, static_cast<int>(box.ly() / range));
+  const int ncz = std::max(1, static_cast<int>(box.lz() / range));
+
+  if (ncx < 3 || ncy < 3 || ncz < 3) {
+    for (std::size_t a = 0; a < nc; ++a) {
+      for (std::size_t b = a + 1; b < nc; ++b) {
+        consider(candidates[a], candidates[b]);
+      }
+    }
+  } else {
+    // Same half-stencil sweep as build(), binning only the candidates.
+    CellGrid grid{ncx, ncy, ncz, box.lx(), box.ly(), box.lz()};
+    const std::size_t ncells = static_cast<std::size_t>(ncx * ncy * ncz);
+    atom_cell_.resize(nc);
+    cell_start_.assign(ncells + 1, 0);
+    for (std::size_t s = 0; s < nc; ++s) {
+      const int c = grid.cell_of(
+          pos[static_cast<std::size_t>(candidates[s])]);
+      atom_cell_[s] = c;
+      ++cell_start_[static_cast<std::size_t>(c) + 1];
+    }
+    for (std::size_t c = 0; c < ncells; ++c) {
+      cell_start_[c + 1] += cell_start_[c];
+    }
+    cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+    cell_atoms_.resize(nc);
+    for (std::size_t s = 0; s < nc; ++s) {
+      cell_atoms_[cell_cursor_[static_cast<std::size_t>(atom_cell_[s])]++] =
+          candidates[s];
+    }
+    static constexpr int kStencil[14][3] = {
+        {0, 0, 0},  {1, 0, 0},   {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
+        {1, 0, 1},  {0, 1, 1},   {1, 1, 1},  {1, -1, 0}, {1, 0, -1},
+        {0, 1, -1}, {1, -1, -1}, {1, -1, 1}, {1, 1, -1}};
+    for (int cx = 0; cx < ncx; ++cx) {
+      for (int cy = 0; cy < ncy; ++cy) {
+        for (int cz = 0; cz < ncz; ++cz) {
+          const std::size_t home = static_cast<std::size_t>(
+              (cx * ncy + cy) * ncz + cz);
+          const std::size_t h0 = cell_start_[home];
+          const std::size_t h1 = cell_start_[home + 1];
+          if (h0 == h1) continue;
+          for (const auto& offs : kStencil) {
+            const int ox = (cx + offs[0] + ncx) % ncx;
+            const int oy = (cy + offs[1] + ncy) % ncy;
+            const int oz = (cz + offs[2] + ncz) % ncz;
+            const std::size_t other = static_cast<std::size_t>(
+                (ox * ncy + oy) * ncz + oz);
+            const std::size_t o0 = cell_start_[other];
+            const std::size_t o1 = cell_start_[other + 1];
+            const bool self = offs[0] == 0 && offs[1] == 0 && offs[2] == 0;
+            for (std::size_t a = h0; a < h1; ++a) {
+              const std::size_t b0 = self ? a + 1 : o0;
+              for (std::size_t b = b0; b < o1; ++b) {
+                consider(cell_atoms_[a], cell_atoms_[b]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  offsets_.assign(un + 1, 0);
+  for (const auto& [i, j] : pair_buf_) {
+    ++offsets_[static_cast<std::size_t>(i) + 1];
+  }
+  for (std::size_t i = 0; i < un; ++i) offsets_[i + 1] += offsets_[i];
+  neighbors_.resize(pair_buf_.size());
+  row_cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [i, j] : pair_buf_) {
+    neighbors_[row_cursor_[static_cast<std::size_t>(i)]++] = j;
+  }
+  for (std::size_t i = 0; i < un; ++i) {
+    std::sort(neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]),
+              neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(offsets_[i + 1]));
+  }
+  built_pos_ = pos;
+  built_box_ = box;
+  offsets_view_ = &offsets_;
+  neighbors_view_ = &neighbors_;
+  built_pos_view_ = &built_pos_;
+  cache_keepalive_.reset();
+}
+
 bool NeighborList::needs_rebuild(const Box& box,
                                  const std::vector<util::Vec3>& pos) const {
   const std::vector<util::Vec3>& built = *built_pos_view_;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,20 @@ class NeighborList {
 
   void build(const Topology& topo, const Box& box,
              const std::vector<util::Vec3>& pos);
+
+  // Spatial-decomposition build: the same CSR list restricted to a rank's
+  // atoms. Only atoms in `candidates` (a rank's owned + ghost set) are
+  // binned, and a pair (i < j) is kept iff row_mask[i] is set — so the
+  // union over ranks of disjoint row masks reproduces build()'s exact
+  // pair set when every candidate list covers the mask's range
+  // neighborhood. Entries of `pos` outside `candidates` are never read.
+  // Offsets still span all natoms rows (non-candidate rows are empty), so
+  // the nonbonded kernels run unchanged. Bypasses the build cache: the
+  // inputs are rank-local, never shared.
+  void build_subset(const Topology& topo, const Box& box,
+                    const std::vector<util::Vec3>& pos,
+                    const std::vector<int>& candidates,
+                    const std::vector<std::uint8_t>& row_mask);
 
   bool needs_rebuild(const Box& box,
                      const std::vector<util::Vec3>& pos) const;

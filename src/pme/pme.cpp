@@ -126,6 +126,35 @@ double ewald_exclusion_correction(const Topology& topo, const Box& box,
   return energy;
 }
 
+double ewald_exclusion_correction_owned(
+    const Topology& topo, const Box& box, const std::vector<Vec3>& pos,
+    const std::vector<std::uint8_t>& owned_mask, double beta,
+    std::vector<Vec3>& forces) {
+  REPRO_REQUIRE(owned_mask.size() == pos.size(),
+                "ownership mask size mismatch");
+  double energy = 0.0;
+  for (const auto& [i, j] : topo.excluded_pairs()) {
+    if (!owned_mask[static_cast<std::size_t>(i)]) continue;
+    const double qq =
+        units::kCoulomb * topo.atom(i).charge * topo.atom(j).charge;
+    if (qq == 0.0) continue;
+    const Vec3 d = box.min_image(pos[static_cast<std::size_t>(i)] -
+                                 pos[static_cast<std::size_t>(j)]);
+    const double r = util::norm(d);
+    const double br = beta * r;
+    const double erf_br = std::erf(br);
+    energy -= qq * erf_br / r;
+    const double dEdr =
+        -qq * (2.0 * beta / std::sqrt(std::numbers::pi) *
+                   std::exp(-br * br) / r -
+               erf_br / (r * r));
+    const Vec3 f = d * (-dEdr / r);
+    forces[static_cast<std::size_t>(i)] += f;
+    forces[static_cast<std::size_t>(j)] -= f;
+  }
+  return energy;
+}
+
 // --- SerialPme --------------------------------------------------------------
 
 SerialPme::SerialPme(const PmeParams& params, const Box& box)

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -52,6 +53,17 @@ double ewald_exclusion_correction(const md::Topology& topo,
                                   double beta,
                                   std::vector<util::Vec3>& forces,
                                   int shard = 0, int stride = 1);
+
+// Spatial-decomposition variant: only pairs whose FIRST atom has
+// owned_mask set are corrected (excluded pairs are bonded-graph local, so
+// the partner is always resident as owned or ghost). Disjoint masks
+// partition the pair set exactly as shard/stride does for the replicated
+// kernels.
+double ewald_exclusion_correction_owned(
+    const md::Topology& topo, const md::Box& box,
+    const std::vector<util::Vec3>& pos,
+    const std::vector<std::uint8_t>& owned_mask, double beta,
+    std::vector<util::Vec3>& forces);
 
 class SerialPme {
  public:

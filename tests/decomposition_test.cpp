@@ -1,15 +1,19 @@
 // Tests for the decomposition-strategy layer: spec parsing, physics
 // invariance of every strategy across rank counts and networks, the
-// task-decoupling overlap, and the extended analytic predictor (times
-// within tolerance, message/byte counts exact against channel counters).
+// task-decoupling overlap, the spatial domain decomposition (halo
+// schedule, migration, idle ranks, topology/grid invariance), and the
+// extended analytic predictor (times within tolerance, message/byte
+// counts exact against channel counters).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "charmm/decomp_spec.hpp"
 #include "charmm/simulation.hpp"
+#include "charmm/spatial.hpp"
 #include "core/experiment.hpp"
 #include "core/model.hpp"
+#include "net/topology.hpp"
 #include "sysbuild/builder.hpp"
 #include "util/error.hpp"
 
@@ -62,21 +66,45 @@ TEST(DecompSpecTest, ParsesEveryKind) {
   const DecompSpec explicit_pme = parse_decomp_spec("task:pme=3");
   EXPECT_EQ(explicit_pme.kind, DecompKind::kTaskPme);
   EXPECT_EQ(explicit_pme.pme_ranks, 3);
+  EXPECT_EQ(parse_decomp_spec("spatial").kind, DecompKind::kSpatial);
+  EXPECT_EQ(parse_decomp_spec("spatial").grid_x, 0);  // auto grid
+  const DecompSpec grid = parse_decomp_spec("spatial:grid=6x3x4");
+  EXPECT_EQ(grid.kind, DecompKind::kSpatial);
+  EXPECT_EQ(grid.grid_x, 6);
+  EXPECT_EQ(grid.grid_y, 3);
+  EXPECT_EQ(grid.grid_z, 4);
 }
 
 TEST(DecompSpecTest, ToStringRoundTrips) {
-  for (const char* text : {"atom", "force", "task", "task:pme=2"}) {
+  for (const char* text :
+       {"atom", "force", "task", "task:pme=2", "spatial",
+        "spatial:grid=6x3x4"}) {
     EXPECT_EQ(to_string(parse_decomp_spec(text)), text);
   }
 }
 
 TEST(DecompSpecTest, RejectsMalformedSpecs) {
-  EXPECT_THROW(parse_decomp_spec("spatial"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatia"), util::Error);
   EXPECT_THROW(parse_decomp_spec("task:pme=0"), util::Error);
   EXPECT_THROW(parse_decomp_spec("task:pme=-1"), util::Error);
   EXPECT_THROW(parse_decomp_spec("task:pme=two"), util::Error);
   EXPECT_THROW(parse_decomp_spec("task:pme="), util::Error);
   EXPECT_THROW(parse_decomp_spec("force:pme=2"), util::Error);
+  // std::atoi would silently accept every one of these: trailing garbage,
+  // overflow past int, and a number with a unit glued on.
+  EXPECT_THROW(parse_decomp_spec("task:pme=2x"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme=99999999999999999999"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("task:pme=2k"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:foo=1"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid="), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=4x2"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=4x2x"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=4x2x2x2"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=0x2x2"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=axbxc"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:grid=99999999999999999999x2x2"),
+               util::Error);
 }
 
 TEST(DecompSpecTest, ResolvesPmeRankCount) {
@@ -101,10 +129,15 @@ TEST(DecompositionPhysicsTest, SingleProcessIsBitIdenticalAcrossKinds) {
                          short_config(DecompKind::kForce));
   const auto task = run(core::reference_platform(), 1,
                         short_config(DecompKind::kTaskPme));
+  const auto spatial = run(core::reference_platform(), 1,
+                           short_config(DecompKind::kSpatial));
   EXPECT_EQ(force.energy.potential(), atom.energy.potential());
   EXPECT_EQ(force.position_checksum, atom.position_checksum);
   EXPECT_EQ(task.energy.potential(), atom.energy.potential());
   EXPECT_EQ(task.position_checksum, atom.position_checksum);
+  EXPECT_EQ(spatial.energy.potential(), atom.energy.potential());
+  EXPECT_EQ(spatial.position_checksum, atom.position_checksum);
+  EXPECT_EQ(spatial.pairs_in_list, atom.pairs_in_list);
 }
 
 TEST(DecompositionPhysicsTest, EveryDecompositionMatchesSequential) {
@@ -112,7 +145,7 @@ TEST(DecompositionPhysicsTest, EveryDecompositionMatchesSequential) {
   ASSERT_TRUE(std::isfinite(ref.energy.potential()));
   for (DecompKind kind :
        {DecompKind::kAtomReplicated, DecompKind::kForce,
-        DecompKind::kTaskPme}) {
+        DecompKind::kTaskPme, DecompKind::kSpatial}) {
     for (int p : {2, 3, 5, 8}) {
       const auto par = run(core::reference_platform(), p, short_config(kind));
       EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
@@ -175,6 +208,98 @@ TEST(DecompositionScheduleTest, PhaseAttributionCoversTheSchedule) {
                         short_config(DecompKind::kTaskPme));
   EXPECT_GT(task.metrics.phase_seconds.count("pme_recip"), 0u);
   EXPECT_GT(task.metrics.phase_seconds.count("result_bcast"), 0u);
+}
+
+// --- spatial domain decomposition ------------------------------------------
+
+TEST(SpatialDecompositionTest, MatchesSequentialAtLargerCounts) {
+  // p=27 spreads the 72-cell grid thin (2-3 cells per rank), the hardest
+  // halo schedule that still keeps every rank owning atoms or cells.
+  const auto& ref = reference_run();
+  for (int p : {4, 27}) {
+    const auto par = run(core::reference_platform(), p,
+                         short_config(DecompKind::kSpatial));
+    EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+                std::abs(ref.energy.potential()) * 1e-6 + 1e-4)
+        << "spatial p=" << p;
+    EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+                std::abs(ref.position_checksum) * 1e-9)
+        << "spatial p=" << p;
+    // Within one epoch (nsteps < list_rebuild_interval) every subset list
+    // is built from the same replicated step-0 positions, so the summed
+    // local pair counts must partition the replicated list exactly.
+    EXPECT_EQ(par.pairs_in_list, ref.pairs_in_list) << "spatial p=" << p;
+    EXPECT_EQ(par.atoms_migrated, 0u) << "spatial p=" << p;
+  }
+}
+
+TEST(SpatialDecompositionTest, TopologyNeverChangesPhysics) {
+  // The fabric changes clocks, never arithmetic: bit-identical results
+  // across single switch, fat-tree, and torus.
+  core::ExperimentSpec spec;
+  spec.nprocs = 8;
+  spec.charmm = short_config(DecompKind::kSpatial);
+  const auto single = core::run_experiment(system_fixture(), spec);
+  spec.topology = net::parse_topology_spec("fattree:radix=4");
+  const auto fattree = core::run_experiment(system_fixture(), spec);
+  spec.topology = net::parse_topology_spec("torus");
+  const auto torus = core::run_experiment(system_fixture(), spec);
+  EXPECT_EQ(fattree.energy.potential(), single.energy.potential());
+  EXPECT_EQ(fattree.position_checksum, single.position_checksum);
+  EXPECT_EQ(torus.energy.potential(), single.energy.potential());
+  EXPECT_EQ(torus.position_checksum, single.position_checksum);
+}
+
+TEST(SpatialDecompositionTest, ExplicitGridMatchesSequential) {
+  const auto& ref = reference_run();
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:grid=4x3x4");
+  const auto par = run(core::reference_platform(), 8, config);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(SpatialDecompositionTest, RejectsGridsFinerThanTheCutoff) {
+  // 80 / 7 < cutoff + skin = 12: a pair within range could span two
+  // non-adjacent cells, so the layout must refuse to run.
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:grid=7x3x4");
+  EXPECT_THROW(run(core::reference_platform(), 8, config), util::Error);
+}
+
+TEST(SpatialDecompositionTest, IdleRanksBeyondTheCellCount) {
+  // p=100 > 72 cells: 28 ranks own nothing, idle through the classic
+  // routine, and still join every collective — results unchanged.
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.nsteps = 2;
+  CharmmConfig ref_config = short_config();
+  ref_config.nsteps = 2;
+  const auto ref = run(core::reference_platform(), 1, ref_config);
+  const auto par = run(core::reference_platform(), 100, config);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(SpatialDecompositionTest, MigratesAtomsAcrossARebuild) {
+  // Eight steps cross the rebuild at step 5, where atoms that drifted
+  // over a cell border change owner; ownership must follow them and the
+  // physics must not care. (The fixture is only lightly relaxed, so the
+  // default timestep already produces a healthy migration count.)
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.nsteps = 8;
+  CharmmConfig ref_config = short_config();
+  ref_config.nsteps = 8;
+  const auto ref = run(core::reference_platform(), 1, ref_config);
+  const auto par = run(core::reference_platform(), 8, config);
+  EXPECT_GT(par.atoms_migrated, 0u);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
 }
 
 // --- analytic predictor ----------------------------------------------------
@@ -255,6 +380,58 @@ TEST(DecompositionModelTest, MessageAndByteCountsAreExact) {
           << to_string(kind) << " p=" << p;
     }
   }
+}
+
+TEST(DecompositionModelTest, SpatialMessageAndByteCountsAreExact) {
+  // The system-aware overload reproduces the simulator's own layout and
+  // step-0 epoch, so within one epoch the halo schedule is an exact
+  // count, not an estimate. The only traffic outside the per-step
+  // schedule is the one-time 3-double result allreduce after the loop:
+  // 2(p-1) messages of 24 bytes.
+  core::Platform platform;
+  platform.network = net::Network::kScoreGigE;
+  const net::NetworkParams params = net::params_for(platform.network);
+  for (bool use_pme : {true, false}) {
+    for (int p : {2, 4, 8, 27}) {
+      if (!use_pme && p != 8) continue;  // one PME-off pin is enough
+      CharmmConfig config = short_config(DecompKind::kSpatial);
+      config.coherency_barriers = false;
+      config.use_pme = use_pme;
+      const auto sim = run(platform, p, config);
+      const core::OverheadPrediction pred = core::predict_step_overheads(
+          params, p, system_fixture(), config);
+      double sim_messages = 0.0;
+      double sim_bytes = 0.0;
+      for (const auto& ch : sim.metrics.channels) {
+        sim_messages += static_cast<double>(ch.messages);
+        sim_bytes += ch.bytes;
+      }
+      const double epilogue_messages = 2.0 * (p - 1);
+      const double epilogue_bytes = 2.0 * (p - 1) * 24.0;
+      EXPECT_DOUBLE_EQ(
+          pred.messages_per_step() * config.nsteps + epilogue_messages,
+          sim_messages)
+          << "spatial p=" << p << " pme=" << use_pme;
+      EXPECT_DOUBLE_EQ(pred.bytes_per_step() * config.nsteps + epilogue_bytes,
+                       sim_bytes)
+          << "spatial p=" << p << " pme=" << use_pme;
+      if (!use_pme) {
+        EXPECT_EQ(pred.pme_messages_per_step, 0.0);
+        EXPECT_EQ(pred.pme_bytes_per_step, 0.0);
+      }
+    }
+  }
+}
+
+TEST(DecompositionModelTest, SpatialPredictionNeedsTheBuiltSystem) {
+  // The halo volumes are the border-cell populations, which an atom count
+  // cannot capture — the natoms-only overload must refuse loudly rather
+  // than return a wrong schedule.
+  EXPECT_THROW(core::predict_step_overheads(
+                   net::params_for(net::Network::kScoreGigE), 8,
+                   sysbuild::kTotalAtoms, pme::PmeParams{80, 36, 48, 4, 0.34},
+                   DecompSpec{DecompKind::kSpatial, 0}),
+               util::Error);
 }
 
 TEST(DecompositionModelTest, SequentialHasNoScheduleTraffic) {
