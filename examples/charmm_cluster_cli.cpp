@@ -295,8 +295,8 @@ void usage() {
       "tcp|score|myrinet|faste]\n"
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
       "                [--pme on|off]\n"
-      "                [--decomp "
-      "atom|force|task[:pme=N]|spatial[:grid=AxBxC]]\n"
+      "                [--decomp atom|force|task[:pme=N]|\n"
+      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]]\n"
       "                [--engine fiber|thread]  DES backend (default fiber,\n"
       "                    or $REPRO_ENGINE; results identical either way)\n"
       "                [--timeline]\n"
@@ -316,8 +316,8 @@ void usage() {
       "schedule)\n"
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n"
-      "                [--decomp atom|force|task[:pme=N]|"
-      "spatial[:grid=AxBxC]]\n"
+      "                [--decomp atom|force|task[:pme=N]|\n"
+      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]]\n"
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--engine fiber|thread]  DES backend per cell\n"

@@ -50,9 +50,18 @@ std::string to_string(const DecompSpec& spec) {
   if (spec.kind == DecompKind::kTaskPme && spec.pme_ranks > 0) {
     out += ":pme=" + std::to_string(spec.pme_ranks);
   }
-  if (spec.kind == DecompKind::kSpatial && spec.grid_x > 0) {
-    out += ":grid=" + std::to_string(spec.grid_x) + "x" +
-           std::to_string(spec.grid_y) + "x" + std::to_string(spec.grid_z);
+  if (spec.kind == DecompKind::kSpatial) {
+    if (spec.grid_x > 0) {
+      out += ":grid=" + std::to_string(spec.grid_x) + "x" +
+             std::to_string(spec.grid_y) + "x" + std::to_string(spec.grid_z);
+    }
+    if (spec.pme_mode == PmeMode::kPencil) {
+      out += ":pme=pencil";
+      if (spec.pencil_y > 0) {
+        out += ":grid=" + std::to_string(spec.pencil_y) + "x" +
+               std::to_string(spec.pencil_z);
+      }
+    }
   }
   return out;
 }
@@ -78,28 +87,70 @@ DecompSpec parse_decomp_spec(const std::string& text) {
   }
   if (text == "spatial" || text.rfind("spatial:", 0) == 0) {
     spec.kind = DecompKind::kSpatial;
-    if (text == "spatial") return spec;
-    const std::string opt = text.substr(8);
-    REPRO_REQUIRE(opt.rfind("grid=", 0) == 0,
-                  "bad decomposition option '" + opt +
-                      "' (expected spatial:grid=AxBxC): " + text);
-    const std::string dims = opt.substr(5);
-    const std::size_t x1 = dims.find('x');
-    const std::size_t x2 =
-        x1 == std::string::npos ? std::string::npos : dims.find('x', x1 + 1);
-    REPRO_REQUIRE(x1 != std::string::npos && x2 != std::string::npos,
-                  "bad spatial grid (expected spatial:grid=AxBxC): " + text);
-    spec.grid_x =
-        parse_positive_int(dims.substr(0, x1), "spatial grid dimension", text);
-    spec.grid_y = parse_positive_int(dims.substr(x1 + 1, x2 - x1 - 1),
-                                     "spatial grid dimension", text);
-    spec.grid_z = parse_positive_int(dims.substr(x2 + 1),
-                                     "spatial grid dimension", text);
+    // Colon-separated options after "spatial". "grid=" means the cell
+    // grid until "pme=pencil" has been seen, after which it means the
+    // pencil process grid — mirroring how to_string prints them.
+    bool after_pencil = false;
+    std::size_t pos = 7;  // strlen("spatial")
+    while (pos < text.size()) {
+      REPRO_REQUIRE(text[pos] == ':',
+                    "bad decomposition spec (expected ':' before option): " +
+                        text);
+      const std::size_t next = text.find(':', pos + 1);
+      const std::string opt =
+          text.substr(pos + 1, next == std::string::npos ? std::string::npos
+                                                         : next - pos - 1);
+      pos = next == std::string::npos ? text.size() : next;
+      if (opt == "pme=pencil") {
+        REPRO_REQUIRE(!after_pencil,
+                      "duplicate pme=pencil option in decomposition spec: " +
+                          text);
+        spec.pme_mode = PmeMode::kPencil;
+        after_pencil = true;
+        continue;
+      }
+      REPRO_REQUIRE(opt.rfind("pme=", 0) != 0,
+                    "bad PME mode '" + opt +
+                        "' in decomposition spec (only pme=pencil is "
+                        "accepted; slab is the default): " + text);
+      REPRO_REQUIRE(opt.rfind("grid=", 0) == 0,
+                    "bad decomposition option '" + opt +
+                        "' (expected grid=... or pme=pencil): " + text);
+      const std::string dims = opt.substr(5);
+      const std::size_t x1 = dims.find('x');
+      if (after_pencil) {
+        REPRO_REQUIRE(spec.pencil_y == 0,
+                      "duplicate pencil grid in decomposition spec: " + text);
+        REPRO_REQUIRE(x1 != std::string::npos &&
+                          dims.find('x', x1 + 1) == std::string::npos,
+                      "bad pencil grid (expected pme=pencil:grid=PyxPz): " +
+                          text);
+        spec.pencil_y = parse_positive_int(dims.substr(0, x1),
+                                           "pencil grid dimension", text);
+        spec.pencil_z = parse_positive_int(dims.substr(x1 + 1),
+                                           "pencil grid dimension", text);
+      } else {
+        REPRO_REQUIRE(spec.grid_x == 0,
+                      "duplicate cell grid in decomposition spec: " + text);
+        const std::size_t x2 = x1 == std::string::npos ? std::string::npos
+                                                       : dims.find('x', x1 + 1);
+        REPRO_REQUIRE(x1 != std::string::npos && x2 != std::string::npos &&
+                          dims.find('x', x2 + 1) == std::string::npos,
+                      "bad spatial grid (expected spatial:grid=AxBxC): " +
+                          text);
+        spec.grid_x = parse_positive_int(dims.substr(0, x1),
+                                         "spatial grid dimension", text);
+        spec.grid_y = parse_positive_int(dims.substr(x1 + 1, x2 - x1 - 1),
+                                         "spatial grid dimension", text);
+        spec.grid_z = parse_positive_int(dims.substr(x2 + 1),
+                                         "spatial grid dimension", text);
+      }
+    }
     return spec;
   }
   util::fail("unknown decomposition '" + text +
                  "' (expected atom, force, task[:pme=N], or "
-                 "spatial[:grid=AxBxC])",
+                 "spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]])",
              __FILE__, __LINE__);
 }
 
@@ -112,6 +163,38 @@ int resolved_pme_ranks(const DecompSpec& spec, int nprocs) {
     return spec.pme_ranks;
   }
   return std::max(1, nprocs / 4);
+}
+
+std::pair<int, int> resolved_pencil_grid(const DecompSpec& spec, int nprocs,
+                                         std::size_t ny, std::size_t nz) {
+  REPRO_REQUIRE(nprocs >= 2,
+                "the pencil PME grid is only resolved for parallel runs");
+  int py = spec.pencil_y;
+  int pz = spec.pencil_z;
+  if (py > 0) {
+    REPRO_REQUIRE(static_cast<long>(py) * pz <= nprocs,
+                  "pencil grid " + std::to_string(py) + "x" +
+                      std::to_string(pz) + " needs more ranks than the run's " +
+                      std::to_string(nprocs));
+  } else {
+    // Auto: the most-square factorization — the largest divisor d of
+    // nprocs with d <= sqrt(nprocs), used as (d, nprocs / d). Squarer
+    // grids shrink both transpose group sizes at once.
+    py = 1;
+    for (int d = 1; static_cast<long>(d) * d <= nprocs; ++d) {
+      if (nprocs % d == 0) py = d;
+    }
+    pz = nprocs / py;
+  }
+  // Every pencil rank must own at least one plane in each distributed
+  // dimension, or its 1-D FFT lines would be empty.
+  REPRO_REQUIRE(static_cast<std::size_t>(py) <= ny,
+                "pencil grid dimension Py=" + std::to_string(py) +
+                    " exceeds the FFT's " + std::to_string(ny) + " y planes");
+  REPRO_REQUIRE(static_cast<std::size_t>(pz) <= nz,
+                "pencil grid dimension Pz=" + std::to_string(pz) +
+                    " exceeds the FFT's " + std::to_string(nz) + " z planes");
+  return {py, pz};
 }
 
 }  // namespace repro::charmm

@@ -9,7 +9,9 @@
 // the strategies themselves live in charmm/decomposition.hpp.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <utility>
 
 namespace repro::charmm {
 
@@ -38,6 +40,20 @@ enum class DecompKind {
   kSpatial,
 };
 
+// How the spatial decomposition runs PME's reciprocal sum.
+enum class PmeMode {
+  // Replicated slab FFT fed by an all-to-all position gather and drained
+  // by a full-array reciprocal-force allreduce — the PR 7 baseline whose
+  // p^2 traffic is the paper's PME wall.
+  kSlab,
+  // 2-D pencil decomposition of the charge grid over a Py x Pz process
+  // grid: charges are spread only onto locally-owned real-space planes,
+  // B-spline ghost planes are exchanged with the pencil owners, and the
+  // 3-D FFT runs as local 1-D lines with grouped pairwise X<->Y and
+  // Y<->Z transposes. No position gather, no force allreduce.
+  kPencil,
+};
+
 struct DecompSpec {
   DecompKind kind = DecompKind::kAtomReplicated;
   // kTaskPme only: ranks dedicated to PME (0 = auto, max(1, p/4)).
@@ -47,24 +63,43 @@ struct DecompSpec {
   int grid_x = 0;
   int grid_y = 0;
   int grid_z = 0;
+  // kSpatial only: slab (replicated) or pencil (distributed) PME.
+  PmeMode pme_mode = PmeMode::kSlab;
+  // kPencil only: explicit Py x Pz pencil process grid (0 = auto, the
+  // most-square factorization of nprocs). Either both are set or none.
+  int pencil_y = 0;
+  int pencil_z = 0;
 
   bool operator==(const DecompSpec&) const = default;
 };
 
 const char* to_string(DecompKind kind);
 // "atom" | "force" | "task" | "task:pme=N" | "spatial" |
-// "spatial:grid=AxBxC" — round-trips parse_decomp_spec.
+// "spatial:grid=AxBxC" | "spatial[:grid=AxBxC]:pme=pencil[:grid=PyxPz]"
+// — round-trips parse_decomp_spec.
 std::string to_string(const DecompSpec& spec);
 
-// Parses "atom", "force", "task", "task:pme=N" (N >= 1), "spatial" or
-// "spatial:grid=AxBxC" (A, B, C >= 1). Throws util::Error on anything
-// else — including non-numeric or out-of-range values, which the former
-// atoi-based parser silently folded to 0.
+// Parses "atom", "force", "task", "task:pme=N" (N >= 1), "spatial", or
+// "spatial" followed by colon-separated options: "grid=AxBxC" (A, B, C
+// >= 1; the cell grid) and "pme=pencil" optionally followed by its own
+// "grid=PyxPz" (the pencil process grid; must come after "pme=pencil").
+// Throws util::Error on anything else — including non-numeric or
+// out-of-range values, which the former atoi-based parser silently
+// folded to 0.
 DecompSpec parse_decomp_spec(const std::string& text);
 
 // Number of PME-dedicated ranks a task-decoupled run on `nprocs` uses:
 // the explicit pme_ranks if set (must leave at least one classic rank),
 // else max(1, nprocs / 4). Meaningful only for nprocs >= 2.
 int resolved_pme_ranks(const DecompSpec& spec, int nprocs);
+
+// The Py x Pz pencil process grid a pencil-PME run on `nprocs` uses: the
+// explicit pencil_y/pencil_z if set (py * pz must not exceed nprocs),
+// else the most-square factorization of nprocs (largest divisor d with
+// d <= sqrt(nprocs), as (d, nprocs / d)). Either way each pencil
+// dimension must fit in the FFT plane counts `ny`/`nz` so every pencil
+// rank owns at least one plane. Meaningful only for nprocs >= 2.
+std::pair<int, int> resolved_pencil_grid(const DecompSpec& spec, int nprocs,
+                                         std::size_t ny, std::size_t nz);
 
 }  // namespace repro::charmm

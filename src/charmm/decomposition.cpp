@@ -25,9 +25,12 @@ using util::Vec3;
 // step and operation so a jitter-delayed packet from step k can never
 // match a receive posted in step k+1.
 constexpr int kScheduleTagBase = 1 << 18;
-// Five tag slots per step: fold/expand (force) or reduce/exchange (task)
-// or migrate/ghost/position-halo/force-halo/pme-gather (spatial).
-constexpr int kScheduleTagsPerStep = 5;
+// Eleven tag slots per step: ops 0-4 are fold/expand (force) or
+// reduce/exchange (task) or migrate/ghost/position-halo/force-halo/
+// pme-gather (spatial); ops 5-10 are the spatial pencil-PME schedule
+// (charge plane exchange, X->Y and Y->Z forward transposes, Z->Y and
+// Y->X backward transposes, potential plane exchange).
+constexpr int kScheduleTagsPerStep = 11;
 // The PME group middleware draws its own fresh tag per operation from
 // here up to the collective base.
 constexpr int kGroupTagBase = 1 << 19;
@@ -780,9 +783,25 @@ class SpatialDecomposition final : public Decomposition {
     std::vector<double> flat;
     md::NeighborList nbl(config.cutoff, config.skin);
 
-    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
+    // Slab or pencil PME. Neither constructor communicates or charges
+    // compute, so wrapping the slab machinery in an optional leaves the
+    // slab path's schedule byte-identical to the unconditional build.
+    auto charge_flops = [&](double flops) {
       comm.compute(flops * cost.seconds_per_flop);
-    });
+    };
+    const bool pencil =
+        config.use_pme && spec_.pme_mode == PmeMode::kPencil;
+    std::optional<pme::ParallelPme> ppme;
+    std::optional<pme::PencilPme> pencil_pme;
+    if (pencil) {
+      const auto [py, pz] =
+          resolved_pencil_grid(spec_, p, config.pme.ny, config.pme.nz);
+      pencil_pme.emplace(config.pme, box, comm, py, pz,
+                         make_pme_regions(layout, config.pme, config.skin),
+                         charge_flops);
+    } else {
+      ppme.emplace(config.pme, box, mw, charge_flops);
+    }
 
     // Epoch state, frozen between rebuilds.
     std::vector<int> owned;
@@ -1075,25 +1094,35 @@ class SpatialDecomposition final : public Decomposition {
 
         rec.set_component(perf::Component::kPme);
         if (config.coherency_barriers) mw.synchronize();
-        gather_positions(step);
-        recip_forces.assign(natoms, Vec3{});
-        {
+        if (pencil) {
+          // Pencil PME: charges are spread locally and exchanged as
+          // region plane blocks, the FFT transposes within pencil rows/
+          // columns, and owned-atom forces come back complete — no
+          // position gather and no reciprocal-force allreduce.
           perf::PhaseScope phase(rec, "pme_recip");
-          energy.ewald_recip += ppme.reciprocal(topo, pos, recip_forces);
-        }
-        {
-          // The reciprocal force on an atom has contributions from every
-          // slab; combine with one full-vector allreduce, of which each
-          // rank keeps its owned rows (ghost rows would double-count
-          // after the force halo).
-          perf::PhaseScope phase(rec, "recip_reduce");
-          util::flatten(recip_forces, flat);
-          mw.global_sum(flat.data(), flat.size());
-          util::unflatten(flat, recip_forces);
-        }
-        for (int i : owned) {
-          const auto ui = static_cast<std::size_t>(i);
-          forces[ui] += recip_forces[ui];
+          energy.ewald_recip += pencil_pme->reciprocal(
+              topo, pos, owned, forces, schedule_tag(step, 5));
+        } else {
+          gather_positions(step);
+          recip_forces.assign(natoms, Vec3{});
+          {
+            perf::PhaseScope phase(rec, "pme_recip");
+            energy.ewald_recip += ppme->reciprocal(topo, pos, recip_forces);
+          }
+          {
+            // The reciprocal force on an atom has contributions from
+            // every slab; combine with one full-vector allreduce, of
+            // which each rank keeps its owned rows (ghost rows would
+            // double-count after the force halo).
+            perf::PhaseScope phase(rec, "recip_reduce");
+            util::flatten(recip_forces, flat);
+            mw.global_sum(flat.data(), flat.size());
+            util::unflatten(flat, recip_forces);
+          }
+          for (int i : owned) {
+            const auto ui = static_cast<std::size_t>(i);
+            forces[ui] += recip_forces[ui];
+          }
         }
         rec.set_component(perf::Component::kClassic);
       }

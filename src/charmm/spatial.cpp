@@ -284,4 +284,56 @@ SpatialEpoch make_global_epoch(const SpatialLayout& layout,
   return epoch;
 }
 
+std::vector<pme::GridRegion> make_pme_regions(const SpatialLayout& layout,
+                                              const pme::PmeParams& params,
+                                              double skin) {
+  const long n[3] = {static_cast<long>(params.nx),
+                     static_cast<long>(params.ny),
+                     static_cast<long>(params.nz)};
+  const long nc[3] = {layout.ncx, layout.ncy, layout.ncz};
+  const double len[3] = {layout.box.lx(), layout.box.ly(), layout.box.lz()};
+  std::vector<pme::GridRegion> regions(layout.rank_cells.size());
+  for (std::size_t r = 0; r < layout.rank_cells.size(); ++r) {
+    const auto& cells = layout.rank_cells[r];
+    if (cells.empty()) continue;  // idle rank: empty region
+    int lo[3] = {layout.ncx, layout.ncy, layout.ncz};
+    int hi[3] = {-1, -1, -1};
+    for (int c : cells) {
+      const int coord[3] = {c / (layout.ncy * layout.ncz),
+                            (c / layout.ncz) % layout.ncy, c % layout.ncz};
+      for (int d = 0; d < 3; ++d) {
+        lo[d] = std::min(lo[d], coord[d]);
+        hi[d] = std::max(hi[d], coord[d]);
+      }
+    }
+    std::size_t start[3];
+    std::size_t count[3];
+    for (int d = 0; d < 3; ++d) {
+      const long pad =
+          static_cast<long>(
+              std::ceil(skin * static_cast<double>(n[d]) / len[d])) +
+          1;
+      // Lowest plane an atom at the cells' lower face can touch: its
+      // k0 = floor(lo * n / nc), minus the spline support below it.
+      const long lo_plane =
+          lo[d] * n[d] / nc[d] - (params.order - 1) - pad;
+      // Highest plane: k0 of an atom at the upper face, rounded up.
+      const long hi_plane =
+          ((hi[d] + 1) * n[d] + nc[d] - 1) / nc[d] - 1 + pad;
+      const long c = hi_plane - lo_plane + 1;
+      if (c >= n[d]) {
+        start[d] = 0;
+        count[d] = static_cast<std::size_t>(n[d]);
+      } else {
+        start[d] = static_cast<std::size_t>(((lo_plane % n[d]) + n[d]) %
+                                            n[d]);
+        count[d] = static_cast<std::size_t>(c);
+      }
+    }
+    regions[r] = pme::GridRegion{start[0], count[0], start[1],
+                                 count[1],  start[2], count[2]};
+  }
+  return regions;
+}
+
 }  // namespace repro::charmm

@@ -20,6 +20,7 @@
 
 #include "charmm/decomp_spec.hpp"
 #include "md/box.hpp"
+#include "pme/pme.hpp"
 #include "util/vec3.hpp"
 
 namespace repro::charmm {
@@ -81,5 +82,21 @@ struct SpatialEpoch {
 
 SpatialEpoch make_global_epoch(const SpatialLayout& layout,
                                const std::vector<util::Vec3>& pos);
+
+// Per-rank PME grid regions for the pencil decomposition: the wrapped box
+// of charge-grid planes any atom a rank owns can touch during an epoch.
+// Per dimension the owned cells' non-periodic bounding box is mapped to
+// plane indices, then padded by the B-spline support on the low side
+// (stencil points are k0 - j) and by the skin drift both sides (an atom
+// stays owned until the rebuild migrates it, and the neighbor-list skin
+// bounds how far it can drift in that window; +1 plane absorbs the
+// floor/ceil rounding). A dimension whose padded extent reaches the full
+// plane count collapses to the whole dimension. Cell-less ranks get an
+// empty region. Regions depend only on the layout — never on positions —
+// so the pencil message schedule is constant for the whole run and the
+// predictor can pin it exactly.
+std::vector<pme::GridRegion> make_pme_regions(const SpatialLayout& layout,
+                                              const pme::PmeParams& params,
+                                              double skin);
 
 }  // namespace repro::charmm

@@ -59,6 +59,23 @@ void validate_config(const CharmmConfig& config) {
   const bool all_grid = d.grid_x > 0 && d.grid_y > 0 && d.grid_z > 0;
   REPRO_REQUIRE(!any_grid || all_grid,
                 "spatial grid override must set all three dimensions");
+  REPRO_REQUIRE(d.pencil_y >= 0 && d.pencil_z >= 0,
+                "pencil grid dimensions must be non-negative");
+  REPRO_REQUIRE((d.pencil_y > 0) == (d.pencil_z > 0),
+                "pencil grid override must set both dimensions");
+  if (d.pme_mode == PmeMode::kPencil) {
+    REPRO_REQUIRE(d.kind == DecompKind::kSpatial,
+                  "pencil PME is an option of the spatial decomposition");
+    REPRO_REQUIRE(config.use_pme,
+                  "pme=pencil decomposes the PME mesh; enable use_pme or "
+                  "drop the pencil option");
+  }
+  if (config.use_pme && d.pencil_y > 0) {
+    REPRO_REQUIRE(static_cast<std::size_t>(d.pencil_y) <= config.pme.ny,
+                  "pencil grid dimension Py exceeds the PME grid's y planes");
+    REPRO_REQUIRE(static_cast<std::size_t>(d.pencil_z) <= config.pme.nz,
+                  "pencil grid dimension Pz exceeds the PME grid's z planes");
+  }
 }
 
 void validate_config(const SimulationConfig& config) {

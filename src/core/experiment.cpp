@@ -124,6 +124,14 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
     charmm::make_spatial_layout(spec.charmm.decomp, sys.box,
                                 spec.charmm.cutoff + spec.charmm.skin,
                                 spec.nprocs);
+    if (spec.charmm.decomp.pme_mode == charmm::PmeMode::kPencil &&
+        spec.nprocs > 1) {
+      // (p == 1 runs the sequential reference program; no pencil grid.)
+      // Fails fast on a pencil grid that needs more ranks than the run
+      // has or more planes than the FFT grid holds.
+      charmm::resolved_pencil_grid(spec.charmm.decomp, spec.nprocs,
+                                   spec.charmm.pme.ny, spec.charmm.pme.nz);
+    }
   }
 
   net::ClusterConfig cluster_config;

@@ -211,7 +211,103 @@ void predict_spatial(const net::NetworkParams& params, int p,
       2.0 * halo_bytes +
       2.0 * (p - 1) * static_cast<double>(energy_bytes);
 
-  if (config.use_pme) {
+  if (config.use_pme &&
+      config.decomp.pme_mode == charmm::PmeMode::kPencil) {
+    // Pencil PME: no gather, no reciprocal-force allreduce. The traffic
+    // is (a) the charge/potential plane exchange between spread regions
+    // and stage-1 pencils, and (b) the four grouped pairwise transposes
+    // inside the forward/backward pencil FFT. Regions and the pencil
+    // grid depend only on the layout, so every count is exact.
+    const auto [py, pz] = charmm::resolved_pencil_grid(
+        config.decomp, p, config.pme.ny, config.pme.nz);
+    const fft::PencilGrid pgrid(config.pme.nx, config.pme.ny,
+                                config.pme.nz, py, pz);
+    const std::vector<pme::GridRegion> regions =
+        charmm::make_pme_regions(layout, config.pme, config.skin);
+
+    // Plane exchange: rank r ships the overlap of its region with each
+    // stage-1 pencil (y-range x z-range, full x) as one eager message;
+    // the potential comes back over the identical geometry.
+    double plane_messages = 0.0;
+    double plane_bytes = 0.0;
+    double max_rank_plane_seconds = 0.0;
+    for (int r = 0; r < p; ++r) {
+      const pme::GridRegion& rr = regions[static_cast<std::size_t>(r)];
+      double rank_seconds = 0.0;
+      if (!rr.empty()) {
+        for (int q = 0; q < p; ++q) {
+          if (q == r || !pgrid.participates(q)) continue;
+          const int qy = pgrid.ycoord(q);
+          const int qz = pgrid.zcoord(q);
+          const std::size_t elems =
+              rr.cx *
+              pme::wrapped_overlap(rr.y0, rr.cy, config.pme.ny,
+                                   pgrid.ypart.begin(qy),
+                                   pgrid.ypart.end(qy)) *
+              pme::wrapped_overlap(rr.z0, rr.cz, config.pme.nz,
+                                   pgrid.zpart.begin(qz),
+                                   pgrid.zpart.end(qz));
+          if (elems == 0) continue;
+          plane_messages += 1.0;
+          plane_bytes += static_cast<double>(elems) * 8.0;
+          rank_seconds += predict_message_seconds(params, elems * 8);
+        }
+      }
+      max_rank_plane_seconds =
+          std::max(max_rank_plane_seconds, rank_seconds);
+    }
+
+    // Grouped pairwise transposes: X<->Y runs among the py ranks of each
+    // z-group, Y<->Z among the pz ranks of each y-group; each ordered
+    // pair with a nonzero block is one exchange message per direction.
+    double fft_messages = 0.0;
+    double fft_bytes = 0.0;
+    for (int zc = 0; zc < pz; ++zc) {
+      for (int a = 0; a < py; ++a) {
+        for (int b = 0; b < py; ++b) {
+          if (a == b) continue;
+          const std::size_t elems = pgrid.ypart.count(a) *
+                                    pgrid.xpart.count(b) *
+                                    pgrid.zpart.count(zc);
+          if (elems == 0) continue;
+          fft_messages += 2.0;  // forward X->Y and backward Y->X
+          fft_bytes += 2.0 * static_cast<double>(elems) * 16.0;
+        }
+      }
+    }
+    for (int yc = 0; yc < py; ++yc) {
+      for (int c = 0; c < pz; ++c) {
+        for (int d = 0; d < pz; ++d) {
+          if (c == d) continue;
+          const std::size_t elems = pgrid.xpart.count(yc) *
+                                    pgrid.y2part.count(d) *
+                                    pgrid.zpart.count(c);
+          if (elems == 0) continue;
+          fft_messages += 2.0;  // forward Y->Z and backward Z->Y
+          fft_bytes += 2.0 * static_cast<double>(elems) * 16.0;
+        }
+      }
+    }
+
+    // Critical path: the heaviest rank's plane sends (both directions)
+    // plus the sequential pairwise rounds of the four transposes, each
+    // round moving one typical block concurrently in both directions.
+    const double nx = static_cast<double>(config.pme.nx);
+    const double ny = static_cast<double>(config.pme.ny);
+    const double nz = static_cast<double>(config.pme.nz);
+    const auto xy_block = static_cast<std::size_t>(
+        (nx / py) * (ny / py) * (nz / pz) * 16.0);
+    const auto yz_block = static_cast<std::size_t>(
+        (nx / py) * (ny / pz) * (nz / pz) * 16.0);
+    out.pme_comm_per_step =
+        2.0 * max_rank_plane_seconds +
+        2.0 * (py - 1) *
+            predict_message_seconds(params, xy_block, /*exchange=*/true) +
+        2.0 * (pz - 1) *
+            predict_message_seconds(params, yz_block, /*exchange=*/true);
+    out.pme_messages_per_step = 2.0 * plane_messages + fft_messages;
+    out.pme_bytes_per_step = 2.0 * plane_bytes + fft_bytes;
+  } else if (config.use_pme) {
     // Position gather: every rank ships (count, ids, positions) of its
     // owned set to every other rank — (1 + 4 n_r) doubles — so the
     // cluster-wide volume telescopes to (p-1)(8p + 32N) regardless of

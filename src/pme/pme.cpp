@@ -1,5 +1,6 @@
 #include "pme/pme.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -84,6 +85,19 @@ struct Influence {
 };
 
 }  // namespace
+
+std::size_t wrapped_overlap(std::size_t start, std::size_t count,
+                            std::size_t n, std::size_t b, std::size_t e) {
+  if (count >= n) return e - b;  // whole dimension: plain interval size
+  auto seg = [&](std::size_t s0, std::size_t s1) {
+    const std::size_t lo = std::max(s0, b);
+    const std::size_t hi = std::min(s1, e);
+    return hi > lo ? hi - lo : std::size_t{0};
+  };
+  const std::size_t end = start + count;
+  if (end <= n) return seg(start, end);
+  return seg(start, n) + seg(0, end - n);
+}
 
 double ewald_self_energy(const Topology& topo, double beta) {
   double q2 = 0.0;
@@ -400,6 +414,375 @@ double ParallelPme::reciprocal(const Topology& topo,
     work->atoms_spread += atoms_touched;
     work->stencil_points += stencil + interp_stencil;
     work->mesh_points += lz * params_.ny * params_.nx;
+  }
+  return energy;
+}
+
+// --- PencilPme ---------------------------------------------------------------
+
+PencilPme::PencilPme(const PmeParams& params, const Box& box, mpi::Comm& comm,
+                     int py, int pz, std::vector<GridRegion> regions,
+                     std::function<void(double)> charge_compute)
+    : params_(params),
+      box_(box),
+      comm_(comm),
+      charge_(std::move(charge_compute)),
+      pfft_(fft::PencilGrid(params.nx, params.ny, params.nz, py, pz), comm,
+            charge_),
+      regions_(std::move(regions)),
+      modx_(bspline_moduli(params.nx, params.order)),
+      mody_(bspline_moduli(params.ny, params.order)),
+      modz_(bspline_moduli(params.nz, params.order)) {
+  REPRO_REQUIRE(regions_.size() == static_cast<std::size_t>(comm_.size()),
+                "pencil PME needs one grid region per rank");
+  REPRO_REQUIRE(py * pz <= comm_.size(),
+                "pencil process grid needs more ranks than the run has");
+  const int me = comm_.rank();
+  const GridRegion& reg = my_region();
+  region_.resize(reg.cx * reg.cy * reg.cz);
+  stage1_.resize(pfft_.grid().stage1_size(me));
+  stage3_.resize(pfft_.grid().stage3_size(me));
+}
+
+// Charge plane exchange: every rank ships, for each stage-1 pencil owner
+// q, the part of its spread region that lands on q's (y, z) planes — all
+// of the region's x extent, the y/z overlap with q's pencil. Elements are
+// enumerated in region-local (x, y, z) order filtered by membership, the
+// same loop on the packing, unpacking, and predicting sides. Receivers
+// ACCUMULATE: neighbor regions overlap by the stencil pad, and each atom
+// is spread exactly once (by its owner), so summing the blocks
+// reconstructs the full charge grid. Self blocks are local copies; the
+// all-sends-then-all-recvs order is deadlock-free under eager sends.
+void PencilPme::exchange_charges(int tag) {
+  const int me = comm_.rank();
+  const int nprocs = comm_.size();
+  const fft::PencilGrid& g = pfft_.grid();
+  const GridRegion& reg = my_region();
+  std::fill(stage1_.begin(), stage1_.end(), fft::Complex(0, 0));
+  std::size_t moved = 0;
+
+  // Pack my region's block for pencil owner q (or accumulate directly
+  // when q == me).
+  auto pack_or_self = [&](int q, bool self) {
+    const std::size_t yb = g.ypart.begin(g.ycoord(q));
+    const std::size_t ye = g.ypart.end(g.ycoord(q));
+    const std::size_t zb = g.zpart.begin(g.zcoord(q));
+    const std::size_t ze = g.zpart.end(g.zcoord(q));
+    const std::size_t lz1 = g.zpart.count(g.zcoord(me));
+    std::size_t at = 0;
+    for (std::size_t xl = 0; xl < reg.cx; ++xl) {
+      const std::size_t x = (reg.x0 + xl) % g.nx;
+      for (std::size_t yl = 0; yl < reg.cy; ++yl) {
+        const std::size_t y = (reg.y0 + yl) % g.ny;
+        if (y < yb || y >= ye) continue;
+        for (std::size_t zl = 0; zl < reg.cz; ++zl) {
+          const std::size_t z = (reg.z0 + zl) % g.nz;
+          if (z < zb || z >= ze) continue;
+          const double v = region_[(xl * reg.cy + yl) * reg.cz + zl];
+          if (self) {
+            stage1_[((y - yb) * lz1 + (z - zb)) * g.nx + x] += v;
+          } else {
+            if (msgbuf_.size() <= at) msgbuf_.resize(at + 1);
+            msgbuf_[at] = v;
+          }
+          ++at;
+        }
+      }
+    }
+    return at;
+  };
+  // Unpack rank r's block into my stage-1 pencils.
+  auto unpack_from = [&](int r) {
+    const GridRegion& rr = regions_[static_cast<std::size_t>(r)];
+    const std::size_t yb = g.ypart.begin(g.ycoord(me));
+    const std::size_t ye = g.ypart.end(g.ycoord(me));
+    const std::size_t zb = g.zpart.begin(g.zcoord(me));
+    const std::size_t ze = g.zpart.end(g.zcoord(me));
+    const std::size_t lz1 = g.zpart.count(g.zcoord(me));
+    std::size_t i = 0;
+    for (std::size_t xl = 0; xl < rr.cx; ++xl) {
+      const std::size_t x = (rr.x0 + xl) % g.nx;
+      for (std::size_t yl = 0; yl < rr.cy; ++yl) {
+        const std::size_t y = (rr.y0 + yl) % g.ny;
+        if (y < yb || y >= ye) continue;
+        for (std::size_t zl = 0; zl < rr.cz; ++zl) {
+          const std::size_t z = (rr.z0 + zl) % g.nz;
+          if (z < zb || z >= ze) continue;
+          stage1_[((y - yb) * lz1 + (z - zb)) * g.nx + x] += msgbuf_[i++];
+        }
+      }
+    }
+    return i;
+  };
+  auto block_elems = [&](const GridRegion& rr, int q) {
+    if (rr.empty() || !g.participates(q)) return std::size_t{0};
+    const int yc = g.ycoord(q);
+    const int zc = g.zcoord(q);
+    return rr.cx *
+           wrapped_overlap(rr.y0, rr.cy, g.ny, g.ypart.begin(yc),
+                           g.ypart.end(yc)) *
+           wrapped_overlap(rr.z0, rr.cz, g.nz, g.zpart.begin(zc),
+                           g.zpart.end(zc));
+  };
+
+  if (g.participates(me) && !reg.empty()) {
+    moved += 2 * pack_or_self(me, /*self=*/true);
+  }
+  if (!reg.empty()) {
+    for (int q = 0; q < nprocs; ++q) {
+      if (q == me || block_elems(reg, q) == 0) continue;
+      const std::size_t n = pack_or_self(q, /*self=*/false);
+      comm_.send(q, tag, msgbuf_.data(), n * sizeof(double));
+      moved += n;
+    }
+  }
+  if (g.participates(me)) {
+    for (int r = 0; r < nprocs; ++r) {
+      if (r == me) continue;
+      const std::size_t n =
+          block_elems(regions_[static_cast<std::size_t>(r)], me);
+      if (n == 0) continue;
+      if (msgbuf_.size() < n) msgbuf_.resize(n);
+      comm_.recv(r, tag, msgbuf_.data(), n * sizeof(double));
+      moved += unpack_from(r);
+    }
+  }
+  charge(static_cast<double>(moved));  // ~1 flop per packed/unpacked element
+}
+
+// Potential plane exchange: the reverse direction with identical block
+// geometry — each stage-1 owner returns the real part of the transformed
+// grid to every region that overlaps its pencils. The (y, z) pencils tile
+// the grid, so every region point is WRITTEN by exactly one owner and the
+// receiver assigns instead of accumulating.
+void PencilPme::return_potential(int tag) {
+  const int me = comm_.rank();
+  const int nprocs = comm_.size();
+  const fft::PencilGrid& g = pfft_.grid();
+  const GridRegion& reg = my_region();
+  std::size_t moved = 0;
+
+  // Pack the block of rank r's region that my stage-1 pencils own (or
+  // write it straight into my own region when r == me).
+  auto pack_or_self = [&](int r, bool self) {
+    const GridRegion& rr = regions_[static_cast<std::size_t>(r)];
+    const std::size_t yb = g.ypart.begin(g.ycoord(me));
+    const std::size_t ye = g.ypart.end(g.ycoord(me));
+    const std::size_t zb = g.zpart.begin(g.zcoord(me));
+    const std::size_t ze = g.zpart.end(g.zcoord(me));
+    const std::size_t lz1 = g.zpart.count(g.zcoord(me));
+    std::size_t at = 0;
+    for (std::size_t xl = 0; xl < rr.cx; ++xl) {
+      const std::size_t x = (rr.x0 + xl) % g.nx;
+      for (std::size_t yl = 0; yl < rr.cy; ++yl) {
+        const std::size_t y = (rr.y0 + yl) % g.ny;
+        if (y < yb || y >= ye) continue;
+        for (std::size_t zl = 0; zl < rr.cz; ++zl) {
+          const std::size_t z = (rr.z0 + zl) % g.nz;
+          if (z < zb || z >= ze) continue;
+          const double v =
+              stage1_[((y - yb) * lz1 + (z - zb)) * g.nx + x].real();
+          if (self) {
+            region_[(xl * rr.cy + yl) * rr.cz + zl] = v;
+          } else {
+            if (msgbuf_.size() <= at) msgbuf_.resize(at + 1);
+            msgbuf_[at] = v;
+          }
+          ++at;
+        }
+      }
+    }
+    return at;
+  };
+  // Unpack pencil owner q's block into my region.
+  auto unpack_from = [&](int q) {
+    const std::size_t yb = g.ypart.begin(g.ycoord(q));
+    const std::size_t ye = g.ypart.end(g.ycoord(q));
+    const std::size_t zb = g.zpart.begin(g.zcoord(q));
+    const std::size_t ze = g.zpart.end(g.zcoord(q));
+    std::size_t i = 0;
+    for (std::size_t xl = 0; xl < reg.cx; ++xl) {
+      for (std::size_t yl = 0; yl < reg.cy; ++yl) {
+        const std::size_t y = (reg.y0 + yl) % g.ny;
+        if (y < yb || y >= ye) continue;
+        for (std::size_t zl = 0; zl < reg.cz; ++zl) {
+          const std::size_t z = (reg.z0 + zl) % g.nz;
+          if (z < zb || z >= ze) continue;
+          region_[(xl * reg.cy + yl) * reg.cz + zl] = msgbuf_[i++];
+        }
+      }
+    }
+    return i;
+  };
+  auto block_elems = [&](const GridRegion& rr, int q) {
+    if (rr.empty() || !g.participates(q)) return std::size_t{0};
+    const int yc = g.ycoord(q);
+    const int zc = g.zcoord(q);
+    return rr.cx *
+           wrapped_overlap(rr.y0, rr.cy, g.ny, g.ypart.begin(yc),
+                           g.ypart.end(yc)) *
+           wrapped_overlap(rr.z0, rr.cz, g.nz, g.zpart.begin(zc),
+                           g.zpart.end(zc));
+  };
+
+  if (g.participates(me) && !reg.empty()) {
+    moved += 2 * pack_or_self(me, /*self=*/true);
+  }
+  if (g.participates(me)) {
+    for (int r = 0; r < nprocs; ++r) {
+      if (r == me ||
+          block_elems(regions_[static_cast<std::size_t>(r)], me) == 0) {
+        continue;
+      }
+      const std::size_t n = pack_or_self(r, /*self=*/false);
+      comm_.send(r, tag, msgbuf_.data(), n * sizeof(double));
+      moved += n;
+    }
+  }
+  if (!reg.empty()) {
+    for (int q = 0; q < nprocs; ++q) {
+      if (q == me) continue;
+      const std::size_t n = block_elems(reg, q);
+      if (n == 0) continue;
+      if (msgbuf_.size() < n) msgbuf_.resize(n);
+      comm_.recv(q, tag, msgbuf_.data(), n * sizeof(double));
+      moved += unpack_from(q);
+    }
+  }
+  charge(static_cast<double>(moved));
+}
+
+double PencilPme::reciprocal(const Topology& topo,
+                             const std::vector<Vec3>& pos,
+                             const std::vector<int>& owned,
+                             std::vector<Vec3>& forces, int tag_base,
+                             PmeWork* work) {
+  REPRO_REQUIRE(pos.size() == static_cast<std::size_t>(topo.natoms()),
+                "position array size mismatch");
+  const int order = params_.order;
+  const fft::PencilGrid& g = pfft_.grid();
+  const int me = comm_.rank();
+  const GridRegion& reg = my_region();
+  const auto K = static_cast<double>(params_.nx * params_.ny * params_.nz);
+  const std::size_t dims[3] = {params_.nx, params_.ny, params_.nz};
+  const std::size_t starts[3] = {reg.x0, reg.y0, reg.z0};
+  const std::size_t counts[3] = {reg.cx, reg.cy, reg.cz};
+
+  // Spread the owned atoms onto my region planes. The region was sized so
+  // an owned atom's whole stencil fits (cell extent + spline support +
+  // skin drift pad); the REQUIRE turns a violated pad into a loud failure
+  // instead of silently wrong physics.
+  std::fill(region_.begin(), region_.end(), 0.0);
+  std::vector<AtomSpline> splines(owned.size());
+  std::size_t atoms_touched = 0;
+  std::size_t stencil = 0;
+  for (std::size_t oi = 0; oi < owned.size(); ++oi) {
+    const int i = owned[oi];
+    const double q = topo.atom(i).charge;
+    if (q == 0.0) continue;
+    ++atoms_touched;
+    const AtomSpline s =
+        make_spline(params_, box_, pos[static_cast<std::size_t>(i)]);
+    splines[oi] = s;
+    std::size_t off[3][kMaxOrder];
+    for (int d = 0; d < 3; ++d) {
+      for (int j = 0; j < order; ++j) {
+        const std::size_t k = line(s, d, j, dims[d]);
+        const std::size_t o = (k + dims[d] - starts[d]) % dims[d];
+        REPRO_REQUIRE(o < counts[d],
+                      "owned atom's PME stencil left its rank's grid region "
+                      "(stencil pad too small for this drift)");
+        off[d][j] = o;
+      }
+    }
+    for (int jx = 0; jx < order; ++jx) {
+      for (int jy = 0; jy < order; ++jy) {
+        const double wxy = q * s.w[0][jx] * s.w[1][jy];
+        const std::size_t base = (off[0][jx] * reg.cy + off[1][jy]) * reg.cz;
+        for (int jz = 0; jz < order; ++jz) {
+          region_[base + off[2][jz]] += wxy * s.w[2][jz];
+          ++stencil;
+        }
+      }
+    }
+  }
+  charge(6.0 * static_cast<double>(owned.size()) +
+         20.0 * static_cast<double>(stencil));
+
+  exchange_charges(tag_base + 0);
+  pfft_.forward(stage1_.data(), stage3_.data(), tag_base + 1, tag_base + 2);
+
+  // Convolution + partial energy over my stage-3 pencils: x in Xp(yc),
+  // y in Y2p(zc), all z — each wavevector on exactly one rank.
+  const Influence fac(params_, box_, modx_, mody_, modz_);
+  double energy = 0.0;
+  std::size_t mesh = 0;
+  if (g.participates(me)) {
+    const int yc = g.ycoord(me);
+    const int zc = g.zcoord(me);
+    const std::size_t xb = g.xpart.begin(yc);
+    const std::size_t lx2 = g.xpart.count(yc);
+    const std::size_t yb = g.y2part.begin(zc);
+    const std::size_t ly3 = g.y2part.count(zc);
+    for (std::size_t xl = 0; xl < lx2; ++xl) {
+      for (std::size_t yl = 0; yl < ly3; ++yl) {
+        fft::Complex* lin = stage3_.data() + (xl * ly3 + yl) * params_.nz;
+        for (std::size_t mz = 0; mz < params_.nz; ++mz) {
+          const double f = fac(xb + xl, yb + yl, mz);
+          energy += 0.5 * f * std::norm(lin[mz]);
+          lin[mz] *= f * K;
+        }
+      }
+    }
+    mesh = lx2 * ly3 * params_.nz;
+    charge(12.0 * static_cast<double>(mesh));
+  }
+
+  pfft_.backward(stage3_.data(), stage1_.data(), tag_base + 3, tag_base + 4);
+  return_potential(tag_base + 5);
+
+  // Force interpolation for owned atoms only: the whole stencil is inside
+  // the region, so the force on an owned atom is complete right here — no
+  // reciprocal-force reduction follows.
+  const double sx = static_cast<double>(params_.nx) / box_.lx();
+  const double sy = static_cast<double>(params_.ny) / box_.ly();
+  const double sz = static_cast<double>(params_.nz) / box_.lz();
+  std::size_t interp_stencil = 0;
+  for (std::size_t oi = 0; oi < owned.size(); ++oi) {
+    const int i = owned[oi];
+    const double q = topo.atom(i).charge;
+    if (q == 0.0) continue;
+    const AtomSpline& s = splines[oi];
+    Vec3 f{};
+    for (int jx = 0; jx < order; ++jx) {
+      const std::size_t ox =
+          (line(s, 0, jx, params_.nx) + params_.nx - reg.x0) % params_.nx;
+      for (int jy = 0; jy < order; ++jy) {
+        const std::size_t oy =
+            (line(s, 1, jy, params_.ny) + params_.ny - reg.y0) % params_.ny;
+        const std::size_t base = (ox * reg.cy + oy) * reg.cz;
+        for (int jz = 0; jz < order; ++jz) {
+          const std::size_t oz =
+              (line(s, 2, jz, params_.nz) + params_.nz - reg.z0) % params_.nz;
+          const double phi = region_[base + oz];
+          f.x += s.dw[0][jx] * s.w[1][jy] * s.w[2][jz] * phi;
+          f.y += s.w[0][jx] * s.dw[1][jy] * s.w[2][jz] * phi;
+          f.z += s.w[0][jx] * s.w[1][jy] * s.dw[2][jz] * phi;
+          ++interp_stencil;
+        }
+      }
+    }
+    forces[static_cast<std::size_t>(i)] -=
+        Vec3{f.x * sx, f.y * sy, f.z * sz} * q;
+  }
+  charge(6.0 * static_cast<double>(owned.size()) +
+         22.0 * static_cast<double>(interp_stencil));
+
+  if (work != nullptr) {
+    work->atoms_spread += atoms_touched;
+    work->stencil_points += stencil + interp_stencil;
+    work->mesh_points += mesh;
+    work->fft_flops += 2.0 * pfft_.local_fft_flops();
   }
   return energy;
 }

@@ -85,6 +85,92 @@ class SerialPme {
   std::vector<fft::Complex> grid_;
 };
 
+// --- Pencil-decomposed PME --------------------------------------------------
+
+// A wrapped box of grid planes: the axis-aligned region of the charge
+// grid one spatial rank's atoms can touch. Each dimension is an interval
+// [start, start+count) taken modulo n (count == n means the whole
+// dimension). Empty when any count is zero (a rank that owns no cells).
+struct GridRegion {
+  std::size_t x0 = 0, cx = 0;
+  std::size_t y0 = 0, cy = 0;
+  std::size_t z0 = 0, cz = 0;
+
+  bool empty() const { return cx == 0 || cy == 0 || cz == 0; }
+  bool operator==(const GridRegion&) const = default;
+};
+
+// Number of k in [0, count) whose wrapped plane index (start + k) mod n
+// falls in [b, e). The block-size primitive shared by the pencil plane
+// exchange and the predictor that pins it.
+std::size_t wrapped_overlap(std::size_t start, std::size_t count,
+                            std::size_t n, std::size_t b, std::size_t e);
+
+// Pencil-parallel PME: the charge grid is distributed over a Py x Pz
+// pencil process grid (fft::PencilGrid) and the spatial decomposition
+// feeds it locally instead of replicating positions:
+//
+//   spread (owned atoms -> my region planes)
+//   == charge plane exchange: region blocks -> stage-1 pencil owners ==
+//   pencil forward FFT (X -> Y -> Z with grouped pairwise transposes)
+//   convolution + partial energy over my stage-3 pencils
+//   pencil backward FFT
+//   == potential plane exchange: stage-1 owners -> region blocks ==
+//   interpolate forces for owned atoms (whole stencil is in-region)
+//
+// Regions are static for a run (the cell -> rank map never changes), so
+// the message schedule is a fixed function of the layout and the
+// predictor can pin it exactly. Runs over the raw Comm with a
+// caller-owned tag base, like the decomposition's other schedules.
+class PencilPme {
+ public:
+  // `regions[r]` is rank r's spread/interpolation region (empty for
+  // cell-less ranks); every rank passes the same vector. `py * pz` ranks
+  // participate in the FFT; the rest only ship their region blocks.
+  PencilPme(const PmeParams& params, const md::Box& box, mpi::Comm& comm,
+            int py, int pz, std::vector<GridRegion> regions,
+            std::function<void(double flops)> charge_compute = {});
+
+  // Reciprocal sum for the owned atoms. Returns this rank's partial
+  // energy (each wavevector is counted on exactly one stage-3 owner);
+  // forces on owned atoms are complete — no reciprocal-force reduction
+  // is needed. Uses tags tag_base + 0..5: charge plane exchange, X->Y
+  // and Y->Z forward transposes, Z->Y and Y->X backward transposes,
+  // potential plane exchange.
+  double reciprocal(const md::Topology& topo,
+                    const std::vector<util::Vec3>& pos,
+                    const std::vector<int>& owned,
+                    std::vector<util::Vec3>& forces, int tag_base,
+                    PmeWork* work = nullptr);
+
+  const PmeParams& params() const { return params_; }
+  const fft::PencilGrid& grid() const { return pfft_.grid(); }
+  const GridRegion& my_region() const {
+    return regions_[static_cast<std::size_t>(comm_.rank())];
+  }
+
+ private:
+  void charge(double flops) const {
+    if (charge_) charge_(flops);
+  }
+  // Region blocks <-> stage-1 pencil slabs. `gather` accumulates charges
+  // into stage-1 (+=); `scatter` returns potentials into the region (=).
+  void exchange_charges(int tag);
+  void return_potential(int tag);
+
+  PmeParams params_;
+  md::Box box_;
+  mpi::Comm& comm_;
+  std::function<void(double)> charge_;
+  fft::PencilFft3D pfft_;
+  std::vector<GridRegion> regions_;
+  std::vector<double> modx_, mody_, modz_;
+  std::vector<double> region_;         // [cx][cy][cz] charges / potentials
+  std::vector<fft::Complex> stage1_;   // [ly1][lz1][nx]
+  std::vector<fft::Complex> stage3_;   // [lx2][ly3][nz]
+  std::vector<double> msgbuf_;         // plane-exchange pack/unpack scratch
+};
+
 class ParallelPme {
  public:
   // `charge_compute` converts flops to simulated time (may be empty).

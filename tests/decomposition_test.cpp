@@ -78,9 +78,93 @@ TEST(DecompSpecTest, ParsesEveryKind) {
 TEST(DecompSpecTest, ToStringRoundTrips) {
   for (const char* text :
        {"atom", "force", "task", "task:pme=2", "spatial",
-        "spatial:grid=6x3x4"}) {
+        "spatial:grid=6x3x4", "spatial:pme=pencil",
+        "spatial:pme=pencil:grid=4x8",
+        "spatial:grid=6x3x4:pme=pencil",
+        "spatial:grid=6x3x4:pme=pencil:grid=2x4"}) {
     EXPECT_EQ(to_string(parse_decomp_spec(text)), text);
   }
+}
+
+TEST(DecompSpecTest, ParsesPencilPme) {
+  const DecompSpec plain = parse_decomp_spec("spatial:pme=pencil");
+  EXPECT_EQ(plain.kind, DecompKind::kSpatial);
+  EXPECT_EQ(plain.pme_mode, PmeMode::kPencil);
+  EXPECT_EQ(plain.pencil_y, 0);  // auto pencil grid
+  EXPECT_EQ(plain.pencil_z, 0);
+
+  const DecompSpec grid = parse_decomp_spec("spatial:pme=pencil:grid=4x8");
+  EXPECT_EQ(grid.pme_mode, PmeMode::kPencil);
+  EXPECT_EQ(grid.pencil_y, 4);
+  EXPECT_EQ(grid.pencil_z, 8);
+
+  // A grid= before pme=pencil is the cell grid; after, the pencil grid.
+  const DecompSpec both =
+      parse_decomp_spec("spatial:grid=6x3x4:pme=pencil:grid=2x4");
+  EXPECT_EQ(both.grid_x, 6);
+  EXPECT_EQ(both.grid_y, 3);
+  EXPECT_EQ(both.grid_z, 4);
+  EXPECT_EQ(both.pencil_y, 2);
+  EXPECT_EQ(both.pencil_z, 4);
+
+  // Slab is the default and has no spelled form.
+  EXPECT_EQ(parse_decomp_spec("spatial").pme_mode, PmeMode::kSlab);
+}
+
+TEST(DecompSpecTest, RejectsMalformedPencilSpecs) {
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=slab"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencils"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme="), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:pme=pencil"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencilx"), util::Error);
+  // Pencil grids are strictly positive Py x Pz — exactly two dimensions.
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=0x4"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=4x0"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=4"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=4x"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=2x2x2"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=2x2:grid=2x2"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=axb"),
+               util::Error);
+  EXPECT_THROW(parse_decomp_spec("spatial:pme=pencil:grid=2x2junk"),
+               util::Error);
+  EXPECT_THROW(
+      parse_decomp_spec("spatial:pme=pencil:grid=99999999999999999999x2"),
+      util::Error);
+  // The pencil option belongs to spatial only.
+  EXPECT_THROW(parse_decomp_spec("atom:pme=pencil"), util::Error);
+  EXPECT_THROW(parse_decomp_spec("force:pme=pencil"), util::Error);
+}
+
+TEST(DecompSpecTest, ResolvesPencilGrid) {
+  DecompSpec spec = parse_decomp_spec("spatial:pme=pencil");
+  // Auto: the most-square factorization of the rank count.
+  EXPECT_EQ(resolved_pencil_grid(spec, 2, 36, 48), (std::pair{1, 2}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 4, 36, 48), (std::pair{2, 2}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 8, 36, 48), (std::pair{2, 4}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 27, 36, 48), (std::pair{3, 9}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 100, 36, 48), (std::pair{10, 10}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 128, 36, 48), (std::pair{8, 16}));
+  EXPECT_EQ(resolved_pencil_grid(spec, 7, 36, 48), (std::pair{1, 7}));
+
+  // Explicit grids may leave ranks outside the FFT but never exceed the
+  // rank count or the plane counts.
+  spec = parse_decomp_spec("spatial:pme=pencil:grid=3x5");
+  EXPECT_EQ(resolved_pencil_grid(spec, 16, 36, 48), (std::pair{3, 5}));
+  EXPECT_THROW(resolved_pencil_grid(spec, 14, 36, 48), util::Error);
+  EXPECT_THROW(resolved_pencil_grid(spec, 1, 36, 48), util::Error);
+  // Pencil counts beyond the FFT plane counts cannot be laid out.
+  spec = parse_decomp_spec("spatial:pme=pencil:grid=40x2");
+  EXPECT_THROW(resolved_pencil_grid(spec, 128, 36, 48), util::Error);
+  spec = parse_decomp_spec("spatial:pme=pencil:grid=2x50");
+  EXPECT_THROW(resolved_pencil_grid(spec, 128, 36, 48), util::Error);
 }
 
 TEST(DecompSpecTest, RejectsMalformedSpecs) {
@@ -300,6 +384,146 @@ TEST(SpatialDecompositionTest, MigratesAtomsAcrossARebuild) {
               std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
   EXPECT_NEAR(par.position_checksum, ref.position_checksum,
               std::abs(ref.position_checksum) * 1e-9);
+}
+
+// --- pencil-decomposed PME -------------------------------------------------
+
+TEST(PencilDecompositionTest, SingleProcessIsBitIdenticalToSlab) {
+  // p=1 runs the sequential reference program under either PME mode, so
+  // pencil must match the slab spatial run (and the atom reference) to
+  // the bit.
+  const auto& atom = reference_run();
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil");
+  const auto pencil = run(core::reference_platform(), 1, config);
+  EXPECT_EQ(pencil.energy.potential(), atom.energy.potential());
+  EXPECT_EQ(pencil.position_checksum, atom.position_checksum);
+  EXPECT_EQ(pencil.pairs_in_list, atom.pairs_in_list);
+}
+
+TEST(PencilDecompositionTest, MatchesSequentialAcrossRankCounts) {
+  // Auto pencil grids: p=2 -> 1x2, 4 -> 2x2, 8 -> 2x4, 16 -> 4x4. The
+  // pencil reciprocal sums partial energies over disjoint wavevector
+  // sets and writes owned-atom forces directly, so the trajectory must
+  // track the sequential reference at the same tolerance as the other
+  // decompositions.
+  const auto& ref = reference_run();
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil");
+  for (int p : {2, 4, 8, 16}) {
+    const auto par = run(core::reference_platform(), p, config);
+    EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+                std::abs(ref.energy.potential()) * 1e-6 + 1e-4)
+        << "pencil p=" << p;
+    EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+                std::abs(ref.position_checksum) * 1e-9)
+        << "pencil p=" << p;
+    EXPECT_EQ(par.pairs_in_list, ref.pairs_in_list) << "pencil p=" << p;
+  }
+}
+
+TEST(PencilDecompositionTest, NonDivisiblePencilGridMatchesSequential) {
+  // 3x5 pencils over the 36x48 grid: both plane partitions are uneven
+  // (36/3 even but 48/5 ragged), and one of the 16 ranks sits outside
+  // the 15-rank pencil grid entirely.
+  const auto& ref = reference_run();
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil:grid=3x5");
+  const auto par = run(core::reference_platform(), 16, config);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(PencilDecompositionTest, IdleRanksBeyondTheCellCount) {
+  // p=100 > 72 cells: 28 ranks own no cells (empty PME regions, no plane
+  // traffic of their own) while the auto 10x10 pencil grid still uses
+  // them for FFT stages.
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil");
+  config.nsteps = 2;
+  CharmmConfig ref_config = short_config();
+  ref_config.nsteps = 2;
+  const auto ref = run(core::reference_platform(), 1, ref_config);
+  const auto par = run(core::reference_platform(), 100, config);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(PencilDecompositionTest, MigratesAtomsAcrossARebuild) {
+  // The PME regions are padded by the neighbor-list skin, so an atom
+  // drifting within an epoch must never leave its rank's region; eight
+  // steps cross the rebuild at step 5 where ownership changes hands.
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil");
+  config.nsteps = 8;
+  CharmmConfig ref_config = short_config();
+  ref_config.nsteps = 8;
+  const auto ref = run(core::reference_platform(), 1, ref_config);
+  const auto par = run(core::reference_platform(), 8, config);
+  EXPECT_GT(par.atoms_migrated, 0u);
+  EXPECT_NEAR(par.energy.potential(), ref.energy.potential(),
+              std::abs(ref.energy.potential()) * 1e-6 + 1e-4);
+  EXPECT_NEAR(par.position_checksum, ref.position_checksum,
+              std::abs(ref.position_checksum) * 1e-9);
+}
+
+TEST(PencilDecompositionTest, RejectsInfeasiblePencilGrids) {
+  // More pencils than ranks, and pencil counts exceeding the FFT plane
+  // counts, must fail fast before any rank spins up.
+  CharmmConfig config = short_config(DecompKind::kSpatial);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil:grid=4x4");
+  EXPECT_THROW(run(core::reference_platform(), 8, config), util::Error);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil:grid=40x2");
+  EXPECT_THROW(run(core::reference_platform(), 80, config), util::Error);
+  config.decomp = parse_decomp_spec("spatial:pme=pencil:grid=2x50");
+  EXPECT_THROW(run(core::reference_platform(), 100, config), util::Error);
+  // Pencil PME requires PME: with use_pme off the spec is contradictory.
+  config.decomp = parse_decomp_spec("spatial:pme=pencil");
+  config.use_pme = false;
+  EXPECT_THROW(run(core::reference_platform(), 8, config), util::Error);
+}
+
+TEST(PencilDecompositionTest, MessageAndByteCountsAreExact) {
+  // The pencil schedule — plane exchanges both ways plus the four
+  // grouped transposes — is a fixed function of the layout and pencil
+  // grid, so the predictor pins it exactly, like the halo schedule.
+  core::Platform platform;
+  platform.network = net::Network::kScoreGigE;
+  const net::NetworkParams params = net::params_for(platform.network);
+  for (const char* spec_text :
+       {"spatial:pme=pencil", "spatial:pme=pencil:grid=3x5"}) {
+    for (int p : {2, 4, 8, 16, 27}) {
+      if (std::string(spec_text).find("3x5") != std::string::npos &&
+          p < 16) {
+        continue;  // 3x5 pencils need at least 15 ranks
+      }
+      CharmmConfig config = short_config(DecompKind::kSpatial);
+      config.decomp = parse_decomp_spec(spec_text);
+      config.coherency_barriers = false;
+      const auto sim = run(platform, p, config);
+      const core::OverheadPrediction pred = core::predict_step_overheads(
+          params, p, system_fixture(), config);
+      double sim_messages = 0.0;
+      double sim_bytes = 0.0;
+      for (const auto& ch : sim.metrics.channels) {
+        sim_messages += static_cast<double>(ch.messages);
+        sim_bytes += ch.bytes;
+      }
+      const double epilogue_messages = 2.0 * (p - 1);
+      const double epilogue_bytes = 2.0 * (p - 1) * 24.0;
+      EXPECT_DOUBLE_EQ(
+          pred.messages_per_step() * config.nsteps + epilogue_messages,
+          sim_messages)
+          << spec_text << " p=" << p;
+      EXPECT_DOUBLE_EQ(pred.bytes_per_step() * config.nsteps + epilogue_bytes,
+                       sim_bytes)
+          << spec_text << " p=" << p;
+    }
+  }
 }
 
 // --- analytic predictor ----------------------------------------------------

@@ -328,6 +328,54 @@ TEST_P(ParallelFftTest, MatchesSerial3D) {
 INSTANTIATE_TEST_SUITE_P(Ranks, ParallelFftTest,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
 
+TEST(ParallelFftTest2, OddMixedRadixGridMatchesSerial) {
+  // Fully odd/mixed-radix extents: every axis hits the Bluestein/odd
+  // factor paths and the slab partition is uneven on both transposed
+  // dimensions.
+  const std::size_t nx = 15;
+  const std::size_t ny = 9;
+  const std::size_t nz = 7;
+  const int p = 4;
+  auto full = random_signal(nx * ny * nz, 77);
+  auto reference = full;
+  Fft3D serial(nx, ny, nz);
+  serial.forward(reference.data());
+
+  net::ClusterConfig config;
+  config.nranks = p;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(static_cast<std::size_t>(p));
+  sim::Engine engine(p);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster,
+                   recs[static_cast<std::size_t>(ctx.rank())]);
+    middleware::MpiMiddleware mw(comm);
+    ParallelFft3D pfft(nx, ny, nz, mw);
+    const int me = comm.rank();
+    const std::size_t x0 = pfft.x_slabs().begin(me);
+    std::vector<Complex> xslab(
+        full.begin() + static_cast<long>(x0 * ny * nz),
+        full.begin() + static_cast<long>(pfft.x_slabs().end(me) * ny * nz));
+    std::vector<Complex> zslab(pfft.z_slab_size());
+    pfft.forward(xslab.data(), zslab.data());
+    const std::size_t z0 = pfft.z_slabs().begin(me);
+    for (std::size_t zl = 0; zl < pfft.local_z_count(); ++zl) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        for (std::size_t x = 0; x < nx; ++x) {
+          const Complex got = zslab[(zl * ny + y) * nx + x];
+          const Complex want = reference[(x * ny + y) * nz + (z0 + zl)];
+          EXPECT_NEAR(std::abs(got - want), 0.0, 1e-8);
+        }
+      }
+    }
+    std::vector<Complex> back(pfft.x_slab_size());
+    pfft.backward(zslab.data(), back.data());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_NEAR(std::abs(back[i] - xslab[i]), 0.0, 1e-10);
+    }
+  });
+}
+
 TEST(ParallelFftTest2, WorksWithEmptySlabs) {
   // More ranks than z-planes: some ranks own zero planes in k-space.
   const std::size_t nx = 16;

@@ -22,6 +22,16 @@ for fig in fig2_structure fig3_reference_case fig4_breakdown_reference \
   "$bin" --steps=4 > "$here/$fig.txt" 2>/dev/null
 done
 
+# The conclusion sweep's golden runs the trimmed --smoke grids (the full
+# processor sweep to 128 is a bench, not a regression test).
+bin="$build/bench/conclusion_scalability_limits"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake --build $build first)" >&2
+  exit 1
+fi
+echo "regenerating conclusion_scalability_limits.txt..."
+"$bin" --smoke --steps=2 > "$here/conclusion_scalability_limits.txt" 2>/dev/null
+
 # DES scalability record (wall-clock, so not a byte-compared golden):
 # re-measures events/sec up to p=4096 and rewrites BENCH_des_scale.json
 # at the repo root. Skipped unless the bench binary is built.

@@ -430,6 +430,56 @@ TEST_P(ParallelPmeTest, MatchesSerial) {
 INSTANTIATE_TEST_SUITE_P(Ranks, ParallelPmeTest,
                          ::testing::Values(1, 2, 3, 4, 5, 8));
 
+TEST(ParallelPmeTest2, OddMixedRadixGridMatchesSerial) {
+  // Odd extents on every axis: the slab FFT's odd-factor paths, the
+  // B-spline moduli at odd n, and an uneven slab partition all at once.
+  const int p = 3;
+  auto sys = sysbuild::build_random_charges(24, md::Box(11, 9, 7), 61);
+  PmeParams params;
+  params.nx = 15;
+  params.ny = 9;
+  params.nz = 7;
+  params.order = 4;
+  params.beta = 0.5;
+
+  SerialPme serial(params, sys.box);
+  const auto n = static_cast<std::size_t>(sys.topo.natoms());
+  std::vector<Vec3> serial_forces(n);
+  const double serial_energy =
+      serial.reciprocal(sys.topo, sys.positions, serial_forces);
+
+  net::ClusterConfig config;
+  config.nranks = p;
+  net::ClusterNetwork cluster(config);
+  std::vector<perf::RankRecorder> recs(static_cast<std::size_t>(p));
+  std::vector<double> energies(static_cast<std::size_t>(p));
+  std::vector<std::vector<Vec3>> forces(static_cast<std::size_t>(p),
+                                        std::vector<Vec3>(n));
+  sim::Engine engine(p);
+  engine.run([&](sim::RankCtx& ctx) {
+    mpi::Comm comm(ctx, cluster,
+                   recs[static_cast<std::size_t>(ctx.rank())]);
+    middleware::MpiMiddleware mw(comm);
+    ParallelPme pme(params, sys.box, mw);
+    energies[static_cast<std::size_t>(ctx.rank())] = pme.reciprocal(
+        sys.topo, sys.positions,
+        forces[static_cast<std::size_t>(ctx.rank())]);
+  });
+
+  double energy = 0.0;
+  std::vector<Vec3> total(n);
+  for (int r = 0; r < p; ++r) {
+    energy += energies[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < n; ++i) {
+      total[i] += forces[static_cast<std::size_t>(r)][i];
+    }
+  }
+  EXPECT_NEAR(energy, serial_energy, std::abs(serial_energy) * 1e-9 + 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(util::norm(total[i] - serial_forces[i]), 0.0, 1e-8);
+  }
+}
+
 TEST(ParallelPmeTest2, WorkCountersPopulated) {
   auto sys = sysbuild::build_random_charges(20, md::Box(10, 10, 10), 30);
   PmeParams params;
