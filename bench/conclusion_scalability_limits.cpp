@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
       bench::prepared_system(), specs2, bench::default_jobs());
 
   Table table2({"decomposition", "topology", "procs", "total (s)",
-                "speedup", "efficiency"});
+                "speedup", "efficiency", "imbalance"});
   std::map<std::string, EfficiencyLimit> limit2;
   idx = 0;
   for (const char* kind : kinds) {
@@ -180,13 +180,18 @@ int main(int argc, char** argv) {
       const std::string key = std::string(kind) + " / " + fabric;
       double seq = 0.0;
       for (int p : counts2) {
-        const double total = results2[idx++].total_seconds();
+        const core::ExperimentResult& r = results2[idx++];
+        const double total = r.total_seconds();
         if (p == 1) seq = total;
         const double eff = seq / total / p;
         limit2[key].observe(p, eff);
+        // Compute imbalance (max/mean per-rank busy time): the direct
+        // efficiency ceiling of a bulk-synchronous step, 1/factor.
+        const double imb = r.metrics.compute_imbalance.factor();
         table2.add_row({kind, fabric, std::to_string(p),
                         Table::num(total, 2), Table::num(seq / total, 2),
-                        Table::pct(eff)});
+                        Table::pct(eff),
+                        imb > 0.0 ? Table::num(imb, 2) : "-"});
       }
     }
   }
@@ -212,7 +217,10 @@ int main(int argc, char** argv) {
       "    before it runs out of processors);\n"
       "  - the fabric column barely moves any limit: at this problem size\n"
       "    the bottleneck is the decomposition's traffic volume and the\n"
-      "    load balance, not fabric contention.\n");
+      "    load balance, not fabric contention (the imbalance column —\n"
+      "    max/mean per-rank compute time — is that bound directly;\n"
+      "    bench/extension_load_balance measures how much the ldb=\n"
+      "    balancer claws back).\n");
 
   // --- Part 3: does the domain decomposition move the PME wall? ---------
   // The paper's PME limit ('a quarter of such a cluster') is set by the

@@ -1,0 +1,185 @@
+// Extension: measurement-driven load balancing of the spatial
+// decomposition (overdecomposition into migratable work units).
+//
+// The paper's spatial strategy (the one CHARMM lacked) partitions cells
+// statically; §4's cost variability (Figure 7) and any heterogeneity
+// turn that static partition into a per-step wait on the slowest rank.
+// This bench quantifies what the PR's balancer (--decomp=spatial:ldb=...)
+// buys back:
+//
+//   Part 1 injects node-level perturbations with the hand-tuned jitter
+//   DISABLED (the extension_fault_tolerance discipline) and measures how
+//   much of the straggler-induced step-time inflation each policy
+//   recovers. A degraded *link* rides along as the honest negative: the
+//   balancer measures compute time, so network-side faults are invisible
+//   to it and should not be absorbed.
+//
+//   Part 2 reruns the conclusion bench's classic scaling sweep with the
+//   balancer on, asking whether the static-imbalance efficiency limit
+//   moves when the cold-start map weights cells by pair cost and the
+//   rebuild-time rebalancer evens out the residue.
+#include "figure_common.hpp"
+
+#include "charmm/decomp_spec.hpp"
+#include "net/faults.hpp"
+
+using namespace repro;
+using repro::util::Table;
+
+namespace {
+
+core::ExperimentSpec lb_spec(const char* decomp, int nprocs) {
+  core::ExperimentSpec spec;
+  spec.platform = core::reference_platform();
+  spec.nprocs = nprocs;
+  spec.charmm.use_pme = false;
+  spec.charmm.nsteps = bench::options().steps;
+  // Rebalance opportunities every other step: the balancer only acts at
+  // neighbor-list rebuilds, and the short golden runs must cross some.
+  spec.charmm.list_rebuild_interval = 2;
+  spec.charmm.decomp = charmm::parse_decomp_spec(decomp);
+  spec.engine = bench::options().engine;
+  net::NetworkParams params = net::params_for(spec.platform.network);
+  params.jitter_prob_per_rank = 0.0;  // isolate the injected perturbation
+  spec.network_params = params;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_figure_args(argc, argv);
+  bench::print_header(
+      "Extension: load balancing",
+      "migratable work units + measurement-driven rebalancing "
+      "(8 processes, jitter off, rebuilds every 2 steps)");
+
+  const int nprocs = 8;
+  struct Fault {
+    const char* label;
+    const char* spec_text;
+  };
+  // Node 6 owns the static map's heaviest domain (the 2.1x-imbalance
+  // rank), so slowing it lands squarely on the ldb=off critical path.
+  // Node 0 is a lightly-loaded rank: slowing it hides inside the static
+  // map's slack but forces the *balanced* map to adapt — the inverse
+  // case.
+  const std::vector<Fault> faults{
+      {"none", ""},
+      {"straggler node 6 (1.5x)", "straggler=6,x=1.5"},
+      {"straggler node 6 (2x)", "straggler=6,x=2"},
+      {"straggler node 0 (2x)", "straggler=0,x=2"},
+      {"degraded link 0-1 (bw/10)", "degrade=0-1,bw=0.1"},
+  };
+  const std::vector<const char*> policies{
+      "spatial", "spatial:ldb=greedy", "spatial:ldb=refine"};
+  const std::vector<const char*> policy_labels{"off", "greedy", "refine"};
+
+  std::vector<core::ExperimentSpec> specs;
+  for (const Fault& f : faults) {
+    for (const char* policy : policies) {
+      core::ExperimentSpec spec = lb_spec(policy, nprocs);
+      if (f.spec_text[0] != '\0') {
+        spec.faults = net::parse_fault_spec(f.spec_text);
+      }
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<core::ExperimentResult> results = core::run_experiments(
+      bench::prepared_system(), specs, bench::default_jobs());
+
+  // Inflation is measured against the same policy's fault-free row, so a
+  // policy's own overhead (handoffs, different cold-start map) cancels
+  // and "recovered" isolates the adaptation.
+  Table table({"fault", "ldb", "total (s)", "inflation (s)", "recovered",
+               "units moved", "imbalance"});
+  std::vector<double> baseline(policies.size(), 0.0);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    double inflation_off = 0.0;
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const core::ExperimentResult& r = results[fi * policies.size() + pi];
+      const double total = r.total_seconds();
+      if (fi == 0) baseline[pi] = total;
+      const double inflation = total - baseline[pi];
+      if (pi == 0) inflation_off = inflation;
+      std::string recovered = "-";
+      if (fi > 0 && pi > 0 && inflation_off > 0.0) {
+        recovered = Table::pct(1.0 - inflation / inflation_off);
+      }
+      const double imb = r.metrics.compute_imbalance.factor();
+      table.add_row({faults[fi].label, policy_labels[pi],
+                     Table::num(total, 3),
+                     fi == 0 ? "-" : Table::num(inflation, 3), recovered,
+                     std::to_string(r.units_moved),
+                     imb > 0.0 ? Table::num(imb, 2) : "-"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nReading: straggling the statically-overloaded node (6) inflates\n"
+      "the ldb=off rows by the full extra wait on the critical path; the\n"
+      "balancer rows shed work units off that node after the first\n"
+      "rebuild and recover most of the inflation ('recovered' is the\n"
+      "fraction of ldb=off's inflation the policy eliminated, each\n"
+      "policy measured against its own fault-free baseline). Straggling\n"
+      "a lightly-loaded node (0) is the inverse case: the static map's\n"
+      "slack hides it (zero ldb=off inflation) while the balanced map\n"
+      "must adapt — the cost of having no slack anywhere. The\n"
+      "degraded-link row is the designed negative: the balancer measures\n"
+      "compute time, a slow *link* is invisible to it, and its rows\n"
+      "recover nothing — network faults need the fault-tolerance\n"
+      "machinery, not load balancing.\n");
+
+  // --- Part 2: does the balancer move the static-imbalance limit? -------
+  // The conclusion bench's classic sweep showed the spatial strategy's
+  // efficiency limit is set by how evenly 72 cutoff-sized cells split
+  // across ranks. Rerun that sweep (Myrinet, classic) with the balancer.
+  std::printf(
+      "\n================================================================\n"
+      "Does the balancer move the static-imbalance efficiency limit?\n"
+      "(classic calculation, Myrinet GM, single switch)\n"
+      "================================================================\n");
+
+  const std::vector<int> counts =
+      bench::options().smoke ? std::vector<int>{1, 2, 8}
+                             : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<core::ExperimentSpec> specs2;
+  for (const char* policy : policies) {
+    for (int p : counts) {
+      core::ExperimentSpec spec = lb_spec(policy, p);
+      spec.platform.network = net::Network::kMyrinetGM;
+      spec.network_params.reset();  // stock Myrinet model, jitter included
+      specs2.push_back(spec);
+    }
+  }
+  const std::vector<core::ExperimentResult> results2 = core::run_experiments(
+      bench::prepared_system(), specs2, bench::default_jobs());
+
+  Table table2({"ldb", "procs", "total (s)", "speedup", "efficiency",
+                "imbalance", "units moved"});
+  std::size_t idx = 0;
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    double seq = 0.0;
+    for (int p : counts) {
+      const core::ExperimentResult& r = results2[idx++];
+      const double total = r.total_seconds();
+      if (p == 1) seq = total;
+      const double imb = r.metrics.compute_imbalance.factor();
+      table2.add_row({policy_labels[pi], std::to_string(p),
+                      Table::num(total, 3), Table::num(seq / total, 2),
+                      Table::pct(seq / total / p),
+                      imb > 0.0 ? Table::num(imb, 2) : "-",
+                      std::to_string(r.units_moved)});
+    }
+  }
+  std::printf("%s", table2.to_string().c_str());
+  std::printf(
+      "\nReading: the balancer's cold-start map already packs by pair\n"
+      "cost instead of atom count, and the rebuild-time rebalancer can\n"
+      "only shuffle whole units — so the imbalance column tightens\n"
+      "toward 1.0 where the unit pool is deep (small p) and converges to\n"
+      "the ldb=off figure where every rank holds only a cell or two\n"
+      "(large p): overdecomposition runs out of granularity exactly\n"
+      "where strong scaling runs out of atoms.\n");
+  return 0;
+}

@@ -225,6 +225,14 @@ int cmd_predict(const Args& args) {
               "%.0f + %.0f bytes/step\n",
               pred.classic_messages_per_step, pred.pme_messages_per_step,
               pred.classic_bytes_per_step, pred.pme_bytes_per_step);
+  if (pred.run_messages > 0.0) {
+    // ldb != off: the replayed balancer trajectory gives whole-run totals
+    // (every adopted epoch's per-step schedule + the rebuild events).
+    std::printf("  balancer (whole run)  : %.0f messages, %.0f bytes "
+                "(%.0f msgs / %.0f B at rebuilds), %.0f units moved\n",
+                pred.run_messages, pred.run_bytes, pred.rebalance_messages,
+                pred.rebalance_bytes, pred.units_moved);
+  }
   return 0;
 }
 
@@ -296,7 +304,8 @@ void usage() {
       "                [--middleware mpi|cmpi] [--cpus 1|2] [--steps S]\n"
       "                [--pme on|off]\n"
       "                [--decomp atom|force|task[:pme=N]|\n"
-      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]]\n"
+      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]\n"
+      "                    [:ldb=greedy|refine|off[,units=K]]]\n"
       "                [--engine fiber|thread]  DES backend (default fiber,\n"
       "                    or $REPRO_ENGINE; results identical either way)\n"
       "                [--timeline]\n"
@@ -317,7 +326,8 @@ void usage() {
       "  sweep         [--system F.rsys] [--network ...] [--middleware ...]"
       " [--cpus C]\n"
       "                [--decomp atom|force|task[:pme=N]|\n"
-      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]]\n"
+      "                    spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]\n"
+      "                    [:ldb=greedy|refine|off[,units=K]]]\n"
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--engine fiber|thread]  DES backend per cell\n"

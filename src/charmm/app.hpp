@@ -59,6 +59,12 @@ struct RankRunResult {
   // summed over ranks and the whole run (0 for the replicated strategies,
   // whose atoms have no owner to change).
   std::size_t atoms_migrated = 0;
+  // Spatial + ldb only: work units the rebalancer moved over the run, and
+  // an FNV-1a hash over every adopted unit→rank map (the balancer's full
+  // trajectory). Both are computed from replicated data, so every rank
+  // reports the same values — run_experiment asserts it.
+  std::size_t units_moved = 0;
+  std::uint64_t unit_map_hash = 0;
 };
 
 // Runs the energy-calculation workload on one simulated rank under the

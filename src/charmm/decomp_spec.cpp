@@ -45,6 +45,18 @@ const char* to_string(DecompKind kind) {
   return "?";
 }
 
+const char* to_string(LdbPolicy policy) {
+  switch (policy) {
+    case LdbPolicy::kOff:
+      return "off";
+    case LdbPolicy::kGreedy:
+      return "greedy";
+    case LdbPolicy::kRefine:
+      return "refine";
+  }
+  return "?";
+}
+
 std::string to_string(const DecompSpec& spec) {
   std::string out = to_string(spec.kind);
   if (spec.kind == DecompKind::kTaskPme && spec.pme_ranks > 0) {
@@ -60,6 +72,13 @@ std::string to_string(const DecompSpec& spec) {
       if (spec.pencil_y > 0) {
         out += ":grid=" + std::to_string(spec.pencil_y) + "x" +
                std::to_string(spec.pencil_z);
+      }
+    }
+    if (spec.ldb != LdbPolicy::kOff) {
+      out += ":ldb=";
+      out += to_string(spec.ldb);
+      if (spec.units > 0) {
+        out += ",units=" + std::to_string(spec.units);
       }
     }
   }
@@ -91,6 +110,7 @@ DecompSpec parse_decomp_spec(const std::string& text) {
     // grid until "pme=pencil" has been seen, after which it means the
     // pencil process grid — mirroring how to_string prints them.
     bool after_pencil = false;
+    bool seen_ldb = false;
     std::size_t pos = 7;  // strlen("spatial")
     while (pos < text.size()) {
       REPRO_REQUIRE(text[pos] == ':',
@@ -113,9 +133,41 @@ DecompSpec parse_decomp_spec(const std::string& text) {
                     "bad PME mode '" + opt +
                         "' in decomposition spec (only pme=pencil is "
                         "accepted; slab is the default): " + text);
+      if (opt.rfind("ldb=", 0) == 0) {
+        REPRO_REQUIRE(!seen_ldb,
+                      "duplicate ldb option in decomposition spec: " + text);
+        seen_ldb = true;
+        std::string value = opt.substr(4);
+        const std::size_t comma = value.find(',');
+        const std::string policy = value.substr(0, comma);
+        if (policy == "off") {
+          spec.ldb = LdbPolicy::kOff;
+        } else if (policy == "greedy") {
+          spec.ldb = LdbPolicy::kGreedy;
+        } else if (policy == "refine") {
+          spec.ldb = LdbPolicy::kRefine;
+        } else {
+          util::fail("bad load-balance policy '" + policy +
+                         "' (expected ldb=greedy|refine|off): " + text,
+                     __FILE__, __LINE__);
+        }
+        if (comma != std::string::npos) {
+          const std::string rest = value.substr(comma + 1);
+          REPRO_REQUIRE(rest.rfind("units=", 0) == 0 &&
+                            rest.find(',') == std::string::npos,
+                        "bad ldb option '" + rest +
+                            "' (expected ldb=POLICY[,units=K]): " + text);
+          REPRO_REQUIRE(spec.ldb != LdbPolicy::kOff,
+                        "units= is meaningless with ldb=off: " + text);
+          spec.units =
+              parse_positive_int(rest.substr(6), "work-unit count", text);
+        }
+        continue;
+      }
       REPRO_REQUIRE(opt.rfind("grid=", 0) == 0,
                     "bad decomposition option '" + opt +
-                        "' (expected grid=... or pme=pencil): " + text);
+                        "' (expected grid=..., pme=pencil, or ldb=...): " +
+                        text);
       const std::string dims = opt.substr(5);
       const std::size_t x1 = dims.find('x');
       if (after_pencil) {
@@ -148,9 +200,13 @@ DecompSpec parse_decomp_spec(const std::string& text) {
     }
     return spec;
   }
+  REPRO_REQUIRE(text.find(":ldb=") == std::string::npos,
+                "ldb= only applies to the spatial decomposition (the "
+                "replicated strategies have no migratable units): " + text);
   util::fail("unknown decomposition '" + text +
                  "' (expected atom, force, task[:pme=N], or "
-                 "spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]])",
+                 "spatial[:grid=AxBxC][:pme=pencil[:grid=PyxPz]]"
+                 "[:ldb=greedy|refine|off[,units=K]])",
              __FILE__, __LINE__);
 }
 
@@ -195,6 +251,30 @@ std::pair<int, int> resolved_pencil_grid(const DecompSpec& spec, int nprocs,
                 "pencil grid dimension Pz=" + std::to_string(pz) +
                     " exceeds the FFT's " + std::to_string(nz) + " z planes");
   return {py, pz};
+}
+
+int resolved_units(const DecompSpec& spec, int nprocs, int ncells) {
+  REPRO_REQUIRE(spec.ldb != LdbPolicy::kOff,
+                "work units are only resolved when load balancing is on");
+  REPRO_REQUIRE(ncells >= nprocs,
+                "ldb needs at least one cell per rank to overdecompose (" +
+                    std::to_string(ncells) + " cells < " +
+                    std::to_string(nprocs) + " ranks); use a finer grid=");
+  if (spec.units > 0) {
+    REPRO_REQUIRE(spec.units >= nprocs,
+                  "units=" + std::to_string(spec.units) +
+                      " is fewer than the run's " + std::to_string(nprocs) +
+                      " ranks; overdecomposition needs units >= ranks");
+    REPRO_REQUIRE(spec.units <= ncells,
+                  "units=" + std::to_string(spec.units) +
+                      " exceeds the spatial grid's " +
+                      std::to_string(ncells) + " cells");
+    return spec.units;
+  }
+  // Auto: 4 units per rank is the classic CHARM++ overdecomposition
+  // sweet spot — enough slack for the greedy packer to even out costs,
+  // few enough that per-unit bookkeeping stays cheap.
+  return std::min(4 * nprocs, ncells);
 }
 
 }  // namespace repro::charmm

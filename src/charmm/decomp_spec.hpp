@@ -54,6 +54,22 @@ enum class PmeMode {
   kPencil,
 };
 
+// Measurement-driven load balancing of the spatial decomposition's
+// migratable work units (CHARM++-style overdecomposition: cell blocks
+// ≫ ranks, remapped at neighbor-list rebuilds from measured per-unit
+// phase costs).
+enum class LdbPolicy {
+  // One static unit per rank, exactly the pre-refactor schedule.
+  kOff,
+  // Rebuild the unit→rank map from scratch: units sorted by measured
+  // cost, each assigned to the rank with the smallest speed-scaled load.
+  kGreedy,
+  // Start from the current map and move units off the bottleneck rank
+  // while that lowers the predicted makespan — fewer migrations, and a
+  // fixed point once the load stops drifting.
+  kRefine,
+};
+
 struct DecompSpec {
   DecompKind kind = DecompKind::kAtomReplicated;
   // kTaskPme only: ranks dedicated to PME (0 = auto, max(1, p/4)).
@@ -69,14 +85,23 @@ struct DecompSpec {
   // most-square factorization of nprocs). Either both are set or none.
   int pencil_y = 0;
   int pencil_z = 0;
+  // kSpatial only: work-unit load balancing ("ldb=greedy|refine|off",
+  // optionally ",units=K"). Off keeps the static one-unit-per-rank
+  // schedule byte-identical to the pre-refactor code.
+  LdbPolicy ldb = LdbPolicy::kOff;
+  // Number of migratable work units when ldb != off (0 = auto,
+  // min(4 * nprocs, ncells)). Must satisfy nprocs <= K <= ncells.
+  int units = 0;
 
   bool operator==(const DecompSpec&) const = default;
 };
 
 const char* to_string(DecompKind kind);
+const char* to_string(LdbPolicy policy);
 // "atom" | "force" | "task" | "task:pme=N" | "spatial" |
 // "spatial:grid=AxBxC" | "spatial[:grid=AxBxC]:pme=pencil[:grid=PyxPz]"
-// — round-trips parse_decomp_spec.
+// with an optional trailing ":ldb=greedy|refine[,units=K]" — round-trips
+// parse_decomp_spec.
 std::string to_string(const DecompSpec& spec);
 
 // Parses "atom", "force", "task", "task:pme=N" (N >= 1), "spatial", or
@@ -101,5 +126,12 @@ int resolved_pme_ranks(const DecompSpec& spec, int nprocs);
 // rank owns at least one plane. Meaningful only for nprocs >= 2.
 std::pair<int, int> resolved_pencil_grid(const DecompSpec& spec, int nprocs,
                                          std::size_t ny, std::size_t nz);
+
+// Number of migratable work units a load-balanced spatial run uses: the
+// explicit units if set (must satisfy nprocs <= units <= ncells so every
+// rank can hold a unit and every unit holds a cell), else
+// min(4 * nprocs, ncells). Meaningful only when ldb != off; requires
+// ncells >= nprocs (a grid too coarse to overdecompose fails loudly).
+int resolved_units(const DecompSpec& spec, int nprocs, int ncells);
 
 }  // namespace repro::charmm

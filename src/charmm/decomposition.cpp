@@ -5,12 +5,14 @@
 #include <cstring>
 #include <optional>
 
+#include "charmm/ldb.hpp"
 #include "charmm/spatial.hpp"
 #include "fft/parallel_fft.hpp"
 #include "md/bonded.hpp"
 #include "md/integrator.hpp"
 #include "md/neighbor.hpp"
 #include "util/flatpack.hpp"
+#include "util/hash.hpp"
 #include "util/units.hpp"
 
 namespace repro::charmm {
@@ -25,12 +27,13 @@ using util::Vec3;
 // step and operation so a jitter-delayed packet from step k can never
 // match a receive posted in step k+1.
 constexpr int kScheduleTagBase = 1 << 18;
-// Eleven tag slots per step: ops 0-4 are fold/expand (force) or
+// Twelve tag slots per step: ops 0-4 are fold/expand (force) or
 // reduce/exchange (task) or migrate/ghost/position-halo/force-halo/
 // pme-gather (spatial); ops 5-10 are the spatial pencil-PME schedule
 // (charge plane exchange, X->Y and Y->Z forward transposes, Z->Y and
-// Y->X backward transposes, potential plane exchange).
-constexpr int kScheduleTagsPerStep = 11;
+// Y->X backward transposes, potential plane exchange); op 11 is the
+// work-unit handoff of the measurement-driven load balancer.
+constexpr int kScheduleTagsPerStep = 12;
 // The PME group middleware draws its own fresh tag per operation from
 // here up to the collective base.
 constexpr int kGroupTagBase = 1 << 19;
@@ -734,6 +737,14 @@ class TaskPmeDecomposition final : public Decomposition {
 // position): a pairwise all-to-all position gather precedes the
 // reciprocal sum, and the reciprocal forces are combined with one
 // full-vector allreduce, of which each rank applies only its owned rows.
+//
+// With ldb != off the unit of work is a migratable cell block (a work
+// unit): the grid is overdecomposed into units ≫ ranks once at startup,
+// and at every rebuild after the first the measured per-unit costs and
+// per-rank speeds are allreduced, every rank recomputes the same
+// unit→rank map, and moved units hand their atoms to the new owner
+// before the ghost renegotiation. With ldb=off none of this machinery
+// runs and the schedule is byte-identical to the paragraphs above.
 // --------------------------------------------------------------------------
 class SpatialDecomposition final : public Decomposition {
  public:
@@ -759,11 +770,33 @@ class SpatialDecomposition final : public Decomposition {
     const md::Box& box = sys.box;
     const auto natoms = static_cast<std::size_t>(topo.natoms());
 
-    const SpatialLayout layout = make_spatial_layout(
+    SpatialLayout layout = make_spatial_layout(
         spec_, box, config.cutoff + config.skin, p, &sys.positions);
-    const std::vector<int>& nbrs =
+
+    // Work-unit overdecomposition (ldb != off). The cell→unit grid is
+    // frozen for the run; only the unit→rank map migrates. The cold-start
+    // map replaces the packer's cell→rank assignment with a pair-cost
+    // weighted one; every later epoch's layout is derived from the map.
+    const bool ldb_on = spec_.ldb != LdbPolicy::kOff;
+    std::optional<UnitGrid> units;
+    std::vector<int> unit_rank;
+    std::uint64_t unit_map_hash = 0;
+    std::size_t units_moved = 0;
+    auto hash_unit_map = [&]() {
+      unit_map_hash = util::hash_combine(
+          unit_map_hash, util::fnv1a_bytes(unit_rank.data(),
+                                           unit_rank.size() * sizeof(int)));
+    };
+    if (ldb_on) {
+      units.emplace(make_unit_grid(
+          layout, resolved_units(spec_, p, layout.ncells()), sys.positions));
+      unit_rank = initial_unit_map(*units, p);
+      layout = layout_from_units(layout, *units, unit_rank);
+      hash_unit_map();
+    }
+    std::vector<int> nbrs =
         layout.rank_neighbors[static_cast<std::size_t>(me)];
-    const auto nn = nbrs.size();
+    std::size_t nn = nbrs.size();
 
     md::NonbondedOptions nb;
     nb.cutoff = config.cutoff;
@@ -793,9 +826,13 @@ class SpatialDecomposition final : public Decomposition {
         config.use_pme && spec_.pme_mode == PmeMode::kPencil;
     std::optional<pme::ParallelPme> ppme;
     std::optional<pme::PencilPme> pencil_pme;
+    int pencil_py = 0;
+    int pencil_pz = 0;
     if (pencil) {
       const auto [py, pz] =
           resolved_pencil_grid(spec_, p, config.pme.ny, config.pme.nz);
+      pencil_py = py;
+      pencil_pz = pz;
       pencil_pme.emplace(config.pme, box, comm, py, pz,
                          make_pme_regions(layout, config.pme, config.skin),
                          charge_flops);
@@ -817,6 +854,39 @@ class SpatialDecomposition final : public Decomposition {
     std::vector<std::vector<double>> out(nn);
     std::vector<double> in(1 + 7 * natoms);
     std::vector<double> gather_buf;
+
+    // ldb measurement state for the current epoch: per-unit work counts
+    // and cumulative model-cost accumulators per measured phase. The
+    // accumulators mirror the recorder's += sequence exactly (same value,
+    // same order, same per-step granularity), so a fault-free rank's
+    // measured/model ratio is exactly 1.0 and the analytic predictor's
+    // speed-1.0 replay reproduces the balancer's decisions bit-for-bit.
+    UnitWork epoch_work;
+    std::vector<int> unit_of_row;
+    std::array<double, 3> model_cum{};
+    std::array<double, 3> model_snap{};
+    std::array<double, 3> measured_snap{};
+    static constexpr const char* kMeasuredPhases[3] = {"bonded", "nonbonded",
+                                                      "ewald_corr"};
+    auto measured_cum = [&](int i) {
+      const auto& phase_times = rec.phase_times();
+      const auto it = phase_times.find(kMeasuredPhases[i]);
+      return it == phase_times.end() ? 0.0 : it->second;
+    };
+    auto begin_measurement = [&]() {
+      unit_of_row.assign(natoms, -1);
+      for (int i : owned) {
+        unit_of_row[static_cast<std::size_t>(i)] =
+            units->cell_unit[static_cast<std::size_t>(
+                layout.cell_of(pos[static_cast<std::size_t>(i)]))];
+      }
+      epoch_work = count_unit_work(units->nunits, topo, nbl, unit_of_row);
+      for (int i = 0; i < 3; ++i) {
+        measured_snap[static_cast<std::size_t>(i)] = measured_cum(i);
+        model_snap[static_cast<std::size_t>(i)] =
+            model_cum[static_cast<std::size_t>(i)];
+      }
+    };
 
     // Step 0: every rank derives the identical global epoch from the
     // replicated initial positions — no communication.
@@ -1038,6 +1108,130 @@ class SpatialDecomposition final : public Decomposition {
       }
     };
 
+    // Measurement-driven rebalance, run at a rebuild between the drift
+    // migration (old map: every owned atom sits in one of my cells, so
+    // each unit's atoms are wholly on its old owner) and the ghost
+    // renegotiation (new map). Three sub-steps:
+    //   ldb_collect : allreduce of K unit costs (each summed by exactly
+    //                 one rank, so the sum is v + 0 + ... and
+    //                 order-independent) plus p measured rank speeds;
+    //   decide      : every rank derives the identical new map;
+    //   unit_handoff: the old owner of each moved unit ships its atoms
+    //                 [count, (id, pos, vel) x n] to the new owner. All
+    //                 sends post before any receive, both sides walk
+    //                 moved units in ascending id, so multiple units
+    //                 between one pair stay FIFO-aligned on one tag.
+    auto rebalance = [&](int step) {
+      const int nunits = units->nunits;
+      std::vector<double> collect(static_cast<std::size_t>(nunits + p), 0.0);
+      double measured = 0.0;
+      double model = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        measured += measured_cum(i) - measured_snap[static_cast<std::size_t>(i)];
+        model += model_cum[static_cast<std::size_t>(i)] -
+                 model_snap[static_cast<std::size_t>(i)];
+      }
+      collect[static_cast<std::size_t>(nunits + me)] =
+          model > 0.0 ? measured / model : 1.0;
+      for (int u = 0; u < nunits; ++u) {
+        if (unit_rank[static_cast<std::size_t>(u)] != me) continue;
+        const auto su = static_cast<std::size_t>(u);
+        collect[su] =
+            unit_cost_seconds(cost, epoch_work.pairs[su],
+                              epoch_work.bonded[su], epoch_work.excl[su],
+                              config.use_pme);
+      }
+      {
+        perf::PhaseScope phase(rec, "ldb_collect");
+        mw.global_sum(collect.data(), collect.size());
+      }
+      const std::vector<double> unit_cost(collect.begin(),
+                                          collect.begin() + nunits);
+      const std::vector<double> rank_speed(collect.begin() + nunits,
+                                           collect.end());
+      const std::vector<int> new_map =
+          rebalance_units(spec_.ldb, unit_cost, rank_speed, unit_rank);
+      std::vector<int> moved;
+      for (int u = 0; u < nunits; ++u) {
+        if (new_map[static_cast<std::size_t>(u)] !=
+            unit_rank[static_cast<std::size_t>(u)]) {
+          moved.push_back(u);
+        }
+      }
+      units_moved += moved.size();
+      std::vector<int> keep;
+      keep.reserve(owned.size());
+      {
+        perf::PhaseScope phase(rec, "unit_handoff");
+        const int tag = schedule_tag(step, 11);
+        std::vector<int> my_moved;
+        for (int u : moved) {
+          if (unit_rank[static_cast<std::size_t>(u)] == me) my_moved.push_back(u);
+        }
+        std::vector<std::vector<double>> unit_out(my_moved.size());
+        for (auto& b : unit_out) b.push_back(0.0);
+        for (int i : owned) {
+          const auto ui = static_cast<std::size_t>(i);
+          const int u = units->cell_unit[static_cast<std::size_t>(
+              layout.cell_of(pos[ui]))];
+          if (new_map[static_cast<std::size_t>(u)] == me) {
+            keep.push_back(i);
+            continue;
+          }
+          const auto it =
+              std::lower_bound(my_moved.begin(), my_moved.end(), u);
+          REPRO_REQUIRE(it != my_moved.end() && *it == u,
+                        "owned atom in a unit this rank does not own");
+          auto& b = unit_out[static_cast<std::size_t>(it - my_moved.begin())];
+          b.push_back(static_cast<double>(i));
+          b.push_back(pos[ui].x);
+          b.push_back(pos[ui].y);
+          b.push_back(pos[ui].z);
+          b.push_back(vel[ui].x);
+          b.push_back(vel[ui].y);
+          b.push_back(vel[ui].z);
+        }
+        for (std::size_t k = 0; k < my_moved.size(); ++k) {
+          auto& b = unit_out[k];
+          b[0] = static_cast<double>((b.size() - 1) / 7);
+          comm.send(new_map[static_cast<std::size_t>(my_moved[k])], tag,
+                    b.data(), b.size() * sizeof(double), /*exchange=*/true);
+        }
+        for (int u : moved) {
+          if (new_map[static_cast<std::size_t>(u)] != me) continue;
+          comm.recv(unit_rank[static_cast<std::size_t>(u)], tag, in.data(),
+                    in.size() * sizeof(double));
+          const auto n = static_cast<std::size_t>(in[0]);
+          for (std::size_t a = 0; a < n; ++a) {
+            const double* rec_ptr = in.data() + 1 + 7 * a;
+            const int id = static_cast<int>(rec_ptr[0]);
+            const auto uid = static_cast<std::size_t>(id);
+            pos[uid] = {rec_ptr[1], rec_ptr[2], rec_ptr[3]};
+            vel[uid] = {rec_ptr[4], rec_ptr[5], rec_ptr[6]};
+            keep.push_back(id);
+          }
+        }
+      }
+      std::sort(keep.begin(), keep.end());
+      owned = std::move(keep);
+
+      // Adopt the new map: re-derive the epoch topology (neighbor sets,
+      // per-neighbor buffers, pencil-PME regions) from the new layout.
+      unit_rank = new_map;
+      layout = layout_from_units(layout, *units, unit_rank);
+      hash_unit_map();
+      nbrs = layout.rank_neighbors[static_cast<std::size_t>(me)];
+      nn = nbrs.size();
+      out.assign(nn, {});
+      send_ids.assign(nn, {});
+      recv_ids.assign(nn, {});
+      if (pencil) {
+        pencil_pme.emplace(config.pme, box, comm, pencil_py, pencil_pz,
+                           make_pme_regions(layout, config.pme, config.skin),
+                           charge_flops);
+      }
+    };
+
     RankRunResult result;
     std::size_t local_pairs = 0;
     for (int step = 0; step < config.nsteps; ++step) {
@@ -1049,14 +1243,18 @@ class SpatialDecomposition final : public Decomposition {
           adopt_global_epoch();
         } else {
           migrate(step);
+          if (ldb_on) rebalance(step);
           exchange_ghosts(step);
         }
         refresh_derived();
-        perf::PhaseScope phase(rec, "list_build");
-        nbl.build_subset(topo, box, pos, candidates, owned_mask);
-        comm.compute(cost.seconds_per_list_pair *
-                     static_cast<double>(nbl.npairs()) * 2.0);
-        local_pairs = nbl.npairs();
+        {
+          perf::PhaseScope phase(rec, "list_build");
+          nbl.build_subset(topo, box, pos, candidates, owned_mask);
+          comm.compute(cost.seconds_per_list_pair *
+                       static_cast<double>(nbl.npairs()) * 2.0);
+          local_pairs = nbl.npairs();
+        }
+        if (ldb_on) begin_measurement();
       }
 
       halo_positions(step);
@@ -1068,16 +1266,20 @@ class SpatialDecomposition final : public Decomposition {
         perf::PhaseScope phase(rec, "bonded");
         const md::BondedWork bw = md::bonded_energy_owned(
             topo, box, pos, owned_mask, forces, energy);
-        comm.compute(cost.seconds_per_bonded_term *
-                     static_cast<double>(bw.total()));
+        const double sec = cost.seconds_per_bonded_term *
+                           static_cast<double>(bw.total());
+        comm.compute(sec);
+        model_cum[0] += sec;
       }
 
       {
         perf::PhaseScope phase(rec, "nonbonded");
         const md::NonbondedWork nw = md::nonbonded_energy(
             topo, box, pos, nbl, nb, forces, energy, 0, 1);
-        comm.compute(cost.seconds_per_pair *
-                     static_cast<double>(nw.pairs_listed));
+        const double sec = cost.seconds_per_pair *
+                           static_cast<double>(nw.pairs_listed);
+        comm.compute(sec);
+        model_cum[1] += sec;
       }
 
       if (config.use_pme) {
@@ -1085,8 +1287,10 @@ class SpatialDecomposition final : public Decomposition {
           perf::PhaseScope phase(rec, "ewald_corr");
           energy.ewald_excl += pme::ewald_exclusion_correction_owned(
               topo, box, pos, owned_mask, config.pme.beta, forces);
-          comm.compute(cost.seconds_per_bonded_term *
-                       static_cast<double>(owned_excl));
+          const double sec = cost.seconds_per_bonded_term *
+                             static_cast<double>(owned_excl);
+          comm.compute(sec);
+          model_cum[2] += sec;
         }
         if (me == 0) {
           energy.ewald_self += pme::ewald_self_energy(topo, config.pme.beta);
@@ -1170,6 +1374,10 @@ class SpatialDecomposition final : public Decomposition {
       result.pairs_in_list = static_cast<std::size_t>(tail[1] + 0.5);
       result.atoms_migrated = static_cast<std::size_t>(tail[2] + 0.5);
     }
+    // Replicated balancer state: every rank computed the same maps from
+    // the same allreduced inputs, so these need no reduction.
+    result.units_moved = units_moved;
+    result.unit_map_hash = unit_map_hash;
     return result;
   }
 

@@ -83,6 +83,40 @@ struct SpatialEpoch {
 SpatialEpoch make_global_epoch(const SpatialLayout& layout,
                                const std::vector<util::Vec3>& pos);
 
+// The migratable work-unit grid for ldb != off: the same cell grid, but
+// cells are packed into `nunits` compact blocks (the identical Morton
+// minimum-enlargement heuristic that packs cells onto ranks) so units ≫
+// ranks can be remapped at rebuilds without re-cutting geometry. The
+// cell→unit map is frozen for the run — only unit→rank migrates.
+//
+// Packing (and the cold-start unit→rank split) is weighted by estimated
+// pair cost, not raw atom count: w_c = n_c² + ½·n_c·Σ_{c'∈26(c)} n_c' —
+// the per-cell share of the O(n²) direct-space work the PR-4 cost model
+// charges, which is what actually determines a rank's busy time. Raw
+// population leaves the dense solute cells 1.3–3.2x hot.
+struct UnitGrid {
+  int nunits = 0;
+  std::vector<int> cell_unit;                // cell id -> unit id
+  std::vector<std::vector<int>> unit_cells;  // unit -> member cells
+  std::vector<long> unit_weight;             // cold-start pair-cost weight
+};
+
+UnitGrid make_unit_grid(const SpatialLayout& layout, int nunits,
+                        const std::vector<util::Vec3>& pos);
+
+// Deterministic cold-start unit→rank map: units walked in Morton order
+// of their first cell, split into `nprocs` contiguous runs with
+// near-equal pair-cost weight (every rank gets at least one unit).
+std::vector<int> initial_unit_map(const UnitGrid& grid, int nprocs);
+
+// Re-derives a full layout (cell→rank, rank_cells, neighbor/border
+// adjacency) from a unit→rank map over `base`'s cell grid. This is what
+// the rebalancer adopts at a rebuild: the geometry is base's, only the
+// ownership moved.
+SpatialLayout layout_from_units(const SpatialLayout& base,
+                                const UnitGrid& grid,
+                                const std::vector<int>& unit_rank);
+
 // Per-rank PME grid regions for the pencil decomposition: the wrapped box
 // of charge-grid planes any atom a rank owns can touch during an epoch.
 // Per dimension the owned cells' non-periodic bounding box is mapped to

@@ -70,6 +70,13 @@ void validate_config(const CharmmConfig& config) {
                   "pme=pencil decomposes the PME mesh; enable use_pme or "
                   "drop the pencil option");
   }
+  REPRO_REQUIRE(d.ldb == LdbPolicy::kOff || d.kind == DecompKind::kSpatial,
+                "load balancing (ldb=) migrates spatial work units; it "
+                "requires the spatial decomposition");
+  REPRO_REQUIRE(d.units >= 0, "work-unit count must be non-negative");
+  REPRO_REQUIRE(d.units == 0 || d.ldb != LdbPolicy::kOff,
+                "units= overdecomposes for the load balancer; it requires "
+                "ldb=greedy or ldb=refine");
   if (config.use_pme && d.pencil_y > 0) {
     REPRO_REQUIRE(static_cast<std::size_t>(d.pencil_y) <= config.pme.ny,
                   "pencil grid dimension Py exceeds the PME grid's y planes");

@@ -34,6 +34,23 @@ perf::RunMetrics collect_metrics(
       m.phase_seconds[phase] += seconds;
     }
   }
+  // Load-imbalance factors (max/mean over ranks): compute (busy) time
+  // overall plus every schedule phase. Multi-rank phased runs only, so
+  // unphased and single-rank reports stay byte-identical.
+  if (recorders.size() >= 2 && !m.phase_seconds.empty()) {
+    const auto nranks = static_cast<double>(recorders.size());
+    for (const auto& rec : recorders) {
+      const double comp = rec.total_breakdown().comp;
+      m.compute_imbalance.max_seconds =
+          std::max(m.compute_imbalance.max_seconds, comp);
+      m.compute_imbalance.mean_seconds += comp / nranks;
+      for (const auto& [phase, seconds] : rec.phase_times()) {
+        perf::ImbalanceMetrics& im = m.phase_imbalance[phase];
+        im.max_seconds = std::max(im.max_seconds, seconds);
+        im.mean_seconds += seconds / nranks;
+      }
+    }
+  }
   for (const sim::Resource* res : network.resources()) {
     perf::ResourceMetrics rm;
     rm.name = res->name();
@@ -121,9 +138,15 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
       spec.nprocs >= 2) {
     // Fails fast on an infeasible cell grid (cells thinner than
     // cutoff + skin) before spinning up ranks.
-    charmm::make_spatial_layout(spec.charmm.decomp, sys.box,
-                                spec.charmm.cutoff + spec.charmm.skin,
-                                spec.nprocs);
+    const charmm::SpatialLayout probe = charmm::make_spatial_layout(
+        spec.charmm.decomp, sys.box,
+        spec.charmm.cutoff + spec.charmm.skin, spec.nprocs);
+    if (spec.charmm.decomp.ldb != charmm::LdbPolicy::kOff) {
+      // Fails fast on a unit count the grid cannot honor (units < ranks
+      // or units > cells) before spinning up ranks.
+      charmm::resolved_units(spec.charmm.decomp, spec.nprocs,
+                             probe.ncells());
+    }
     if (spec.charmm.decomp.pme_mode == charmm::PmeMode::kPencil &&
         spec.nprocs > 1) {
       // (p == 1 runs the sequential reference program; no pencil grid.)
@@ -179,13 +202,19 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   result.position_checksum = rank_results.front().position_checksum;
   result.pairs_in_list = rank_results.front().pairs_in_list;
   result.atoms_migrated = rank_results.front().atoms_migrated;
+  result.units_moved = rank_results.front().units_moved;
+  result.unit_map_hash = rank_results.front().unit_map_hash;
   result.engine_events = engine.events_processed();
   result.engine_context_switches = engine.context_switches();
 
-  // Replication invariant: every rank must end with identical state.
+  // Replication invariant: every rank must end with identical state,
+  // and with ldb on, the identical balancer trajectory.
   for (const auto& rr : rank_results) {
     REPRO_REQUIRE(rr.position_checksum == result.position_checksum,
                   "replicated trajectories diverged across ranks");
+    REPRO_REQUIRE(rr.units_moved == result.units_moved &&
+                      rr.unit_map_hash == result.unit_map_hash,
+                  "load-balancer unit maps diverged across ranks");
   }
   return result;
 }

@@ -76,6 +76,11 @@ struct ExperimentResult {
   // Atoms that changed owning rank over the run (spatial decomposition
   // only; 0 for replicated strategies).
   std::size_t atoms_migrated = 0;
+  // Work units the load balancer migrated over the run and the FNV-1a
+  // hash of every adopted unit→rank map (spatial with ldb != off only;
+  // 0 otherwise). Identical on every rank — run_experiment asserts it.
+  std::size_t units_moved = 0;
+  std::uint64_t unit_map_hash = 0;
   std::uint64_t engine_events = 0;
   std::uint64_t engine_context_switches = 0;
 

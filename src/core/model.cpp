@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "charmm/ldb.hpp"
 #include "charmm/spatial.hpp"
 #include "fft/parallel_fft.hpp"
+#include "md/neighbor.hpp"
 #include "util/error.hpp"
 
 namespace repro::core {
@@ -165,23 +167,18 @@ void predict_task(const net::NetworkParams& params, int p, int natoms,
   out.sync_per_step = 2.0 * ceil_log2(p) * predict_message_seconds(params, 0);
 }
 
-// Spatial decomposition: the schedule is derived from the identical
-// layout + step-0 epoch the simulator freezes between rebuilds, so every
-// count below is exact (and pinned in tests) for runs inside the first
-// epoch.
-void predict_spatial(const net::NetworkParams& params, int p,
-                     const sysbuild::BuiltSystem& sys,
-                     const charmm::CharmmConfig& config,
-                     OverheadPrediction& out) {
+// One spatial epoch's schedule, derived from the layout + epoch the
+// simulator freezes between rebuilds: every count below is exact (and
+// pinned in tests) for the steps that epoch covers.
+void predict_spatial_epoch(const net::NetworkParams& params, int p,
+                           const sysbuild::BuiltSystem& sys,
+                           const charmm::CharmmConfig& config,
+                           const charmm::SpatialLayout& layout,
+                           const charmm::SpatialEpoch& epoch,
+                           OverheadPrediction& out) {
   const double log2p = ceil_log2(p);
   const auto natoms = static_cast<double>(sys.topo.natoms());
   const std::size_t energy_bytes = 9 * 8;
-
-  const charmm::SpatialLayout layout = charmm::make_spatial_layout(
-      config.decomp, sys.box, config.cutoff + config.skin, p,
-      &sys.positions);
-  const charmm::SpatialEpoch epoch =
-      charmm::make_global_epoch(layout, sys.positions);
 
   // Directed halo schedule: each nonzero send list is one position-halo
   // message out and one byte-symmetric force-halo message back, every
@@ -343,6 +340,112 @@ void predict_spatial(const net::NetworkParams& params, int p,
   // Barriers: energy entry every step, plus the pre-PME coherency point.
   out.sync_per_step = (config.use_pme ? 2.0 : 1.0) * log2p *
                       predict_message_seconds(params, 0);
+}
+
+void predict_spatial(const net::NetworkParams& params, int p,
+                     const sysbuild::BuiltSystem& sys,
+                     const charmm::CharmmConfig& config,
+                     OverheadPrediction& out) {
+  const charmm::SpatialLayout base = charmm::make_spatial_layout(
+      config.decomp, sys.box, config.cutoff + config.skin, p,
+      &sys.positions);
+  if (config.decomp.ldb == charmm::LdbPolicy::kOff) {
+    const charmm::SpatialEpoch epoch =
+        charmm::make_global_epoch(base, sys.positions);
+    predict_spatial_epoch(params, p, sys, config, base, epoch, out);
+    return;
+  }
+
+  // ldb != off: replay the balancer's zero-drift trajectory — cold-start
+  // map plus one rebalance per rebuild after step 0 — and sum the whole
+  // run's schedule epoch by epoch. Zero drift keeps atoms in their
+  // startup cells, so every epoch's halo schedule and every rebuild
+  // event is fully determined by the replayed maps.
+  const charmm::UnitGrid grid = charmm::make_unit_grid(
+      base, charmm::resolved_units(config.decomp, p, base.ncells()),
+      sys.positions);
+  md::NeighborList nbl(config.cutoff, config.skin);
+  nbl.build(sys.topo, sys.box, sys.positions);
+  const int nrebalances =
+      (config.nsteps - 1) / config.list_rebuild_interval;
+  const std::vector<std::vector<int>> maps = charmm::replay_unit_maps(
+      base, grid, sys.topo, nbl, sys.positions, config.cost,
+      config.use_pme, config.decomp.ldb, p, nrebalances);
+
+  std::vector<double> unit_atoms(static_cast<std::size_t>(grid.nunits),
+                                 0.0);
+  for (const util::Vec3& r : sys.positions) {
+    unit_atoms[static_cast<std::size_t>(
+        grid.cell_unit[static_cast<std::size_t>(base.cell_of(r))])] += 1.0;
+  }
+
+  charmm::SpatialLayout prev_layout;
+  for (int k = 0; k <= nrebalances; ++k) {
+    const charmm::SpatialLayout layout = charmm::layout_from_units(
+        base, grid, maps[static_cast<std::size_t>(k)]);
+    const charmm::SpatialEpoch epoch =
+        charmm::make_global_epoch(layout, sys.positions);
+    OverheadPrediction ep;
+    predict_spatial_epoch(params, p, sys, config, layout, epoch, ep);
+    if (k == 0) {
+      // The per-step times and counts keep their meaning: the cold-start
+      // epoch's schedule (exact for runs inside the first epoch).
+      out = ep;
+    }
+    const int first = k * config.list_rebuild_interval;
+    const int last = std::min((k + 1) * config.list_rebuild_interval,
+                              config.nsteps);
+    out.run_messages += static_cast<double>(last - first) *
+                        ep.messages_per_step();
+    out.run_bytes += static_cast<double>(last - first) *
+                     ep.bytes_per_step();
+
+    if (k > 0) {
+      // Rebuild-event traffic at step `first`, in schedule order.
+      double ev_messages = 0.0;
+      double ev_bytes = 0.0;
+      // Drift migration under the old map: empty payloads, one 8-byte
+      // count to every old-layout neighbor.
+      for (int r = 0; r < p; ++r) {
+        const double nn = static_cast<double>(
+            prev_layout.rank_neighbors[static_cast<std::size_t>(r)].size());
+        ev_messages += nn;
+        ev_bytes += nn * 8.0;
+      }
+      // ldb_collect: allreduce of K unit costs + p rank speeds over the
+      // MPI middleware's binomial reduce + broadcast.
+      ev_messages += 2.0 * (p - 1);
+      ev_bytes += 2.0 * (p - 1) * 8.0 *
+                  static_cast<double>(grid.nunits + p);
+      // Unit handoff: the old owner of each moved unit ships
+      // [count, (id, pos, vel) x n_u] to the new owner.
+      for (int u = 0; u < grid.nunits; ++u) {
+        const auto su = static_cast<std::size_t>(u);
+        if (maps[static_cast<std::size_t>(k)][su] ==
+            maps[static_cast<std::size_t>(k - 1)][su]) {
+          continue;
+        }
+        out.units_moved += 1.0;
+        ev_messages += 1.0;
+        ev_bytes += 8.0 * (1.0 + 7.0 * unit_atoms[su]);
+      }
+      // Ghost renegotiation under the new map: every rank sends
+      // (count, ids, positions) to every new-layout neighbor, empty or
+      // not.
+      for (int r = 0; r < p; ++r) {
+        const auto& sends = epoch.send[static_cast<std::size_t>(r)];
+        for (const auto& ids : sends) {
+          ev_messages += 1.0;
+          ev_bytes += 8.0 * (1.0 + 4.0 * static_cast<double>(ids.size()));
+        }
+      }
+      out.rebalance_messages += ev_messages;
+      out.rebalance_bytes += ev_bytes;
+      out.run_messages += ev_messages;
+      out.run_bytes += ev_bytes;
+    }
+    prev_layout = layout;
+  }
 }
 
 }  // namespace

@@ -36,6 +36,22 @@ struct OverheadPrediction {
   double pme_messages_per_step = 0.0;
   double pme_bytes_per_step = 0.0;
 
+  // Whole-run totals for the spatial decomposition's measurement-driven
+  // load balancer (ldb != off), derived by replaying the balancer's
+  // zero-drift fault-free trajectory: every point-to-point data message
+  // of the nsteps step loop (the per-step schedule of each adopted
+  // epoch) plus the rebuild-event traffic — the empty drift migration,
+  // the cost/speed allreduce, the unit handoff, and the ghost
+  // renegotiation under the new map. The final result_reduce epilogue is
+  // excluded, as in the per-step counts. All zero when ldb is off.
+  double run_messages = 0.0;
+  double run_bytes = 0.0;
+  // The rebuild-event subset of the run totals.
+  double rebalance_messages = 0.0;
+  double rebalance_bytes = 0.0;
+  // Work units the replayed balancer moves over the whole run.
+  double units_moved = 0.0;
+
   double total_per_step() const {
     return classic_comm_per_step + pme_comm_per_step + sync_per_step;
   }
@@ -75,9 +91,13 @@ OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
 // simulator's own layout + step-0 epoch (charmm/spatial.hpp), so the
 // message/byte counts are exact for runs that stay within the first
 // epoch (nsteps <= list_rebuild_interval); later epochs add migration/
-// ghost-renegotiation traffic this closed form deliberately excludes.
-// Honors config.use_pme. Other decompositions forward to the overload
-// above (which assumes PME on).
+// ghost-renegotiation traffic the per-step counts deliberately exclude.
+// With ldb != off it additionally replays the balancer's whole
+// zero-drift trajectory (charmm/ldb.hpp) and fills the run_* /
+// rebalance_* / units_moved fields with exact whole-run totals,
+// assuming the MPI middleware's reduce+bcast allreduce. Honors
+// config.use_pme. Other decompositions forward to the overload above
+// (which assumes PME on).
 OverheadPrediction predict_step_overheads(const net::NetworkParams& params,
                                           int nprocs,
                                           const sysbuild::BuiltSystem& sys,

@@ -155,6 +155,25 @@ std::string metrics_json(const RunMetrics& metrics) {
     os << "},\n";
   }
 
+  if (!metrics.phase_imbalance.empty()) {
+    auto emit_imbalance = [&os](const ImbalanceMetrics& im) {
+      os << "{\"max_s\":" << num(im.max_seconds)
+         << ",\"mean_s\":" << num(im.mean_seconds)
+         << ",\"factor\":" << num(im.factor()) << "}";
+    };
+    os << "\"imbalance\":{\"compute\":";
+    emit_imbalance(metrics.compute_imbalance);
+    os << ",\"phases\":{";
+    bool first = true;
+    for (const auto& [name, im] : metrics.phase_imbalance) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(name) << "\":";
+      emit_imbalance(im);
+    }
+    os << "}},\n";
+  }
+
   os << "\"summary\":{"
      << "\"mean_queue_wait_s\":" << num(metrics.mean_queue_wait())
      << ",\"max_queue_wait_s\":" << num(metrics.max_queue_wait())

@@ -69,6 +69,18 @@ struct FaultMetrics {
   }
 };
 
+// Load imbalance of one per-rank time series: max vs mean of the ranks'
+// seconds. factor() == 1.0 is perfect balance, and its reciprocal is the
+// efficiency ceiling of a bulk-synchronous step (every rank waits for
+// the slowest, so efficiency <= mean/max).
+struct ImbalanceMetrics {
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;  // mean over all ranks, idle ones included
+  double factor() const {
+    return mean_seconds > 0.0 ? max_seconds / mean_seconds : 0.0;
+  }
+};
+
 struct RunMetrics {
   RunBreakdown breakdown;
   double makespan = 0.0;  // slowest rank's total virtual time
@@ -79,6 +91,12 @@ struct RunMetrics {
   // decomposition sets via perf::RankRecorder::set_phase, e.g. "bonded",
   // "fold", "pme_recip"). Empty when the workload sets no phases.
   std::map<std::string, double> phase_seconds;
+  // Per-rank load-imbalance factors: compute (busy) time overall, and
+  // total time inside each schedule phase. Populated only for multi-rank
+  // runs that set phase labels; empty phase_imbalance leaves the JSON
+  // report byte-identical to the pre-imbalance output.
+  ImbalanceMetrics compute_imbalance;
+  std::map<std::string, ImbalanceMetrics> phase_imbalance;
 
   // --- derived summaries ------------------------------------------------
   double mean_queue_wait() const;

@@ -32,6 +32,16 @@ fi
 echo "regenerating conclusion_scalability_limits.txt..."
 "$bin" --smoke --steps=2 > "$here/conclusion_scalability_limits.txt" 2>/dev/null
 
+# The load-balance extension's golden also runs --smoke, but at --steps=4
+# so the run crosses a rebuild-time rebalance (rebuilds every 2 steps).
+bin="$build/bench/extension_load_balance"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake --build $build first)" >&2
+  exit 1
+fi
+echo "regenerating extension_load_balance.txt..."
+"$bin" --smoke --steps=4 > "$here/extension_load_balance.txt" 2>/dev/null
+
 # DES scalability record (wall-clock, so not a byte-compared golden):
 # re-measures events/sec up to p=4096 and rewrites BENCH_des_scale.json
 # at the repo root. Skipped unless the bench binary is built.
