@@ -33,11 +33,23 @@ struct Sweep {
   bool use_pme;
 };
 
+// Energy model for the era's nodes (a 1 GHz Pentium III box idles around
+// 55 W and adds ~25 W under full FPU load). Joules-to-solution then shows
+// the conclusion's other face: past the efficiency knee, extra processors
+// still shrink time a little while energy grows nearly linearly.
+perf::PowerModel node_power() {
+  perf::PowerModel model;
+  model.static_watts_per_node = 55.0;
+  model.dynamic_watts = 25.0;
+  return model;
+}
+
 core::ExperimentSpec sweep_spec(const Sweep& sweep, int p) {
   core::ExperimentSpec spec;
   spec.platform.network = sweep.network;
   spec.nprocs = p;
   spec.charmm.use_pme = sweep.use_pme;
+  spec.power = node_power();
   return spec;
 }
 
@@ -96,18 +108,20 @@ int main(int argc, char** argv) {
       bench::prepared_system(), specs, bench::default_jobs());
 
   Table table({"configuration", "procs", "total (s)", "speedup",
-               "efficiency"});
+               "efficiency", "energy (J)"});
   std::map<std::string, EfficiencyLimit> limit;
   std::size_t idx = 0;
   for (const Sweep& sweep : sweeps) {
     double seq = 0.0;
     for (int p : counts) {
-      const double total = results[idx++].total_seconds();
+      const core::ExperimentResult& r = results[idx++];
+      const double total = r.total_seconds();
       if (p == 1) seq = total;
       const double eff = seq / total / p;
       limit[sweep.label].observe(p, eff);
       table.add_row({sweep.label, std::to_string(p), Table::num(total, 2),
-                     Table::num(seq / total, 2), Table::pct(eff)});
+                     Table::num(seq / total, 2), Table::pct(eff),
+                     Table::num(r.metrics.power.total_joules(), 1)});
     }
   }
   std::printf("%s\n", table.to_string().c_str());

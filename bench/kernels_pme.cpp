@@ -29,10 +29,28 @@ void BM_BsplineWeights(benchmark::State& state) {
 }
 BENCHMARK(BM_BsplineWeights)->Arg(4)->Arg(6);
 
-void BM_SerialPmeReciprocal(benchmark::State& state) {
+void BM_BsplineWeightsBatch(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  constexpr std::size_t kBatch = 512;
+  std::vector<double> w(kBatch);
+  for (std::size_t a = 0; a < kBatch; ++a) {
+    w[a] = static_cast<double>(a) / kBatch;
+  }
+  std::vector<double> vals(static_cast<std::size_t>(order) * kBatch);
+  std::vector<double> derivs(static_cast<std::size_t>(order) * kBatch);
+  for (auto _ : state) {
+    pme::bspline_weights_batch(order, w.data(), kBatch, vals.data(),
+                               derivs.data());
+    benchmark::DoNotOptimize(vals[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kBatch));
+}
+BENCHMARK(BM_BsplineWeightsBatch)->Arg(4)->Arg(6);
+
+void BM_SerialPmeReciprocal(benchmark::State& state, util::KernelKind kind) {
   const auto& sys = system_under_test();
   pme::PmeParams params{80, 36, 48, 4, 0.34};
-  pme::SerialPme pme(params, sys.box);
+  pme::SerialPme pme(params, sys.box, kind);
   std::vector<util::Vec3> forces(
       static_cast<std::size_t>(sys.topo.natoms()));
   for (auto _ : state) {
@@ -41,7 +59,10 @@ void BM_SerialPmeReciprocal(benchmark::State& state) {
     benchmark::DoNotOptimize(e);
   }
 }
-BENCHMARK(BM_SerialPmeReciprocal)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SerialPmeReciprocal, scalar, util::KernelKind::kScalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SerialPmeReciprocal, simd, util::KernelKind::kSimd)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EwaldExclusionCorrection(benchmark::State& state) {
   const auto& sys = system_under_test();

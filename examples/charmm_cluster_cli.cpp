@@ -25,8 +25,10 @@
 #include "core/sweep.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace_export.hpp"
+#include "perf/power.hpp"
 #include "sysbuild/builder.hpp"
 #include "sysbuild/io.hpp"
+#include "util/kernel.hpp"
 #include "util/table.hpp"
 
 using namespace repro;
@@ -111,6 +113,13 @@ void print_result(const core::ExperimentResult& r,
                 r.breakdown.comm_speed.max_mb_per_s);
   }
   std::printf("  potential energy %.2f kcal/mol\n", r.energy.potential());
+  if (r.metrics.power.enabled) {
+    const perf::PowerMetrics& pw = r.metrics.power;
+    std::printf(
+        "  energy to solution %.1f J (%d nodes: static %.1f J + "
+        "dynamic %.1f J)\n",
+        pw.total_joules(), pw.nodes, pw.static_joules, pw.dynamic_joules);
+  }
   if (r.atoms_migrated > 0) {
     std::printf("  atoms migrated between domains: %zu\n", r.atoms_migrated);
   }
@@ -159,6 +168,12 @@ int cmd_run(const Args& args) {
   spec.charmm.nsteps = args.get_int("steps", 10);
   spec.charmm.use_pme = args.get("pme", "on") != "off";
   spec.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
+  if (args.has("kernel")) {
+    spec.charmm.kernel = util::parse_kernel_kind(args.get("kernel", ""));
+  }
+  if (args.has("power")) {
+    spec.power = perf::parse_power_spec(args.get("power", ""));
+  }
   if (args.has("engine")) {
     spec.engine = sim::parse_engine_backend(args.get("engine", ""));
   }
@@ -245,6 +260,12 @@ int cmd_sweep(const Args& args) {
                                  : middleware::Kind::kMpi;
   base.platform.cpus_per_node = args.get_int("cpus", 1);
   base.charmm.decomp = charmm::parse_decomp_spec(args.get("decomp", "atom"));
+  if (args.has("kernel")) {
+    base.charmm.kernel = util::parse_kernel_kind(args.get("kernel", ""));
+  }
+  if (args.has("power")) {
+    base.power = perf::parse_power_spec(args.get("power", ""));
+  }
   if (args.has("engine")) {
     base.engine = sim::parse_engine_backend(args.get("engine", ""));
   }
@@ -308,6 +329,11 @@ void usage() {
       "                    [:ldb=greedy|refine|off[,units=K]]]\n"
       "                [--engine fiber|thread]  DES backend (default fiber,\n"
       "                    or $REPRO_ENGINE; results identical either way)\n"
+      "                [--kernel scalar|simd]  physics kernel variant\n"
+      "                    (default scalar, or $REPRO_KERNEL; identical\n"
+      "                    simulated results, host wall clock differs)\n"
+      "                [--power=SPEC]  energy-to-solution model, e.g.\n"
+      "                    'static=55,dynamic=25,phase:pme_recip=18' (watts)\n"
       "                [--timeline]\n"
       "                [--trace-out=F.json]    Chrome trace (Perfetto)\n"
       "                [--metrics-out=F.json]  resource-utilization report\n"
@@ -331,6 +357,8 @@ void usage() {
       "                [--jobs N]  concurrent cells (default: hardware "
       "threads; 1 = sequential)\n"
       "                [--engine fiber|thread]  DES backend per cell\n"
+      "                [--kernel scalar|simd]  physics kernel per cell\n"
+      "                [--power=SPEC]  energy model for every cell\n"
       "                [--faults=SPEC]  fault injection for every cell\n"
       "                [--topology=SPEC]  fabric for every cell "
       "(single|fattree|torus)\n");

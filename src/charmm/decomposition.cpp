@@ -75,6 +75,8 @@ class AtomReplicatedDecomposition final : public Decomposition {
     nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
                              : md::NonbondedOptions::Elec::kShift;
     nb.beta = config.pme.beta;
+    nb.kernel = config.kernel;
+    nb.table = md::build_pair_table(topo);
 
     // Replicated state: identical on every rank (the global sum broadcasts
     // bitwise-identical forces, so trajectories never diverge across
@@ -89,9 +91,10 @@ class AtomReplicatedDecomposition final : public Decomposition {
     // PME machinery: compute cost flows through the middleware's component
     // recorder, so FFT/spreading time lands in whatever component is
     // active.
-    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
-      comm.compute(flops * cost.seconds_per_flop);
-    });
+    pme::ParallelPme ppme(
+        config.pme, box, mw,
+        [&](double flops) { comm.compute(flops * cost.seconds_per_flop); },
+        config.kernel);
 
     RankRunResult result;
     for (int step = 0; step < config.nsteps; ++step) {
@@ -228,6 +231,8 @@ class ForceDecomposition final : public Decomposition {
     nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
                              : md::NonbondedOptions::Elec::kShift;
     nb.beta = config.pme.beta;
+    nb.kernel = config.kernel;
+    nb.table = md::build_pair_table(topo);
 
     // Contiguous atom blocks, one per rank (front-loaded remainder, the
     // same partition shape the slab FFT uses).
@@ -247,9 +252,10 @@ class ForceDecomposition final : public Decomposition {
     std::vector<double> scratch;
     md::NeighborList nbl(config.cutoff, config.skin);
 
-    pme::ParallelPme ppme(config.pme, box, mw, [&](double flops) {
-      comm.compute(flops * cost.seconds_per_flop);
-    });
+    pme::ParallelPme ppme(
+        config.pme, box, mw,
+        [&](double flops) { comm.compute(flops * cost.seconds_per_flop); },
+        config.kernel);
 
     RankRunResult result;
     for (int step = 0; step < config.nsteps; ++step) {
@@ -435,6 +441,8 @@ class TaskPmeDecomposition final : public Decomposition {
     nb.switch_on = config.switch_on;
     nb.elec = md::NonbondedOptions::Elec::kEwaldDirect;
     nb.beta = config.pme.beta;
+    nb.kernel = config.kernel;
+    nb.table = md::build_pair_table(topo);
 
     std::vector<Vec3> pos = sys.positions;
     std::vector<Vec3> vel;
@@ -452,9 +460,10 @@ class TaskPmeDecomposition final : public Decomposition {
     std::optional<pme::ParallelPme> ppme;
     if (is_pme) {
       gmw.emplace(comm, q, m);
-      ppme.emplace(config.pme, box, *gmw, [&](double flops) {
-        comm.compute(flops * cost.seconds_per_flop);
-      });
+      ppme.emplace(
+          config.pme, box, *gmw,
+          [&](double flops) { comm.compute(flops * cost.seconds_per_flop); },
+          config.kernel);
     }
 
     const std::size_t nterms = md::EnergyTerms::kCount;
@@ -804,6 +813,8 @@ class SpatialDecomposition final : public Decomposition {
     nb.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
                              : md::NonbondedOptions::Elec::kShift;
     nb.beta = config.pme.beta;
+    nb.kernel = config.kernel;
+    nb.table = md::build_pair_table(topo);
 
     // Full-size arrays; only owned (pos+vel) and ghost (pos) entries are
     // current. Velocities are assigned replicated so the initial owned
@@ -835,9 +846,9 @@ class SpatialDecomposition final : public Decomposition {
       pencil_pz = pz;
       pencil_pme.emplace(config.pme, box, comm, py, pz,
                          make_pme_regions(layout, config.pme, config.skin),
-                         charge_flops);
+                         charge_flops, config.kernel);
     } else {
-      ppme.emplace(config.pme, box, mw, charge_flops);
+      ppme.emplace(config.pme, box, mw, charge_flops, config.kernel);
     }
 
     // Epoch state, frozen between rebuilds.

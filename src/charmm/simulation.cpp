@@ -21,7 +21,7 @@ Simulation::Simulation(const sysbuild::BuiltSystem& sys,
     : sys_(sys),
       config_(config),
       nbl_(config.cutoff, config.skin),
-      pme_(config.pme, sys.box),
+      pme_(config.pme, sys.box, config.kernel),
       integrator_(config.dt_ps),
       pos_(sys.positions),
       vel_(sys.positions.size()),
@@ -32,6 +32,8 @@ Simulation::Simulation(const sysbuild::BuiltSystem& sys,
   nb_.elec = config.use_pme ? md::NonbondedOptions::Elec::kEwaldDirect
                             : md::NonbondedOptions::Elec::kShift;
   nb_.beta = config.pme.beta;
+  nb_.kernel = config.kernel;
+  nb_.table = md::build_pair_table(sys.topo);
   if (config.rigid_waters) {
     shake_.emplace(md::Shake::rigid_waters(sys.topo));
   } else if (config.shake_hydrogens) {

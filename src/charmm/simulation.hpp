@@ -48,6 +48,9 @@ struct SimulationConfig {
   double berendsen_tau_ps = 0.1;
   double langevin_friction_per_ps = 5.0;
   std::uint64_t thermostat_seed = 11;
+
+  // Kernel variant for the physics hot paths (util/kernel.hpp).
+  util::KernelKind kernel = util::default_kernel_kind();
 };
 
 // Rejects configurations the engine cannot meaningfully run (throws

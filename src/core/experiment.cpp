@@ -110,6 +110,51 @@ perf::RunMetrics collect_metrics(
   return m;
 }
 
+// Converts the run's virtual-time accounting into joules (see
+// perf/power.hpp): static draw per node over the makespan, dynamic draw
+// per rank-second of phase time. Unphased runs (the sequential reference
+// program sets no phase labels) charge dynamic power against the ranks'
+// compute time as a single "compute" pseudo-phase, so the joules column
+// is still meaningful at p = 1.
+void apply_power_model(perf::RunMetrics& m, const perf::PowerModel& model,
+                       const std::vector<perf::RankRecorder>& recorders,
+                       int cpus_per_node) {
+  // parse_power_spec already rejects negative watt rates; this backstop
+  // guards models built in code.
+  REPRO_REQUIRE(model.static_watts_per_node >= 0.0 &&
+                    model.dynamic_watts >= 0.0,
+                "power model watt rates must be non-negative");
+  for (const auto& [phase, watts] : model.phase_watts) {
+    REPRO_REQUIRE(watts >= 0.0, "power model phase override for '" + phase +
+                                    "' must be non-negative");
+  }
+  perf::PowerMetrics& pw = m.power;
+  pw.enabled = true;
+  pw.static_watts_per_node = model.static_watts_per_node;
+  pw.dynamic_watts = model.dynamic_watts;
+  const int nranks = static_cast<int>(recorders.size());
+  pw.nodes = (nranks + cpus_per_node - 1) / cpus_per_node;
+  pw.static_joules =
+      model.static_watts_per_node * static_cast<double>(pw.nodes) * m.makespan;
+  auto watts_for = [&model](const std::string& phase) {
+    const auto it = model.phase_watts.find(phase);
+    return it != model.phase_watts.end() ? it->second : model.dynamic_watts;
+  };
+  if (!m.phase_seconds.empty()) {
+    for (const auto& [phase, seconds] : m.phase_seconds) {
+      pw.phase_joules[phase] = watts_for(phase) * seconds;
+    }
+  } else {
+    double comp = 0.0;
+    for (const auto& rec : recorders) comp += rec.total_breakdown().comp;
+    pw.phase_joules["compute"] = watts_for("compute") * comp;
+  }
+  for (const auto& [phase, joules] : pw.phase_joules) {
+    (void)phase;
+    pw.dynamic_joules += joules;
+  }
+}
+
 }  // namespace
 
 std::vector<Platform> full_factorial() {
@@ -197,6 +242,10 @@ ExperimentResult run_experiment(const sysbuild::BuiltSystem& sys,
   result.breakdown =
       perf::aggregate(recorders, spec.platform.cpus_per_node);
   result.metrics = collect_metrics(result.breakdown, recorders, network);
+  if (spec.power) {
+    apply_power_model(result.metrics, *spec.power, recorders,
+                      spec.platform.cpus_per_node);
+  }
   result.timelines = std::move(timelines);
   result.energy = rank_results.front().last_energy;
   result.position_checksum = rank_results.front().position_checksum;

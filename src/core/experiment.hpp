@@ -15,6 +15,7 @@
 #include "mpi/comm.hpp"
 #include "net/cluster.hpp"
 #include "perf/metrics.hpp"
+#include "perf/power.hpp"
 #include "perf/report.hpp"
 #include "perf/timeline.hpp"
 #include "sim/engine.hpp"
@@ -61,6 +62,10 @@ struct ExperimentSpec {
   // cluster; fattree/torus model hierarchical clusters, see
   // net/topology.hpp).
   net::TopologySpec topology;
+  // When set, converts the run's virtual-time accounting into
+  // energy-to-solution (perf::PowerModel; RunMetrics::power). A pure
+  // post-processing step — arming it never perturbs the simulated run.
+  std::optional<perf::PowerModel> power;
 };
 
 struct ExperimentResult {

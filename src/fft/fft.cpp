@@ -34,8 +34,8 @@ std::size_t next_pow2(std::size_t n) {
 }  // namespace
 
 struct Fft1D::BluesteinPlan {
-  explicit BluesteinPlan(std::size_t n)
-      : m(next_pow2(2 * n - 1)), fft_m(m), chirp(n), b_fwd(m), b_inv(m) {
+  BluesteinPlan(std::size_t n, util::KernelKind kind)
+      : m(next_pow2(2 * n - 1)), fft_m(m, kind), chirp(n), b_fwd(m), b_inv(m) {
     // chirp[k] = exp(-i pi k^2 / n); the quadratic phase of the chirp-z
     // identity jk = (j^2 + k^2 - (k-j)^2) / 2.
     for (std::size_t k = 0; k < n; ++k) {
@@ -69,7 +69,7 @@ struct Fft1D::BluesteinPlan {
   std::vector<Complex> b_inv;
 };
 
-Fft1D::Fft1D(std::size_t n) : n_(n) {
+Fft1D::Fft1D(std::size_t n, util::KernelKind kind) : n_(n), kind_(kind) {
   REPRO_REQUIRE(n >= 1, "FFT size must be positive");
   factors_ = factorize(n);
   twiddle_.resize(n);
@@ -88,7 +88,38 @@ Fft1D::Fft1D(std::size_t n) : n_(n) {
   if (factors_.empty()) {
     // Large prime factor: Bluestein's chirp-z (the helper plan is a power
     // of two, so this never recurses more than one level).
-    blue_ = std::make_shared<BluesteinPlan>(n);
+    blue_ = std::make_shared<BluesteinPlan>(n, kind);
+  } else if (kind_ == util::KernelKind::kSimd) {
+    // Expand the per-level combine tables. Every entry is copied from the
+    // root twiddle table, so the simd combine loads exactly the doubles
+    // the scalar exponent-counter path loads.
+    std::size_t level_n = n_;
+    while (level_n > 1) {
+      std::size_t r = 0;
+      for (std::size_t f : factors_) {
+        if (level_n % f == 0) {
+          r = f;
+          break;
+        }
+      }
+      REPRO_REQUIRE(r != 0, "internal: lost radix during FFT table build");
+      LevelTable lvl;
+      lvl.n = level_n;
+      lvl.r = r;
+      lvl.m = level_n / r;
+      lvl.fwd.resize(r * level_n);
+      lvl.inv.resize(r * level_n);
+      const std::size_t tw_step = n_ / level_n;
+      for (std::size_t j = 0; j < r; ++j) {
+        for (std::size_t k = 0; k < level_n; ++k) {
+          const std::size_t t = (j * k) % level_n;
+          lvl.fwd[j * level_n + k] = twiddle_[t * tw_step];
+          lvl.inv[j * level_n + k] = twiddle_conj_[t * tw_step];
+        }
+      }
+      levels_.push_back(std::move(lvl));
+      level_n /= r;
+    }
   }
 }
 
@@ -124,7 +155,11 @@ void Fft1D::transform(Complex* data, int sign) const {
     out_buf.resize(n_);
     scratch_buf.resize(n_);
   }
-  rec(n_, 1, data, out_buf.data(), scratch_buf.data(), sign);
+  if (kind_ == util::KernelKind::kSimd) {
+    rec_simd(0, 1, data, out_buf.data(), scratch_buf.data(), sign);
+  } else {
+    rec(n_, 1, data, out_buf.data(), scratch_buf.data(), sign);
+  }
   for (std::size_t i = 0; i < n_; ++i) data[i] = out_buf[i];
 }
 
@@ -181,6 +216,45 @@ void Fft1D::rec(std::size_t n, std::size_t stride, const Complex* in,
   }
 }
 
+void Fft1D::rec_simd(std::size_t level, std::size_t stride, const Complex* in,
+                     Complex* out, Complex* scratch, int sign) const {
+  const LevelTable& lvl = levels_[level];
+  const std::size_t n = lvl.n;
+  const std::size_t r = lvl.r;
+  const std::size_t m = lvl.m;
+  if (m == 1) {
+    for (std::size_t j = 0; j < r; ++j) scratch[j] = in[j * stride];
+  } else {
+    for (std::size_t j = 0; j < r; ++j) {
+      rec_simd(level + 1, stride * r, in + j * stride, scratch + j * m,
+               out + j * m, sign);
+    }
+  }
+  // Table-driven combine: out[k] accumulates its r terms in ascending j —
+  // the same order, twiddle values, and complex multiplies as rec(), so
+  // the result is bit-identical. The j-outer/k-inner shape turns the hot
+  // loop into contiguous multiply-accumulate streams with no index
+  // arithmetic beyond the induction variable. j == 0 multiplies by the
+  // table's W^0 entry instead of special-casing it, preserving the scalar
+  // path's signed-zero behavior exactly.
+  const Complex* table = sign < 0 ? lvl.inv.data() : lvl.fwd.data();
+  for (std::size_t j = 0; j < r; ++j) {
+    const Complex* tj = table + j * n;
+    const Complex* sj = scratch + j * m;
+    for (std::size_t k1 = 0; k1 < r; ++k1) {
+      Complex* o = out + k1 * m;
+      const Complex* t = tj + k1 * m;
+      if (j == 0) {
+#pragma omp simd
+        for (std::size_t k2 = 0; k2 < m; ++k2) o[k2] = t[k2] * sj[k2];
+      } else {
+#pragma omp simd
+        for (std::size_t k2 = 0; k2 < m; ++k2) o[k2] += t[k2] * sj[k2];
+      }
+    }
+  }
+}
+
 void Fft1D::bluestein(Complex* data, int sign) const {
   const BluesteinPlan& bp = *blue_;
   const std::size_t m = bp.m;
@@ -205,8 +279,10 @@ void Fft1D::bluestein(Complex* data, int sign) const {
 
 // --- 3-D -------------------------------------------------------------------
 
-Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz)
-    : nx_(nx), ny_(ny), nz_(nz), fx_(nx), fy_(ny), fz_(nz) {}
+Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz,
+             util::KernelKind kind)
+    : nx_(nx), ny_(ny), nz_(nz), fx_(nx, kind), fy_(ny, kind),
+      fz_(nz, kind) {}
 
 double Fft3D::flops() const {
   const auto dx = static_cast<double>(nx_);

@@ -5,6 +5,15 @@
 // Bluestein's chirp-z algorithm for sizes with large prime factors.
 // Fft3D applies 1-D plans along the three axes of a row-major
 // [nx][ny][nz] grid.
+//
+// Plans carry a kernel variant (util::KernelKind). kSimd swaps the
+// combine step for per-level contiguous twiddle tables whose inner loops
+// are plain elementwise multiply-accumulates (#pragma omp simd): every
+// loaded twiddle is the same root-table entry the scalar path loads and
+// every out[k] accumulates its radix terms in the same order, so the simd
+// transform is bit-identical to the scalar one — the variant only changes
+// wall-clock (no modular index bookkeeping in the hot loop, contiguous
+// twiddle streams).
 #pragma once
 
 #include <complex>
@@ -12,13 +21,16 @@
 #include <memory>
 #include <vector>
 
+#include "util/kernel.hpp"
+
 namespace repro::fft {
 
 using Complex = std::complex<double>;
 
 class Fft1D {
  public:
-  explicit Fft1D(std::size_t n);
+  explicit Fft1D(std::size_t n,
+                 util::KernelKind kind = util::default_kernel_kind());
 
   std::size_t size() const { return n_; }
 
@@ -31,18 +43,35 @@ class Fft1D {
   // used by the simulator's compute-cost model.
   double flops() const;
 
+  util::KernelKind kernel() const { return kind_; }
+
  private:
   void transform(Complex* data, int sign) const;
   // Recursive Cooley-Tukey into `out`, using `scratch` for sub-results.
   void rec(std::size_t n, std::size_t stride, const Complex* in, Complex* out,
            Complex* scratch, int sign) const;
+  // Simd variant of rec(): same recursion shape, table-driven combine.
+  // `level` indexes levels_ (every same-size call sits at the same depth
+  // of the radix chain, so the chain is a flat vector, not a tree).
+  void rec_simd(std::size_t level, std::size_t stride, const Complex* in,
+                Complex* out, Complex* scratch, int sign) const;
   void bluestein(Complex* data, int sign) const;
 
   std::size_t n_;
+  util::KernelKind kind_;
   std::vector<std::size_t> factors_;   // radix sequence (empty => Bluestein)
   std::vector<Complex> twiddle_;       // exp(-2 pi i k / n), k in [0, n)
   std::vector<Complex> twiddle_conj_;  // conj(twiddle_[k]) (exact), for the
                                        // inverse transform's hot loop
+  // Per-recursion-level combine tables (simd variant only): entry
+  // [j*n + k] holds W_n^{(j*k) mod n} copied from the root table, so the
+  // combine loop streams twiddles contiguously instead of carrying
+  // per-radix exponent counters.
+  struct LevelTable {
+    std::size_t n = 0, r = 0, m = 0;
+    std::vector<Complex> fwd, inv;
+  };
+  std::vector<LevelTable> levels_;
   // Bluestein machinery (only allocated when needed).
   struct BluesteinPlan;
   std::shared_ptr<BluesteinPlan> blue_;
@@ -50,7 +79,8 @@ class Fft1D {
 
 class Fft3D {
  public:
-  Fft3D(std::size_t nx, std::size_t ny, std::size_t nz);
+  Fft3D(std::size_t nx, std::size_t ny, std::size_t nz,
+        util::KernelKind kind = util::default_kernel_kind());
 
   std::size_t nx() const { return nx_; }
   std::size_t ny() const { return ny_; }

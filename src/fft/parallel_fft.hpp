@@ -45,7 +45,8 @@ class ParallelFft3D {
   // empty (tests that only check numerics).
   ParallelFft3D(std::size_t nx, std::size_t ny, std::size_t nz,
                 middleware::Middleware& mw,
-                std::function<void(double flops)> charge = {});
+                std::function<void(double flops)> charge = {},
+                util::KernelKind kind = util::default_kernel_kind());
 
   const SlabPartition& x_slabs() const { return xpart_; }
   const SlabPartition& z_slabs() const { return zpart_; }
@@ -135,7 +136,8 @@ struct PencilGrid {
 class PencilFft3D {
  public:
   PencilFft3D(const PencilGrid& grid, mpi::Comm& comm,
-              std::function<void(double flops)> charge = {});
+              std::function<void(double flops)> charge = {},
+              util::KernelKind kind = util::default_kernel_kind());
 
   const PencilGrid& grid() const { return grid_; }
 

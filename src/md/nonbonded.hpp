@@ -8,24 +8,58 @@
 //                  (the classic, non-PME model), and
 //   kEwaldDirect — the real-space Ewald term qq erfc(beta r)/r used for the
 //                  direct sum when PME handles the long-range part.
+//
+// Every kernel ships two variants behind NonbondedOptions::kernel:
+//   kScalar — the straight-line reference; bit-identical to the historical
+//             implementation and to the goldens.
+//   kSimd   — SoA-staged, width-agnostic vector lanes (#pragma omp simd)
+//             with a chunked gather/compact/compute structure and
+//             Hermite-table erfc/exp. Deterministic across reruns; agrees
+//             with kScalar to ~1e-12 (pinned by kernel_variant_test).
+// Both variants report identical NonbondedWork counters, so the DES cost
+// model charges the same simulated time either way.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "md/box.hpp"
 #include "md/energy.hpp"
 #include "md/neighbor.hpp"
 #include "md/topology.hpp"
+#include "util/kernel.hpp"
 #include "util/vec3.hpp"
 
 namespace repro::md {
+
+// Precomputed LJ mixing table: atoms are deduplicated into LJ types by
+// their exact (eps, rmin_half) values and the CHARMM combining rules are
+// applied once per type pair instead of once per interaction
+// (sqrt(eps_i eps_j) on identical inputs is correctly rounded, so the
+// scalar path through the table is bit-identical to the per-pair math it
+// replaces). charge is the SoA copy the simd gather loops read.
+struct PairTable {
+  int ntypes = 0;
+  std::vector<int> type_of;    // natoms -> LJ type id
+  std::vector<double> eps;     // ntypes^2: sqrt(eps_i * eps_j)
+  std::vector<double> rmin;    // ntypes^2: rmin_half_i + rmin_half_j
+  std::vector<double> charge;  // natoms (e)
+};
+
+// Builds the table once at topology setup; callers stash it on
+// NonbondedOptions::table so per-step kernel calls skip the dedup pass.
+std::shared_ptr<const PairTable> build_pair_table(const Topology& topo);
 
 struct NonbondedOptions {
   double cutoff = 10.0;     // Å (ctofnb)
   double switch_on = 8.0;   // Å (ctonnb, vdW switching)
   enum class Elec { kShift, kEwaldDirect } elec = Elec::kShift;
   double beta = 0.34;       // Ewald splitting parameter, 1/Å
+  util::KernelKind kernel = util::KernelKind::kScalar;
+  // Optional precomputed mixing table; when null the kernels build a
+  // local one per call (identical results, just repeated setup work).
+  std::shared_ptr<const PairTable> table;
 };
 
 struct NonbondedWork {
@@ -60,6 +94,8 @@ NonbondedWork nonbonded_energy_blocked(const Topology& topo, const Box& box,
                                        EnergyTerms& energy);
 
 // Reference O(N^2) evaluation (tests): identical physics without a list.
+// Always runs the scalar variant — it is the oracle the simd path is
+// checked against.
 NonbondedWork nonbonded_energy_reference(const Topology& topo, const Box& box,
                                          const std::vector<util::Vec3>& pos,
                                          const NonbondedOptions& opts,

@@ -155,6 +155,25 @@ std::string metrics_json(const RunMetrics& metrics) {
     os << "},\n";
   }
 
+  if (metrics.power.enabled) {
+    const PowerMetrics& pw = metrics.power;
+    os << "\"power\":{"
+       << "\"static_watts_per_node\":" << num(pw.static_watts_per_node)
+       << ",\"dynamic_watts\":" << num(pw.dynamic_watts)
+       << ",\"nodes\":" << pw.nodes
+       << ",\"static_joules\":" << num(pw.static_joules)
+       << ",\"dynamic_joules\":" << num(pw.dynamic_joules)
+       << ",\"total_joules\":" << num(pw.total_joules())
+       << ",\"phase_joules\":{";
+    bool first = true;
+    for (const auto& [name, joules] : pw.phase_joules) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(name) << "\":" << num(joules);
+    }
+    os << "}},\n";
+  }
+
   if (!metrics.phase_imbalance.empty()) {
     auto emit_imbalance = [&os](const ImbalanceMetrics& im) {
       os << "{\"max_s\":" << num(im.max_seconds)

@@ -69,6 +69,23 @@ struct FaultMetrics {
   }
 };
 
+// Energy-to-solution of one run under a perf::PowerModel. Only
+// meaningful when the experiment armed a power spec (enabled == true);
+// disabled runs serialize without a "power" key, so power-free metrics
+// JSON stays byte-identical to pre-power-model output.
+struct PowerMetrics {
+  bool enabled = false;
+  double static_watts_per_node = 0.0;
+  double dynamic_watts = 0.0;
+  int nodes = 0;
+  double static_joules = 0.0;   // static_watts_per_node * nodes * makespan
+  double dynamic_joules = 0.0;  // sum of phase_joules
+  // Joules per schedule phase: watts(phase) * rank-seconds in the phase.
+  std::map<std::string, double> phase_joules;
+
+  double total_joules() const { return static_joules + dynamic_joules; }
+};
+
 // Load imbalance of one per-rank time series: max vs mean of the ranks'
 // seconds. factor() == 1.0 is perfect balance, and its reciprocal is the
 // efficiency ceiling of a bulk-synchronous step (every rank waits for
@@ -97,6 +114,9 @@ struct RunMetrics {
   // report byte-identical to the pre-imbalance output.
   ImbalanceMetrics compute_imbalance;
   std::map<std::string, ImbalanceMetrics> phase_imbalance;
+  // Energy-to-solution under the armed power model (enabled only when an
+  // experiment set ExperimentSpec::power).
+  PowerMetrics power;
 
   // --- derived summaries ------------------------------------------------
   double mean_queue_wait() const;

@@ -1,0 +1,94 @@
+#include "perf/power.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace repro::perf {
+
+namespace {
+
+// Strict non-negative watts parse (same discipline as the decomposition
+// spec's integer parser): std::strtod accepts trailing garbage and
+// locale-dependent forms — require a fully consumed, finite, non-negative
+// plain decimal instead.
+double parse_watts(const std::string& value, const std::string& what,
+                   const std::string& text) {
+  REPRO_REQUIRE(!value.empty() && value.find_first_not_of("0123456789.") ==
+                                      std::string::npos,
+                "bad " + what + " in power spec (expected a non-negative "
+                "decimal watt value): " + text);
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  REPRO_REQUIRE(end == value.c_str() + value.size() && std::isfinite(v) &&
+                    v >= 0.0,
+                "bad " + what + " in power spec (expected a non-negative "
+                "decimal watt value): " + text);
+  return v;
+}
+
+std::string format_watts(double w) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", w);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(const PowerModel& model) {
+  std::string out = "static=" + format_watts(model.static_watts_per_node) +
+                    ",dynamic=" + format_watts(model.dynamic_watts);
+  for (const auto& [name, watts] : model.phase_watts) {
+    out += ",phase:" + name + "=" + format_watts(watts);
+  }
+  return out;
+}
+
+PowerModel parse_power_spec(const std::string& text) {
+  PowerModel model;
+  bool seen_static = false;
+  bool seen_dynamic = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(',', pos);
+    const std::string opt = text.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next == std::string::npos ? text.size() + 1 : next + 1;
+    if (opt.rfind("static=", 0) == 0) {
+      REPRO_REQUIRE(!seen_static, "duplicate static= in power spec: " + text);
+      seen_static = true;
+      model.static_watts_per_node =
+          parse_watts(opt.substr(7), "static node power", text);
+    } else if (opt.rfind("dynamic=", 0) == 0) {
+      REPRO_REQUIRE(!seen_dynamic,
+                    "duplicate dynamic= in power spec: " + text);
+      seen_dynamic = true;
+      model.dynamic_watts =
+          parse_watts(opt.substr(8), "dynamic power", text);
+    } else if (opt.rfind("phase:", 0) == 0) {
+      const std::size_t eq = opt.find('=');
+      const std::string name =
+          eq == std::string::npos ? "" : opt.substr(6, eq - 6);
+      REPRO_REQUIRE(eq != std::string::npos && !name.empty(),
+                    "bad phase override '" + opt +
+                        "' in power spec (expected phase:NAME=W): " + text);
+      REPRO_REQUIRE(model.phase_watts.find(name) == model.phase_watts.end(),
+                    "duplicate phase override '" + name +
+                        "' in power spec: " + text);
+      model.phase_watts[name] =
+          parse_watts(opt.substr(eq + 1), "phase power", text);
+    } else {
+      util::fail("bad power option '" + opt +
+                     "' (expected static=S,dynamic=D[,phase:NAME=W]...): " +
+                     text,
+                 __FILE__, __LINE__);
+    }
+  }
+  REPRO_REQUIRE(seen_static && seen_dynamic,
+                "power spec must set both static= and dynamic=: " + text);
+  return model;
+}
+
+}  // namespace repro::perf

@@ -34,6 +34,57 @@ void bspline_weights(int order, double w, double* vals, double* derivs) {
   }
 }
 
+void bspline_weights_batch(int order, const double* w, std::size_t nw,
+                           double* vals, double* derivs) {
+  REPRO_REQUIRE(order >= 2 && order <= kMaxOrder, "unsupported spline order");
+  // Same recurrence as bspline_weights with the atom index innermost: each
+  // j-row is a contiguous lane array, so the order-raising update is a
+  // pure elementwise loop over atoms.
+#pragma omp simd
+  for (std::size_t a = 0; a < nw; ++a) {
+    vals[a] = w[a];
+    vals[nw + a] = 1.0 - w[a];
+  }
+  for (int j = 2; j < order; ++j) {
+    for (std::size_t a = 0; a < nw; ++a) {
+      vals[static_cast<std::size_t>(j) * nw + a] = 0.0;
+    }
+  }
+  for (int k = 3; k <= order; ++k) {
+    if (k == order && derivs != nullptr) {
+      for (int j = order - 1; j >= 0; --j) {
+        double* dj = derivs + static_cast<std::size_t>(j) * nw;
+        const double* vj = vals + static_cast<std::size_t>(j) * nw;
+        const double* vp =
+            j > 0 ? vals + static_cast<std::size_t>(j - 1) * nw : nullptr;
+#pragma omp simd
+        for (std::size_t a = 0; a < nw; ++a) {
+          dj[a] = vj[a] - (vp != nullptr ? vp[a] : 0.0);
+        }
+      }
+    }
+    const double div = 1.0 / static_cast<double>(k - 1);
+    for (int j = k - 1; j >= 0; --j) {
+      double* vj = vals + static_cast<std::size_t>(j) * nw;
+      const double* vp =
+          j > 0 ? vals + static_cast<std::size_t>(j - 1) * nw : nullptr;
+#pragma omp simd
+      for (std::size_t a = 0; a < nw; ++a) {
+        const double x = w[a] + static_cast<double>(j);
+        const double prev = vp != nullptr ? vp[a] : 0.0;
+        vj[a] = div * (x * vj[a] + (static_cast<double>(k) - x) * prev);
+      }
+    }
+  }
+  if (order == 2 && derivs != nullptr) {
+#pragma omp simd
+    for (std::size_t a = 0; a < nw; ++a) {
+      derivs[a] = 1.0;
+      derivs[nw + a] = -1.0;
+    }
+  }
+}
+
 std::vector<double> bspline_moduli(std::size_t n, int order) {
   REPRO_REQUIRE(n >= static_cast<std::size_t>(order),
                 "grid dimension smaller than the spline order");

@@ -18,6 +18,15 @@ inline constexpr int kMaxOrder = 8;
 // (k0 - j) mod N with weight vals[j].
 void bspline_weights(int order, double w, double* vals, double* derivs);
 
+// Batched variant for the simd PME path: computes the same weights for nw
+// fractional offsets at once, vectorizing the order-raising recurrence
+// across atoms. vals/derivs use an SoA [kMaxOrder][nw] layout:
+// vals[j * nw + a] = M_order(w[a] + j). Each lane runs the identical
+// floating-point sequence as bspline_weights, so results are bit-identical
+// to the scalar call per atom.
+void bspline_weights_batch(int order, const double* w, std::size_t nw,
+                           double* vals, double* derivs);
+
 // |b(m)|^2 Euler-spline moduli for one dimension of length n and the given
 // interpolation order, including the standard fix-up for even orders where
 // the denominator vanishes (m = n/2).

@@ -171,22 +171,45 @@ double ewald_exclusion_correction_owned(
 
 // --- SerialPme --------------------------------------------------------------
 
-SerialPme::SerialPme(const PmeParams& params, const Box& box)
+SerialPme::SerialPme(const PmeParams& params, const Box& box,
+                     util::KernelKind kind)
     : params_(params),
       box_(box),
-      fft_(params.nx, params.ny, params.nz),
+      kind_(kind),
+      fft_(params.nx, params.ny, params.nz, kind),
       modx_(bspline_moduli(params.nx, params.order)),
       mody_(bspline_moduli(params.ny, params.order)),
       modz_(bspline_moduli(params.nz, params.order)),
       grid_(params.nx * params.ny * params.nz) {}
+
+double SerialPme::convolve_energy() {
+  const auto K = static_cast<double>(grid_.size());
+  const Influence fac(params_, box_, modx_, mody_, modz_);
+  double energy = 0.0;
+  for (std::size_t mx = 0; mx < params_.nx; ++mx) {
+    for (std::size_t my = 0; my < params_.ny; ++my) {
+      for (std::size_t mz = 0; mz < params_.nz; ++mz) {
+        const std::size_t idx = (mx * params_.ny + my) * params_.nz + mz;
+        const double f = fac(mx, my, mz);
+        energy += 0.5 * f * std::norm(grid_[idx]);
+        // K compensates the normalized inverse so the real-space grid is
+        // the unnormalized convolution (the potential phi).
+        grid_[idx] *= f * K;
+      }
+    }
+  }
+  return energy;
+}
 
 double SerialPme::reciprocal(const Topology& topo,
                              const std::vector<Vec3>& pos,
                              std::vector<Vec3>& forces, PmeWork* work) {
   const auto n = static_cast<std::size_t>(topo.natoms());
   REPRO_REQUIRE(pos.size() == n, "position array size mismatch");
+  if (kind_ == util::KernelKind::kSimd) {
+    return reciprocal_simd(topo, pos, forces, work);
+  }
   const int order = params_.order;
-  const auto K = static_cast<double>(grid_.size());
 
   std::vector<AtomSpline> splines(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -216,20 +239,7 @@ double SerialPme::reciprocal(const Topology& topo,
   fft_.forward(grid_.data());
 
   // Convolution + energy.
-  const Influence fac(params_, box_, modx_, mody_, modz_);
-  double energy = 0.0;
-  for (std::size_t mx = 0; mx < params_.nx; ++mx) {
-    for (std::size_t my = 0; my < params_.ny; ++my) {
-      for (std::size_t mz = 0; mz < params_.nz; ++mz) {
-        const std::size_t idx = (mx * params_.ny + my) * params_.nz + mz;
-        const double f = fac(mx, my, mz);
-        energy += 0.5 * f * std::norm(grid_[idx]);
-        // K compensates the normalized inverse so the real-space grid is
-        // the unnormalized convolution (the potential phi).
-        grid_[idx] *= f * K;
-      }
-    }
-  }
+  const double energy = convolve_energy();
 
   fft_.inverse(grid_.data());
 
@@ -269,16 +279,167 @@ double SerialPme::reciprocal(const Topology& topo,
   return energy;
 }
 
+// Simd variant: batched spline construction (SoA lanes across atoms via
+// bspline_weights_batch), a real staging grid so spread/interpolation
+// touch contiguous doubles instead of Complex real parts, and contiguous
+// descending z-tap inner loops when the stencil does not wrap. Every
+// floating-point operation matches the scalar path in value and order, so
+// the result is bit-identical (pinned by kernel_variant_test).
+double SerialPme::reciprocal_simd(const Topology& topo,
+                                  const std::vector<Vec3>& pos,
+                                  std::vector<Vec3>& forces, PmeWork* work) {
+  const auto n = static_cast<std::size_t>(topo.natoms());
+  const int order = params_.order;
+  const std::size_t dims[3] = {params_.nx, params_.ny, params_.nz};
+  const double lens[3] = {box_.lx(), box_.ly(), box_.lz()};
+  const std::size_t ny = params_.ny;
+  const std::size_t nz = params_.nz;
+
+  for (int d = 0; d < 3; ++d) {
+    sfrac_[d].resize(n);
+    sk0_[d].resize(n);
+    sw_[d].resize(static_cast<std::size_t>(kMaxOrder) * n);
+    sdw_[d].resize(static_cast<std::size_t>(kMaxOrder) * n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double coords[3] = {pos[i].x, pos[i].y, pos[i].z};
+    for (int d = 0; d < 3; ++d) {
+      const double u = frac_coord(coords[d], lens[d], dims[d]);
+      const double k0 = std::floor(u);
+      sk0_[d][i] = static_cast<int>(k0);
+      sfrac_[d][i] = u - k0;
+    }
+  }
+  for (int d = 0; d < 3; ++d) {
+    bspline_weights_batch(order, sfrac_[d].data(), n, sw_[d].data(),
+                          sdw_[d].data());
+  }
+
+  // Charge spreading through the real staging grid.
+  rgrid_.assign(grid_.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    const int k0z = sk0_[2][i];
+    double wz[kMaxOrder];
+    for (int jz = 0; jz < order; ++jz) {
+      wz[jz] = sw_[2][static_cast<std::size_t>(jz) * n + i];
+    }
+    for (int jx = 0; jx < order; ++jx) {
+      int kx = sk0_[0][i] - jx;
+      if (kx < 0) kx += static_cast<int>(dims[0]);
+      const double wxv = sw_[0][static_cast<std::size_t>(jx) * n + i];
+      for (int jy = 0; jy < order; ++jy) {
+        int ky = sk0_[1][i] - jy;
+        if (ky < 0) ky += static_cast<int>(dims[1]);
+        const double wxy =
+            q * wxv * sw_[1][static_cast<std::size_t>(jy) * n + i];
+        double* row =
+            rgrid_.data() +
+            (static_cast<std::size_t>(kx) * ny + static_cast<std::size_t>(ky)) *
+                nz;
+        if (k0z >= order - 1) {
+          // Non-wrapping stencil: taps k0z, k0z-1, ... are contiguous.
+          double* tap = row + k0z;
+#pragma omp simd
+          for (int jz = 0; jz < order; ++jz) tap[-jz] += wxy * wz[jz];
+        } else {
+          for (int jz = 0; jz < order; ++jz) {
+            int kz = k0z - jz;
+            if (kz < 0) kz += static_cast<int>(nz);
+            row[kz] += wxy * wz[jz];
+          }
+        }
+      }
+    }
+  }
+#pragma omp simd
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    grid_[i] = fft::Complex(rgrid_[i], 0.0);
+  }
+
+  fft_.forward(grid_.data());
+  const double energy = convolve_energy();
+  fft_.inverse(grid_.data());
+
+#pragma omp simd
+  for (std::size_t i = 0; i < grid_.size(); ++i) rgrid_[i] = grid_[i].real();
+
+  // Force interpolation from the real potential grid. The jz accumulation
+  // stays a plain loop (no reduction pragma) so the three force sums add
+  // in exactly the scalar order.
+  const double sx = static_cast<double>(params_.nx) / box_.lx();
+  const double sy = static_cast<double>(params_.ny) / box_.ly();
+  const double sz = static_cast<double>(params_.nz) / box_.lz();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = topo.atom(static_cast<int>(i)).charge;
+    if (q == 0.0) continue;
+    const int k0z = sk0_[2][i];
+    double wz[kMaxOrder];
+    double dwz[kMaxOrder];
+    for (int jz = 0; jz < order; ++jz) {
+      wz[jz] = sw_[2][static_cast<std::size_t>(jz) * n + i];
+      dwz[jz] = sdw_[2][static_cast<std::size_t>(jz) * n + i];
+    }
+    Vec3 f{};
+    for (int jx = 0; jx < order; ++jx) {
+      int kx = sk0_[0][i] - jx;
+      if (kx < 0) kx += static_cast<int>(dims[0]);
+      const double wxv = sw_[0][static_cast<std::size_t>(jx) * n + i];
+      const double dwxv = sdw_[0][static_cast<std::size_t>(jx) * n + i];
+      for (int jy = 0; jy < order; ++jy) {
+        int ky = sk0_[1][i] - jy;
+        if (ky < 0) ky += static_cast<int>(dims[1]);
+        const double wyv = sw_[1][static_cast<std::size_t>(jy) * n + i];
+        const double dwyv = sdw_[1][static_cast<std::size_t>(jy) * n + i];
+        const double* row =
+            rgrid_.data() +
+            (static_cast<std::size_t>(kx) * ny + static_cast<std::size_t>(ky)) *
+                nz;
+        if (k0z >= order - 1) {
+          const double* tap = row + k0z;
+          for (int jz = 0; jz < order; ++jz) {
+            const double phi = tap[-jz];
+            f.x += dwxv * wyv * wz[jz] * phi;
+            f.y += wxv * dwyv * wz[jz] * phi;
+            f.z += wxv * wyv * dwz[jz] * phi;
+          }
+        } else {
+          for (int jz = 0; jz < order; ++jz) {
+            int kz = k0z - jz;
+            if (kz < 0) kz += static_cast<int>(nz);
+            const double phi = row[kz];
+            f.x += dwxv * wyv * wz[jz] * phi;
+            f.y += wxv * dwyv * wz[jz] * phi;
+            f.z += wxv * wyv * dwz[jz] * phi;
+          }
+        }
+      }
+    }
+    forces[i] -= Vec3{f.x * sx, f.y * sy, f.z * sz} * q;
+  }
+
+  if (work != nullptr) {
+    work->atoms_spread += n;
+    work->stencil_points +=
+        2 * n * static_cast<std::size_t>(order * order * order);
+    work->mesh_points += grid_.size();
+    work->fft_flops += 2.0 * fft_.flops();
+  }
+  return energy;
+}
+
 // --- ParallelPme -------------------------------------------------------------
 
 ParallelPme::ParallelPme(const PmeParams& params, const Box& box,
                          middleware::Middleware& mw,
-                         std::function<void(double)> charge_compute)
+                         std::function<void(double)> charge_compute,
+                         util::KernelKind kind)
     : params_(params),
       box_(box),
       mw_(mw),
       charge_(std::move(charge_compute)),
-      pfft_(params.nx, params.ny, params.nz, mw, charge_),
+      pfft_(params.nx, params.ny, params.nz, mw, charge_, kind),
       modx_(bspline_moduli(params.nx, params.order)),
       mody_(bspline_moduli(params.ny, params.order)),
       modz_(bspline_moduli(params.nz, params.order)),
@@ -422,13 +583,14 @@ double ParallelPme::reciprocal(const Topology& topo,
 
 PencilPme::PencilPme(const PmeParams& params, const Box& box, mpi::Comm& comm,
                      int py, int pz, std::vector<GridRegion> regions,
-                     std::function<void(double)> charge_compute)
+                     std::function<void(double)> charge_compute,
+                     util::KernelKind kind)
     : params_(params),
       box_(box),
       comm_(comm),
       charge_(std::move(charge_compute)),
       pfft_(fft::PencilGrid(params.nx, params.ny, params.nz, py, pz), comm,
-            charge_),
+            charge_, kind),
       regions_(std::move(regions)),
       modx_(bspline_moduli(params.nx, params.order)),
       mody_(bspline_moduli(params.ny, params.order)),

@@ -67,7 +67,14 @@ double ewald_exclusion_correction_owned(
 
 class SerialPme {
  public:
-  SerialPme(const PmeParams& params, const md::Box& box);
+  // The simd kernel variant batches the B-spline weight recurrence across
+  // atoms (bspline_weights_batch), spreads/interpolates through a real
+  // staging grid with contiguous z-tap inner loops, and runs the
+  // table-combine FFT. Every lane executes the scalar arithmetic in the
+  // same order, so both variants produce bit-identical results — the
+  // switch only changes wall-clock.
+  SerialPme(const PmeParams& params, const md::Box& box,
+            util::KernelKind kind = util::default_kernel_kind());
 
   // Computes the reciprocal-space energy and accumulates forces on all
   // atoms. Positions may lie outside the box (wrapped internally).
@@ -76,13 +83,26 @@ class SerialPme {
                     std::vector<util::Vec3>& forces, PmeWork* work = nullptr);
 
   const PmeParams& params() const { return params_; }
+  util::KernelKind kernel() const { return kind_; }
 
  private:
+  // Convolution + energy over the full k-space grid (shared verbatim by
+  // both kernel variants).
+  double convolve_energy();
+  double reciprocal_simd(const md::Topology& topo,
+                         const std::vector<util::Vec3>& pos,
+                         std::vector<util::Vec3>& forces, PmeWork* work);
+
   PmeParams params_;
   md::Box box_;
+  util::KernelKind kind_;
   fft::Fft3D fft_;
   std::vector<double> modx_, mody_, modz_;
   std::vector<fft::Complex> grid_;
+  // Simd-path scratch: real staging grid and SoA spline data per dimension.
+  std::vector<double> rgrid_;
+  std::vector<double> sw_[3], sdw_[3], sfrac_[3];
+  std::vector<int> sk0_[3];
 };
 
 // --- Pencil-decomposed PME --------------------------------------------------
@@ -127,9 +147,14 @@ class PencilPme {
   // `regions[r]` is rank r's spread/interpolation region (empty for
   // cell-less ranks); every rank passes the same vector. `py * pz` ranks
   // participate in the FFT; the rest only ship their region blocks.
+  // `kind` selects the FFT kernel variant (the grid-local spread and
+  // interpolation loops are already region-local short stencils; the simd
+  // factor's FFT combine tables are where the pencil path spends its
+  // vectorizable time). Bit-identical either way.
   PencilPme(const PmeParams& params, const md::Box& box, mpi::Comm& comm,
             int py, int pz, std::vector<GridRegion> regions,
-            std::function<void(double flops)> charge_compute = {});
+            std::function<void(double flops)> charge_compute = {},
+            util::KernelKind kind = util::default_kernel_kind());
 
   // Reciprocal sum for the owned atoms. Returns this rank's partial
   // energy (each wavevector is counted on exactly one stage-3 owner);
@@ -174,9 +199,11 @@ class PencilPme {
 class ParallelPme {
  public:
   // `charge_compute` converts flops to simulated time (may be empty).
+  // `kind` selects the FFT kernel variant, as in PencilPme.
   ParallelPme(const PmeParams& params, const md::Box& box,
               middleware::Middleware& mw,
-              std::function<void(double flops)> charge_compute = {});
+              std::function<void(double flops)> charge_compute = {},
+              util::KernelKind kind = util::default_kernel_kind());
 
   // Slab-parallel reciprocal sum. Returns this rank's *partial* energy;
   // forces accumulated are partial too — both become total after the

@@ -49,4 +49,12 @@ if [ -x "$build/bench/des_scale" ]; then
   echo "regenerating BENCH_des_scale.json (p up to 4096; takes a few min)..."
   "$build/bench/des_scale" --json="$here/../../BENCH_des_scale.json"
 fi
-echo "done; review with: git diff tests/golden/ BENCH_des_scale.json"
+
+# Scalar-vs-SIMD kernel speedups (wall-clock, so not a byte-compared
+# golden): rewrites BENCH_kernels.json at the repo root. The binary exits
+# non-zero if the SIMD variants drift from the scalar reference.
+if [ -x "$build/bench/kernel_speedups" ]; then
+  echo "regenerating BENCH_kernels.json..."
+  "$build/bench/kernel_speedups" --json="$here/../../BENCH_kernels.json"
+fi
+echo "done; review with: git diff tests/golden/ BENCH_des_scale.json BENCH_kernels.json"
